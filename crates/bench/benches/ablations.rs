@@ -1,0 +1,124 @@
+//! Ablation studies for the design choices called out in `DESIGN.md` §6.
+//!
+//! Each group compares a design decision's "on" and "off" variants under
+//! the same workload, so `cargo bench` records the cost/benefit:
+//!
+//! * `ablation_hash_caching` — the paper's headline: chash vs naive.
+//! * `ablation_chunk_geometry` — 1 vs 2 blocks per chunk, 64 vs 128-B lines.
+//! * `ablation_incremental_mac` — ihash vs mhash write-back machinery.
+//! * `ablation_write_allocate` — §5.3 no-fetch overwrite optimization.
+//! * `ablation_speculation` — §5.8 speculative use of unverified data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use miv_bench::{bench_run, BENCH_MEASURE, BENCH_WARMUP};
+use miv_core::timing::Scheme;
+use miv_sim::{System, SystemConfig};
+use miv_trace::Benchmark;
+
+fn ablation_hash_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hash_caching");
+    group.sample_size(10);
+    group.bench_function("cached", |b| {
+        b.iter(|| bench_run(Scheme::CHash, 1 << 20, 64, Benchmark::Swim).ipc)
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| bench_run(Scheme::Naive, 1 << 20, 64, Benchmark::Swim).ipc)
+    });
+    group.finish();
+}
+
+fn ablation_chunk_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chunk_geometry");
+    group.sample_size(10);
+    for (label, scheme, line) in [
+        ("one_block_64B", Scheme::CHash, 64u32),
+        ("one_block_128B", Scheme::CHash, 128),
+        ("two_blocks_64B", Scheme::MHash, 64),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| bench_run(scheme, 1 << 20, line, Benchmark::Vortex).ipc)
+        });
+    }
+    group.finish();
+}
+
+fn ablation_incremental_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_incremental_mac");
+    group.sample_size(10);
+    group.bench_function("rehash_whole_chunk", |b| {
+        b.iter(|| bench_run(Scheme::MHash, 1 << 20, 64, Benchmark::Swim).bus_bytes)
+    });
+    group.bench_function("incremental_update", |b| {
+        b.iter(|| bench_run(Scheme::IHash, 1 << 20, 64, Benchmark::Swim).bus_bytes)
+    });
+    group.finish();
+}
+
+fn run_with(
+    mutate: impl Fn(&mut SystemConfig),
+    bench: Benchmark,
+) -> impl FnMut(&mut criterion::Bencher<'_>) {
+    move |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
+                mutate(&mut cfg);
+                System::for_benchmark(cfg, bench, 42)
+            },
+            |mut sys| sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc,
+            BatchSize::SmallInput,
+        )
+    }
+}
+
+fn ablation_write_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_allocate");
+    group.sample_size(10);
+    group.bench_function(
+        "no_fetch_on_overwrite",
+        run_with(|cfg| cfg.checker.write_allocate_no_fetch = true, Benchmark::Swim),
+    );
+    group.bench_function(
+        "always_fetch_and_check",
+        run_with(|cfg| cfg.checker.write_allocate_no_fetch = false, Benchmark::Swim),
+    );
+    group.finish();
+}
+
+fn ablation_speculation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_speculation");
+    group.sample_size(10);
+    group.bench_function(
+        "speculative_background_checks",
+        run_with(|cfg| cfg.checker.block_on_verify = false, Benchmark::Mcf),
+    );
+    group.bench_function(
+        "block_until_verified",
+        run_with(|cfg| cfg.checker.block_on_verify = true, Benchmark::Mcf),
+    );
+    group.finish();
+}
+
+fn ablation_replacement(c: &mut Criterion) {
+    use miv_cache::ReplacementPolicy;
+    let mut group = c.benchmark_group("ablation_replacement");
+    group.sample_size(10);
+    for policy in ReplacementPolicy::ALL {
+        group.bench_function(
+            policy.label(),
+            run_with(move |cfg| cfg.checker.l2_policy = policy, Benchmark::Twolf),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_hash_caching,
+    ablation_chunk_geometry,
+    ablation_incremental_mac,
+    ablation_write_allocate,
+    ablation_speculation,
+    ablation_replacement
+);
+criterion_main!(benches);

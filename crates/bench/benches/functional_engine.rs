@@ -1,0 +1,95 @@
+//! Throughput of the functional `VerifiedMemory` engine.
+//!
+//! Measures what verified byte-moving costs in software: cached reads,
+//! cold (verify-on-fetch) reads, writes with and without the §5.3
+//! whole-block optimization, and flushes under the hash-tree vs the
+//! incremental-MAC protections.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use miv_core::{MemoryBuilder, Protection, VerifiedMemory};
+
+fn hash_mem() -> VerifiedMemory {
+    MemoryBuilder::new().data_bytes(256 << 10).cache_blocks(1024).build()
+}
+
+fn mac_mem() -> VerifiedMemory {
+    MemoryBuilder::new()
+        .data_bytes(256 << 10)
+        .chunk_bytes(128)
+        .block_bytes(64)
+        .protection(Protection::IncrementalMac)
+        .cache_blocks(1024)
+        .build()
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verified_reads");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("cached_hit", |b| {
+        let mut mem = hash_mem();
+        mem.read_vec(0, 64).unwrap();
+        b.iter(|| mem.read_vec(black_box(0), 64).unwrap());
+    });
+    group.bench_function("cold_verified", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = hash_mem();
+                mem.clear_cache().unwrap();
+                mem
+            },
+            |mut mem| mem.read_vec(black_box(4096), 64).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verified_writes");
+    group.throughput(Throughput::Bytes(64));
+    let full = [7u8; 64];
+    group.bench_function("whole_block_no_fetch", |b| {
+        b.iter_batched(
+            hash_mem,
+            |mut mem| mem.write(black_box(8192), &full).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("partial_block_fetch_and_check", |b| {
+        b.iter_batched(
+            hash_mem,
+            |mut mem| mem.write(black_box(8192 + 8), &full[..8]).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_64_dirty_blocks");
+    group.sample_size(20);
+    let dirty = |mut mem: VerifiedMemory| {
+        for i in 0..64u64 {
+            mem.write(i * 4096, &[i as u8; 64]).unwrap();
+        }
+        mem
+    };
+    group.bench_function("hash_tree", |b| {
+        b.iter_batched(
+            || dirty(hash_mem()),
+            |mut mem| mem.flush().unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("incremental_mac", |b| {
+        b.iter_batched(
+            || dirty(mac_mem()),
+            |mut mem| mem.flush().unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_writes, bench_flush);
+criterion_main!(benches);

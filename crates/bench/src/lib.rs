@@ -1,0 +1,43 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `hash_primitives` — MD5 / SHA-1 / XOR-MAC software throughput (the
+//!   quantities Table 1's hardware hash unit abstracts).
+//! * `figures` — one benchmark per evaluation figure, each running a
+//!   scaled-down version of the corresponding simulator sweep.
+//! * `ablations` — the design-choice studies called out in `DESIGN.md`:
+//!   hash caching, chunk geometry, incremental MAC, write-allocate
+//!   optimization, speculative verification.
+//! * `functional_engine` — byte-moving throughput of the functional
+//!   `VerifiedMemory` engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use miv_core::timing::Scheme;
+use miv_sim::{RunResult, System, SystemConfig};
+use miv_trace::Benchmark;
+
+/// Instructions for bench-sized simulator runs (small but non-trivial).
+pub const BENCH_WARMUP: u64 = 5_000;
+/// Measured instructions for bench-sized simulator runs.
+pub const BENCH_MEASURE: u64 = 40_000;
+
+/// Runs one bench-sized simulation.
+pub fn bench_run(scheme: Scheme, l2_bytes: u64, line: u32, bench: Benchmark) -> RunResult {
+    let cfg = SystemConfig::hpca03(scheme, l2_bytes, line);
+    System::for_benchmark(cfg, bench, 42).run(BENCH_WARMUP, BENCH_MEASURE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_smoke() {
+        let r = bench_run(Scheme::CHash, 256 << 10, 64, Benchmark::Gzip);
+        assert!(r.ipc > 0.0);
+        assert_eq!(r.instructions, BENCH_MEASURE);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cache geometry configuration.
+
+/// Geometry of a set-associative cache.
+///
+/// All three parameters must be powers of two and consistent
+/// (`size_bytes = sets × assoc × line_bytes` with at least one set).
+///
+/// # Examples
+///
+/// ```
+/// use miv_cache::CacheConfig;
+///
+/// let cfg = CacheConfig::l2(1 << 20, 64); // 1 MB, 4-way, 64-B lines
+/// assert_eq!(cfg.sets(), 4096);
+/// assert_eq!(cfg.lines(), 16384);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line (block) size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or not a power of two, if the line
+    /// size exceeds the capacity, or if the geometry yields zero sets.
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(assoc.is_power_of_two(), "associativity must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes as u64;
+        assert!(lines >= assoc as u64, "cache too small for its associativity");
+        CacheConfig { size_bytes, assoc, line_bytes }
+    }
+
+    /// The paper's L1 geometry: 64 KB, 2-way, 32-byte lines (Table 1).
+    pub fn l1() -> Self {
+        CacheConfig::new(64 * 1024, 2, 32)
+    }
+
+    /// The paper's unified L2 geometry: 4-way with the given capacity and
+    /// line size (Table 1 / Figure 3 sweeps capacity and line size).
+    pub fn l2(size_bytes: u64, line_bytes: u32) -> Self {
+        CacheConfig::new(size_bytes, 4, line_bytes)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+
+    /// The line-aligned base address of the line containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// The set index for `addr`.
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes as u64) % self.sets()
+    }
+
+    /// The tag for `addr` (the line address, which is unambiguous).
+    pub fn tag(&self, addr: u64) -> u64 {
+        self.line_addr(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        let l1 = CacheConfig::l1();
+        assert_eq!(l1.sets(), 1024);
+        let l2 = CacheConfig::l2(256 * 1024, 64);
+        assert_eq!(l2.sets(), 1024);
+        let l2b = CacheConfig::l2(4 << 20, 128);
+        assert_eq!(l2b.sets(), 8192);
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let cfg = CacheConfig::l2(1 << 20, 64);
+        assert_eq!(cfg.line_addr(0x12345), 0x12340);
+        assert_eq!(cfg.line_addr(0x12340), 0x12340);
+        assert_eq!(cfg.line_addr(0x1237f), 0x12340);
+    }
+
+    #[test]
+    fn set_index_wraps() {
+        let cfg = CacheConfig::new(1024, 2, 64); // 8 sets
+        assert_eq!(cfg.sets(), 8);
+        assert_eq!(cfg.set_index(0), 0);
+        assert_eq!(cfg.set_index(64), 1);
+        assert_eq!(cfg.set_index(64 * 8), 0);
+        assert_eq!(cfg.set_index(64 * 9 + 13), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = CacheConfig::new(1000, 2, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_degenerate_geometry() {
+        let _ = CacheConfig::new(64, 4, 64);
+    }
+}

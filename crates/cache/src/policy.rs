@@ -1,0 +1,54 @@
+//! Replacement policies.
+//!
+//! The paper's caches are LRU; [`ReplacementPolicy`] adds FIFO and a
+//! deterministic pseudo-random policy so the `ablation_replacement`
+//! benchmark can quantify how sensitive the chash results are to that
+//! assumption (hash-line residency — and therefore the verification
+//! amortization — depends on the policy keeping recently-used tree nodes
+//! around).
+
+/// How a victim way is chosen on a fill into a full set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently *used* line (lookups refresh recency).
+    #[default]
+    Lru,
+    /// Evict the oldest *inserted* line (lookups do not refresh).
+    Fifo,
+    /// Evict a pseudo-random line (deterministic xorshift sequence, so
+    /// simulations stay reproducible).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [ReplacementPolicy; 3] =
+        [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(ReplacementPolicy::ALL.len(), 3);
+    }
+}

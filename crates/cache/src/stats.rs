@@ -1,0 +1,136 @@
+//! Cache statistics, split by line kind (program data vs hash chunks).
+
+use std::fmt;
+
+/// What a cache line holds.
+///
+/// The *chash*/*mhash*/*ihash* schemes store hash-tree chunks in the same
+/// L2 as program data; keeping the kinds distinct in tag state and
+/// statistics is what lets the harness measure cache pollution (Figure 4)
+/// and hash hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineKind {
+    /// A program data (or instruction) line.
+    Data,
+    /// A hash-tree chunk line (digests or MACs).
+    Hash,
+}
+
+impl fmt::Display for LineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineKind::Data => f.write_str("data"),
+            LineKind::Hash => f.write_str("hash"),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters for one [`LineKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Read lookups that hit.
+    pub read_hits: u64,
+    /// Read lookups that missed.
+    pub read_misses: u64,
+    /// Write lookups that hit.
+    pub write_hits: u64,
+    /// Write lookups that missed.
+    pub write_misses: u64,
+    /// Lines of this kind evicted.
+    pub evictions: u64,
+    /// Dirty lines of this kind evicted (write-backs generated).
+    pub dirty_evictions: u64,
+}
+
+impl KindStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Miss rate in [0, 1]; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+}
+
+/// Full statistics for a cache: per-kind counters plus occupancy tracking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Counters for program data lines.
+    pub data: KindStats,
+    /// Counters for hash-chunk lines.
+    pub hash: KindStats,
+}
+
+impl CacheStats {
+    /// Counters for the given kind.
+    pub fn kind(&self, kind: LineKind) -> &KindStats {
+        match kind {
+            LineKind::Data => &self.data,
+            LineKind::Hash => &self.hash,
+        }
+    }
+
+    /// Mutable counters for the given kind.
+    pub fn kind_mut(&mut self, kind: LineKind) -> &mut KindStats {
+        match kind {
+            LineKind::Data => &mut self.data,
+            LineKind::Hash => &mut self.hash,
+        }
+    }
+
+    /// Combined miss count over both kinds.
+    pub fn total_misses(&self) -> u64 {
+        self.data.misses() + self.hash.misses()
+    }
+
+    /// Combined access count over both kinds.
+    pub fn total_accesses(&self) -> u64 {
+        self.data.accesses() + self.hash.accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(KindStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_arithmetic() {
+        let s = KindStats { read_hits: 6, read_misses: 2, write_hits: 1, write_misses: 1, ..Default::default() };
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.hits(), 7);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let mut s = CacheStats::default();
+        s.kind_mut(LineKind::Hash).read_misses = 5;
+        assert_eq!(s.kind(LineKind::Hash).read_misses, 5);
+        assert_eq!(s.kind(LineKind::Data).read_misses, 0);
+        assert_eq!(s.total_misses(), 5);
+        assert_eq!(format!("{}/{}", LineKind::Data, LineKind::Hash), "data/hash");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the set-associative cache model.
+//!
+//! These check structural invariants under arbitrary operation sequences:
+//! no duplicate resident lines, capacity bounds per set, LRU correctness
+//! against a reference model, and stats bookkeeping.
+
+use std::collections::VecDeque;
+
+use miv_cache::{Cache, CacheConfig, LineKind};
+use proptest::prelude::*;
+
+/// A reference cache: per-set VecDeque of (tag, dirty), front = LRU.
+struct RefCache {
+    config: CacheConfig,
+    sets: Vec<VecDeque<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        RefCache { config, sets: (0..config.sets()).map(|_| VecDeque::new()).collect() }
+    }
+
+    fn lookup(&mut self, addr: u64, write: bool) -> bool {
+        let tag = self.config.tag(addr);
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        if let Some(pos) = set.iter().position(|(t, _)| *t == tag) {
+            let (t, d) = set.remove(pos).unwrap();
+            set.push_back((t, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        let tag = self.config.tag(addr);
+        let assoc = self.config.assoc as usize;
+        let set = &mut self.sets[self.config.set_index(addr) as usize];
+        let victim = if set.len() == assoc { set.pop_front().map(|(t, _)| t) } else { None };
+        set.push_back((tag, dirty));
+        victim
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let tag = self.config.tag(addr);
+        self.sets[self.config.set_index(addr) as usize]
+            .iter()
+            .any(|(t, _)| *t == tag)
+    }
+
+    fn dirty(&self, addr: u64) -> Option<bool> {
+        let tag = self.config.tag(addr);
+        self.sets[self.config.set_index(addr) as usize]
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, d)| *d)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { addr: u64, write: bool },
+    Invalidate { addr: u64 },
+    MarkClean { addr: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Confine addresses to 16 lines' worth of space spread over a tiny
+    // cache so sets collide heavily.
+    let addr = (0u64..16).prop_map(|line| line * 64 + (line % 7));
+    prop_oneof![
+        4 => (addr.clone(), any::<bool>()).prop_map(|(addr, write)| Op::Access { addr, write }),
+        1 => addr.clone().prop_map(|addr| Op::Invalidate { addr }),
+        1 => addr.prop_map(|addr| Op::MarkClean { addr }),
+    ]
+}
+
+proptest! {
+    /// The cache model agrees with a simple LRU reference on residency and
+    /// dirty state under arbitrary access/invalidate/clean sequences.
+    #[test]
+    fn matches_reference_lru(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let config = CacheConfig::new(256, 2, 64); // 2 sets × 2 ways
+        let mut sut = Cache::new(config);
+        let mut reference = RefCache::new(config);
+
+        for op in &ops {
+            match *op {
+                Op::Access { addr, write } => {
+                    let hit = sut.lookup(addr, LineKind::Data, write).is_hit();
+                    let ref_hit = reference.lookup(addr, write);
+                    prop_assert_eq!(hit, ref_hit, "hit mismatch at {:#x}", addr);
+                    if !hit {
+                        let victim = sut.fill(addr, LineKind::Data, write);
+                        let ref_victim = reference.fill(addr, write);
+                        prop_assert_eq!(victim.map(|v| v.addr), ref_victim);
+                    }
+                }
+                Op::Invalidate { addr } => {
+                    let got = sut.invalidate(addr).is_some();
+                    let tag = config.tag(addr);
+                    let set = &mut reference.sets[config.set_index(addr) as usize];
+                    let expect = set.iter().position(|(t, _)| *t == tag).map(|p| set.remove(p));
+                    prop_assert_eq!(got, expect.is_some());
+                }
+                Op::MarkClean { addr } => {
+                    let got = sut.mark_clean(addr);
+                    let tag = config.tag(addr);
+                    let set = &mut reference.sets[config.set_index(addr) as usize];
+                    let mut found = false;
+                    for entry in set.iter_mut() {
+                        if entry.0 == tag {
+                            entry.1 = false;
+                            found = true;
+                        }
+                    }
+                    prop_assert_eq!(got, found);
+                }
+            }
+            // Residency & dirty state agree for every address in range.
+            for line in 0..16u64 {
+                let addr = line * 64;
+                prop_assert_eq!(sut.contains(addr), reference.contains(addr));
+                prop_assert_eq!(sut.dirty(addr), reference.dirty(addr));
+            }
+        }
+    }
+
+    /// Hits + misses equals total accesses, and occupancy is bounded by
+    /// capacity.
+    #[test]
+    fn stats_and_occupancy_invariants(
+        addrs in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let config = CacheConfig::new(512, 4, 32); // 4 sets × 4 ways, 32-B lines
+        let mut c = Cache::new(config);
+        for &(line, write) in &addrs {
+            let addr = line * 32;
+            let kind = if line % 3 == 0 { LineKind::Hash } else { LineKind::Data };
+            if c.lookup(addr, kind, write).is_miss() {
+                c.fill(addr, kind, write);
+            }
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.total_accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.data.hits() + s.data.misses(), s.data.accesses());
+        prop_assert_eq!(s.hash.hits() + s.hash.misses(), s.hash.accesses());
+        let (d, h) = c.occupancy();
+        prop_assert!(d + h <= config.lines());
+        // Fills = misses; evictions can't exceed fills.
+        prop_assert!(s.data.evictions + s.hash.evictions <= s.total_misses());
+        prop_assert!(s.data.dirty_evictions <= s.data.evictions);
+        prop_assert!(s.hash.dirty_evictions <= s.hash.evictions);
+    }
+
+    /// After a flush the cache is empty and every previously-dirty line was
+    /// reported dirty.
+    #[test]
+    fn flush_reports_all_dirty_lines(lines in proptest::collection::vec((0u64..32, any::<bool>()), 1..100)) {
+        let config = CacheConfig::new(1024, 2, 64);
+        let mut c = Cache::new(config);
+        let mut dirty_now = std::collections::HashMap::new();
+        for &(line, write) in &lines {
+            let addr = line * 64;
+            if c.lookup(addr, LineKind::Data, write).is_miss() {
+                if let Some(v) = c.fill(addr, LineKind::Data, write) {
+                    dirty_now.remove(&v.addr);
+                }
+            }
+            let e = dirty_now.entry(config.tag(addr)).or_insert(false);
+            *e = *e || write;
+        }
+        let drained = c.flush();
+        prop_assert_eq!(drained.len(), dirty_now.len());
+        for ev in drained {
+            prop_assert_eq!(ev.dirty, dirty_now[&ev.addr], "line {:#x}", ev.addr);
+        }
+        prop_assert_eq!(c.occupancy(), (0, 0));
+    }
+}

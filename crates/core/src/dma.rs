@@ -1,0 +1,221 @@
+//! Direct Memory Access into protected regions (§5.7).
+//!
+//! A device writing through DMA bypasses the processor, so the hash tree
+//! is *not* updated — and must not be, since the data has an untrusted
+//! origin. The paper gives two ways to cope:
+//!
+//! 1. mark a subtree as unprotected, perform the transfer, then rebuild
+//!    the relevant part of the tree;
+//! 2. DMA into unprotected memory, then copy into protected memory.
+//!
+//! Either way the processor touches all the data before it becomes
+//! protected, and the application then checks its integrity by its own
+//! means (e.g. a digest the peer sent). The paper also requires a special
+//! `ReadWithoutChecking` instruction so a program cannot be *tricked*
+//! into consuming unprotected data where it expects protected data.
+//!
+//! This module implements both paths on top of the functional engine:
+//!
+//! * [`VerifiedMemory::dma_write`] — a device write straight into the
+//!   protected segment's backing store (approach 1's transfer step);
+//! * [`VerifiedMemory::read_without_checking`] — the explicit unchecked
+//!   read;
+//! * [`VerifiedMemory::reprotect`] — rebuilds the hashes covering a
+//!   range (approach 1's rebuild step), touching only the affected
+//!   chunks and their ancestor paths;
+//! * [`VerifiedMemory::adopt`] — approach 2 in one call: the processor
+//!   reads staged bytes without checking and stores them through normal
+//!   verified writes.
+
+use crate::engine::VerifiedMemory;
+use crate::error::IntegrityError;
+
+impl VerifiedMemory {
+    /// A device DMA transfer into the protected segment: writes the raw
+    /// bytes at data address `addr` directly to untrusted memory, without
+    /// updating the tree.
+    ///
+    /// Until [`reprotect`](Self::reprotect) runs over the range, checked
+    /// reads of these chunks raise [`IntegrityError`] — by design: DMA
+    /// data has an untrusted origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the data segment.
+    pub fn dma_write(&mut self, addr: u64, data: &[u8]) {
+        assert!(
+            addr + data.len() as u64 <= self.layout().data_bytes(),
+            "DMA range out of bounds"
+        );
+        // Invalidate any (stale) cached copies of the blocks the device
+        // overwrites: hardware DMA would snoop/invalidate the hierarchy.
+        let block_bytes = self.layout().block_bytes() as u64;
+        let phys_base = self.layout().data_phys_addr(addr);
+        let first_block = phys_base & !(block_bytes - 1);
+        let phys_end = phys_base + data.len() as u64;
+        let mut block = first_block;
+        while block < phys_end {
+            self.drop_cached_block(block);
+            block += block_bytes;
+        }
+        self.adversary_write_raw(phys_base, data);
+    }
+
+    /// `ReadWithoutChecking` (§5.7): reads raw bytes from the data
+    /// segment, bypassing cache and verification.
+    ///
+    /// Programs must use this only where they *expect* unprotected data
+    /// (e.g. a DMA buffer before adoption); ordinary reads always check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the data segment.
+    pub fn read_without_checking(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        assert!(
+            addr + len as u64 <= self.layout().data_bytes(),
+            "read range out of bounds"
+        );
+        let phys = self.layout().data_phys_addr(addr);
+        self.adversary_read_raw(phys, len)
+    }
+
+    /// Rebuilds the tree over `[addr, addr + len)` after a DMA transfer
+    /// (approach 1's rebuild): recomputes each touched chunk's digest from
+    /// the current memory image and stores it through the normal parent
+    /// `Write` path, so only the affected chunks and their ancestors are
+    /// touched.
+    ///
+    /// The adopted data is *authentic-as-received*; checking that the
+    /// device delivered the right bytes remains the application's job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntegrityError`] if an *ancestor* path fails its own
+    /// verification while being updated (i.e. unrelated tampering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the data segment.
+    pub fn reprotect(&mut self, addr: u64, len: u64) -> Result<(), IntegrityError> {
+        assert!(addr + len <= self.layout().data_bytes(), "range out of bounds");
+        let chunk_bytes = self.layout().chunk_bytes() as u64;
+        let first = self.layout().data_chunk_for(addr);
+        let last = self.layout().data_chunk_for((addr + len - 1).min(self.layout().data_bytes() - 1));
+        let _ = chunk_bytes;
+        for chunk in first..=last {
+            self.rebuild_chunk_slot(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Approach 2 in one call: adopts `len` bytes that a device staged at
+    /// unprotected data address `staging` into protected address `dest`,
+    /// by reading them with [`read_without_checking`](Self::read_without_checking)
+    /// and storing them through ordinary verified writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification errors from the write path.
+    pub fn adopt(&mut self, staging: u64, dest: u64, len: usize) -> Result<(), IntegrityError> {
+        let bytes = self.read_without_checking(staging, len);
+        self.write(dest, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::MemoryBuilder;
+    use crate::storage::TamperKind;
+
+    #[test]
+    fn dma_data_is_untrusted_until_reprotected() {
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        mem.dma_write(0x400, &[0xEEu8; 256]);
+        // A checked read of the DMA'd region fails (by design)...
+        assert!(mem.read_vec(0x400, 16).is_err());
+    }
+
+    #[test]
+    fn reprotect_adopts_dma_data() {
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        mem.dma_write(0x400, &[0xEEu8; 256]);
+        // The unchecked read sees the device's bytes.
+        assert_eq!(mem.read_without_checking(0x400, 4), vec![0xEE; 4]);
+        mem.reprotect(0x400, 256).unwrap();
+        // Now checked reads succeed and the whole tree is consistent.
+        assert_eq!(mem.read_vec(0x400, 256).unwrap(), vec![0xEE; 256]);
+        mem.verify_all().unwrap();
+        mem.audit_invariant().unwrap();
+    }
+
+    #[test]
+    fn reprotect_is_local() {
+        // Rebuilding a small range must not rehash the whole segment.
+        let mut mem = MemoryBuilder::new().data_bytes(64 * 1024).cache_blocks(256).build();
+        mem.reset_stats();
+        mem.dma_write(0, &[7u8; 64]);
+        mem.reprotect(0, 64).unwrap();
+        let s = mem.stats();
+        let depth = mem.layout().levels() as u64 + 1;
+        assert!(
+            s.hash_computations <= 3 * depth,
+            "local rebuild: {} hash ops for depth {}",
+            s.hash_computations,
+            depth
+        );
+    }
+
+    #[test]
+    fn unaligned_dma_ranges() {
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        mem.write(0x7f0, &[1u8; 64]).unwrap();
+        mem.flush().unwrap();
+        // DMA a misaligned range straddling chunk boundaries.
+        mem.dma_write(0x7f8, &[9u8; 100]);
+        mem.reprotect(0x7f8, 100).unwrap();
+        let got = mem.read_vec(0x7f0, 120).unwrap();
+        assert_eq!(&got[0..8], &[1u8; 8]);
+        assert_eq!(&got[8..108], &[9u8; 100]);
+        mem.verify_all().unwrap();
+    }
+
+    #[test]
+    fn adopt_moves_staged_data_into_protection() {
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        // Device stages a payload at the top of the segment.
+        mem.dma_write(12 * 1024, b"incoming packet payload!");
+        // The processor adopts it into a protected buffer.
+        mem.adopt(12 * 1024, 0x100, 24).unwrap();
+        assert_eq!(mem.read_vec(0x100, 24).unwrap(), b"incoming packet payload!");
+        // The staging buffer itself stays unprotected until reclaimed
+        // (a checked read there would raise — and poison the engine — so
+        // a real program uses read_without_checking until this point).
+        mem.reprotect(12 * 1024, 24).unwrap();
+        mem.flush().unwrap();
+        mem.verify_all().unwrap();
+    }
+
+    #[test]
+    fn dma_cannot_mask_unrelated_tampering() {
+        // Reprotecting one range must not bless tampering elsewhere.
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        mem.write(0x2000, &[5u8; 64]).unwrap();
+        mem.flush().unwrap();
+        mem.clear_cache().unwrap();
+        let victim = mem.layout().data_phys_addr(0x2000);
+        mem.adversary().tamper(victim, TamperKind::BitFlip { bit: 1 });
+        mem.dma_write(0, &[1u8; 64]);
+        mem.reprotect(0, 64).unwrap();
+        assert!(mem.read_vec(0x2000, 8).is_err(), "tamper must still be caught");
+    }
+
+    #[test]
+    fn dma_invalidates_stale_cached_copies() {
+        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        mem.write(0x800, &[3u8; 64]).unwrap(); // cached dirty
+        mem.dma_write(0x800, &[4u8; 64]); // device overwrites in RAM
+        mem.reprotect(0x800, 64).unwrap();
+        // The cached stale copy must not win.
+        assert_eq!(mem.read_vec(0x800, 8).unwrap(), vec![4u8; 8]);
+    }
+}

@@ -1,0 +1,1048 @@
+//! The functional memory-integrity engine: real bytes, real digests,
+//! real tamper detection.
+//!
+//! [`VerifiedMemory`] implements the paper's integrated cache/hash-tree
+//! algorithms (§5.3–§5.4) over an [`UntrustedMemory`] the adversary
+//! controls, with a [`TrustedCache`] standing in for the on-chip L2:
+//!
+//! * `ReadAndCheck` — cached data is trusted and returned directly; an
+//!   uncached access fetches the chunk's memory image, verifies it against
+//!   the hash in the (trusted or recursively verified) parent, and caches
+//!   the blocks.
+//! * `Write` — write-allocate; whole-block overwrites skip the fetch and
+//!   check (§5.3's optimization).
+//! * `Write-Back` — on dirty eviction the chunk's new image is hashed and
+//!   the parent slot updated through a normal `Write`; with
+//!   [`Protection::IncrementalMac`] only the evicted block is touched and
+//!   the parent MAC is updated in O(1) with its one-bit timestamp flipped
+//!   (§5.4).
+//!
+//! The engine maintains the paper's central invariant — *a chunk's slot in
+//! its (possibly cached) parent always matches the chunk's image in
+//! untrusted memory* — and poisons itself on the first detected violation,
+//! mirroring the processor destroying the program's keys.
+//!
+//! Timing is out of scope here: this layer exists so tests, examples and
+//! attacks can exercise the *algorithms*; `timing::L2Controller` drives the
+//! same layout arithmetic under the cycle-level simulator.
+
+use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, DIGEST_BYTES};
+use miv_hash::narrow::{Mac120, XorMac120, NARROW_MAC_BYTES};
+
+use crate::error::IntegrityError;
+use crate::layout::{ParentRef, TreeLayout};
+use crate::storage::{Adversary, UntrustedMemory};
+use crate::trusted_cache::TrustedCache;
+
+/// Which integrity mechanism protects chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protection {
+    /// Collision-resistant hash per chunk (the *naive*/*chash*/*mhash*
+    /// schemes — they differ only in timing, not in what is stored).
+    #[default]
+    HashTree,
+    /// Incremental 120-bit XOR-MAC with one-bit per-block timestamps (the
+    /// *ihash* scheme, §5.4).
+    IncrementalMac,
+}
+
+/// Functional operation counters.
+///
+/// These are *algorithmic* counts (how many chunk verifications, block
+/// transfers, MAC updates the scheme performed), which is what the
+/// correctness tests and the scheme-comparison examples reason about; the
+/// cycle-level costs live in the timing simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Chunk verifications performed (hash or MAC compares).
+    pub chunk_verifications: u64,
+    /// Chunk digests computed (hash scheme).
+    pub hash_computations: u64,
+    /// O(1) MAC updates performed (ihash scheme).
+    pub mac_updates: u64,
+    /// Blocks read from untrusted memory on checked paths.
+    pub block_reads: u64,
+    /// Blocks read from untrusted memory *without* checking (ihash
+    /// write-back step 2).
+    pub unchecked_block_reads: u64,
+    /// Blocks written to untrusted memory.
+    pub block_writes: u64,
+    /// Write-back operations (dirty evictions serviced).
+    pub writebacks: u64,
+    /// Write allocations that skipped the fetch+check because the whole
+    /// block was overwritten (§5.3 optimization).
+    pub alloc_no_fetch: u64,
+}
+
+/// Builder for [`VerifiedMemory`].
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::{MemoryBuilder, Protection};
+///
+/// let mem = MemoryBuilder::new()
+///     .data_bytes(128 * 1024)
+///     .chunk_bytes(128)
+///     .block_bytes(64) // two blocks per chunk: the mhash geometry
+///     .protection(Protection::IncrementalMac)
+///     .cache_blocks(512)
+///     .build();
+/// assert_eq!(mem.layout().blocks_per_chunk(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MemoryBuilder {
+    data_bytes: u64,
+    chunk_bytes: u32,
+    block_bytes: u32,
+    protection: Protection,
+    hasher: Box<dyn ChunkHasher + Send>,
+    key: [u8; 16],
+    cache_blocks: usize,
+    initial_data: Option<Vec<u8>>,
+}
+
+impl Default for MemoryBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryBuilder {
+    /// A builder with the paper's defaults: 64 KiB of data, 64-byte
+    /// chunks and blocks (4-ary tree), MD5, a 256-block trusted cache.
+    pub fn new() -> Self {
+        MemoryBuilder {
+            data_bytes: 64 * 1024,
+            chunk_bytes: 64,
+            block_bytes: 64,
+            protection: Protection::HashTree,
+            hasher: Box::new(Md5Hasher),
+            key: *b"miv default key!",
+            cache_blocks: 256,
+            initial_data: None,
+        }
+    }
+
+    /// Size of the protected data segment in bytes.
+    pub fn data_bytes(mut self, bytes: u64) -> Self {
+        self.data_bytes = bytes;
+        self
+    }
+
+    /// Chunk size (the hashing unit).
+    pub fn chunk_bytes(mut self, bytes: u32) -> Self {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Cache-block size; must divide the chunk size.
+    pub fn block_bytes(mut self, bytes: u32) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Integrity mechanism (hash tree or incremental MAC).
+    pub fn protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Hash function for [`Protection::HashTree`] (default MD5).
+    pub fn hasher(mut self, hasher: Box<dyn ChunkHasher + Send>) -> Self {
+        self.hasher = hasher;
+        self
+    }
+
+    /// The processor secret keying the MAC scheme.
+    pub fn key(mut self, key: [u8; 16]) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Trusted-cache capacity in blocks.
+    pub fn cache_blocks(mut self, blocks: usize) -> Self {
+        self.cache_blocks = blocks;
+        self
+    }
+
+    /// Initial contents of the data segment (zero-filled / truncated to
+    /// `data_bytes`).
+    pub fn initial_data(mut self, data: Vec<u8>) -> Self {
+        self.initial_data = Some(data);
+        self
+    }
+
+    /// Builds the memory, constructing the tree bottom-up over the initial
+    /// contents (the efficient equivalent of the §5.6.2 initialization; see
+    /// [`VerifiedMemory::initialize_via_touch`] for the literal procedure).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`TreeLayout::new`]) or if the
+    /// cache is too small to guarantee forward progress of write-back
+    /// cascades.
+    pub fn build(self) -> VerifiedMemory {
+        let layout = TreeLayout::new(self.data_bytes, self.chunk_bytes, self.block_bytes);
+        let min_cache = Self::min_cache_blocks(&layout);
+        assert!(
+            self.cache_blocks >= min_cache,
+            "trusted cache of {} blocks is too small: this layout needs at least {min_cache}",
+            self.cache_blocks
+        );
+        if self.protection == Protection::IncrementalMac {
+            assert!(
+                layout.blocks_per_chunk() <= 8,
+                "incremental MAC supports at most 8 blocks per chunk (8 timestamp bits per slot)"
+            );
+        }
+        let mut mem = UntrustedMemory::new(layout.physical_bytes());
+        if let Some(data) = &self.initial_data {
+            let base = layout.data_phys_addr(0);
+            let len = (data.len() as u64).min(layout.data_bytes()) as usize;
+            mem.write(base, &data[..len]);
+        }
+
+        let mut engine = VerifiedMemory {
+            cache: TrustedCache::new(self.cache_blocks, layout.block_bytes() as usize),
+            secure: vec![[0u8; DIGEST_BYTES]; layout.arity().min(layout.total_chunks() as u32) as usize],
+            protection: match self.protection {
+                Protection::HashTree => ProtImpl::Hash(self.hasher),
+                Protection::IncrementalMac => ProtImpl::Mac(XorMac120::new(self.key)),
+            },
+            layout,
+            mem,
+            exceptions_enabled: true,
+            poisoned: false,
+            stats: EngineStats::default(),
+        };
+        engine.rebuild_tree();
+        engine
+    }
+
+    /// Minimum trusted-cache capacity for a layout: enough headroom that a
+    /// verification walk plus a write-back cascade (each of which pins up
+    /// to one chunk's blocks and one parent slot block per tree level)
+    /// always finds an evictable victim.
+    fn min_cache_blocks(layout: &TreeLayout) -> usize {
+        let levels = layout.levels() as usize + 3;
+        levels * (2 * layout.blocks_per_chunk() as usize + 2)
+    }
+}
+
+/// The integrity mechanism implementation.
+enum ProtImpl {
+    Hash(Box<dyn ChunkHasher + Send>),
+    Mac(XorMac120),
+}
+
+impl std::fmt::Debug for ProtImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtImpl::Hash(h) => write!(f, "HashTree({})", h.name()),
+            ProtImpl::Mac(_) => write!(f, "IncrementalMac(xor-mac-120)"),
+        }
+    }
+}
+
+impl ProtImpl {
+    fn scheme_name(&self) -> &'static str {
+        match self {
+            ProtImpl::Hash(_) => "hash-tree",
+            ProtImpl::Mac(_) => "incremental-mac",
+        }
+    }
+}
+
+/// A verified external memory: the paper's integrated cache + hash-tree
+/// machinery, functionally complete.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::{MemoryBuilder, TamperKind};
+///
+/// let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).build();
+/// mem.write(0x200, b"result = 42").unwrap();
+/// mem.flush().unwrap();
+///
+/// // The adversary rewrites the value in external RAM...
+/// let phys = mem.layout().data_phys_addr(0x200);
+/// mem.adversary().tamper(phys, TamperKind::Replace { data: b"result = 43".to_vec() });
+///
+/// // ...and the next read detects it (the block is no longer cached
+/// // after the flush pushed it out to memory — force a cold read):
+/// mem.clear_cache().unwrap();
+/// assert!(mem.read_vec(0x200, 11).is_err());
+/// ```
+#[derive(Debug)]
+pub struct VerifiedMemory {
+    layout: TreeLayout,
+    mem: UntrustedMemory,
+    cache: TrustedCache,
+    /// Slot values for the top-level chunks (on-chip secure memory).
+    secure: Vec<[u8; DIGEST_BYTES]>,
+    protection: ProtImpl,
+    /// §5.6.2: when disabled, checks run but mismatches do not raise.
+    exceptions_enabled: bool,
+    poisoned: bool,
+    stats: EngineStats,
+}
+
+type Result<T> = std::result::Result<T, IntegrityError>;
+
+impl VerifiedMemory {
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// The tree layout.
+    pub fn layout(&self) -> &TreeLayout {
+        &self.layout
+    }
+
+    /// Functional operation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Trusted-cache hit/miss counters `(hits, misses)`.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// The on-chip secure root slots.
+    pub fn secure_root(&self) -> &[[u8; DIGEST_BYTES]] {
+        &self.secure
+    }
+
+    /// Attacker's view of the untrusted memory.
+    pub fn adversary(&mut self) -> Adversary<'_> {
+        Adversary::new(&mut self.mem)
+    }
+
+    /// Enables or disables integrity exceptions (§5.6.2 initialization
+    /// runs with them off).
+    pub fn set_exceptions_enabled(&mut self, enabled: bool) {
+        self.exceptions_enabled = enabled;
+    }
+
+    /// Reads `buf.len()` bytes from data address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if any chunk on the verification path
+    /// has been tampered with, or if a violation was previously detected
+    /// (the engine is poisoned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the data segment.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_poisoned()?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let phys = self.layout.data_phys_addr(a);
+            let block = self.block_addr(phys);
+            let offset = (phys - block) as usize;
+            let take = (self.layout.block_bytes() as usize - offset).min(buf.len() - pos);
+            if let Some(data) = self.cache.get(block) {
+                buf[pos..pos + take].copy_from_slice(&data[offset..offset + take]);
+            } else {
+                let chunk = self.layout.chunk_of_addr(phys);
+                let image = self.poison_on_err(|e| e.read_and_check_chunk(chunk))?;
+                let in_chunk = (block - self.layout.chunk_addr(chunk)) as usize;
+                buf[pos..pos + take]
+                    .copy_from_slice(&image[in_chunk + offset..in_chunk + offset + take]);
+                self.insert_uncached_blocks(chunk, &image)?;
+            }
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes from data address `addr` into a new vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`read`](Self::read).
+    pub fn read_vec(&mut self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `data` at data address `addr` (write-allocate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if a verification on the allocate path
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the data segment.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        self.check_poisoned()?;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let phys = self.layout.data_phys_addr(a);
+            let block = self.block_addr(phys);
+            let offset = (phys - block) as usize;
+            let block_len = self.layout.block_bytes() as usize;
+            let take = (block_len - offset).min(data.len() - pos);
+            if let Some(cached) = self.cache.get_mut(block) {
+                cached[offset..offset + take].copy_from_slice(&data[pos..pos + take]);
+            } else if offset == 0 && take == block_len {
+                // §5.3: a whole-block overwrite allocates without fetching
+                // or checking the old contents.
+                self.stats.alloc_no_fetch += 1;
+                self.cache.insert(block, data[pos..pos + take].to_vec(), true);
+                self.enforce_capacity()?;
+            } else {
+                let chunk = self.layout.chunk_of_addr(phys);
+                let image = self.poison_on_err(|e| e.read_and_check_chunk(chunk))?;
+                self.insert_uncached_blocks(chunk, &image)?;
+                let cached = self.cache.get_mut(block).expect("just inserted");
+                cached[offset..offset + take].copy_from_slice(&data[pos..pos + take]);
+            }
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty block, leaving the cache clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if a verification performed during a
+    /// write-back fails.
+    pub fn flush(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        loop {
+            let dirty = self.cache.dirty_blocks();
+            if dirty.is_empty() {
+                return Ok(());
+            }
+            for block in dirty {
+                if self.cache.dirty(block) == Some(true) {
+                    self.poison_on_err(|e| e.write_back_block(block))?;
+                }
+            }
+        }
+    }
+
+    /// Flushes and then empties the trusted cache entirely — the state a
+    /// context switch or cache-flush instruction leaves behind. Subsequent
+    /// reads are cold and must verify from memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`flush`](Self::flush).
+    pub fn clear_cache(&mut self) -> Result<()> {
+        self.flush()?;
+        let blocks: Vec<u64> = self.cache.iter_blocks().map(|(a, _)| a).collect();
+        for b in blocks {
+            self.cache.remove(b);
+        }
+        Ok(())
+    }
+
+    /// Audits the whole tree: verifies every chunk's memory image against
+    /// its (trusted or verified) slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IntegrityError`] encountered.
+    pub fn verify_all(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        for chunk in 0..self.layout.total_chunks() {
+            self.poison_on_err(|e| e.read_and_check_chunk(chunk).map(|_| ()))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the literal §5.6.2 initialization procedure: exceptions off,
+    /// touch every data chunk, flush, exceptions on. Used to demonstrate
+    /// equivalence with the builder's bottom-up construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification errors (none should occur with exceptions
+    /// disabled).
+    pub fn initialize_via_touch(&mut self) -> Result<()> {
+        // Step 1: hashing on for writes, exceptions off.
+        self.set_exceptions_enabled(false);
+        // Step 2: touch (write) each data chunk.
+        let chunk_len = self.layout.chunk_bytes() as usize;
+        let data_bytes = self.layout.data_bytes();
+        let mut addr = 0u64;
+        while addr < data_bytes {
+            let take = chunk_len.min((data_bytes - addr) as usize);
+            let current = self.read_vec(addr, take)?;
+            self.write(addr, &current)?;
+            addr += chunk_len as u64;
+        }
+        // Step 3: flush the cache, forcing write-backs up the tree.
+        self.flush()?;
+        // Step 4: re-enable integrity exceptions.
+        self.set_exceptions_enabled(true);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Core algorithms (§5.3 / §5.4)
+    // ------------------------------------------------------------------
+
+    /// `ReadAndCheckChunk`: returns the chunk's verified **memory image**
+    /// (clean cached blocks are read from the cache; everything else from
+    /// untrusted memory), checking it against the slot in the parent.
+    ///
+    /// Runs in two phases to mirror the hardware's atomic compare. Phase 1
+    /// performs all cache-perturbing work — recursively making the parent
+    /// slot's block resident, which may evict lines and cascade
+    /// write-backs (including of this very chunk, which is fine: its
+    /// memory image and slot move *together*). Phase 2 then gathers the
+    /// image and compares it against the (pinned-resident) slot with no
+    /// cache activity in between, so nothing can move under the compare.
+    fn read_and_check_chunk(&mut self, chunk: u64) -> Result<Vec<u8>> {
+        // Phase 1: all fetches, fills, evictions and cascaded write-backs.
+        let slot_loc = self.ensure_slot_resident(chunk)?;
+        if let Some((block, _)) = slot_loc {
+            self.cache.pin(block);
+        }
+        // Phase 2: atomic gather + compare.
+        let image = self.gather_memory_image(chunk);
+        let slot = match slot_loc {
+            None => {
+                let ParentRef::Secure { index } = self.layout.parent(chunk) else {
+                    unreachable!("slot_loc is None only for secure slots")
+                };
+                self.secure[index as usize]
+            }
+            Some((block, offset)) => {
+                let data = self.cache.peek(block).expect("slot block pinned resident");
+                let mut out = [0u8; DIGEST_BYTES];
+                out.copy_from_slice(&data[offset..offset + DIGEST_BYTES]);
+                out
+            }
+        };
+        if let Some((block, _)) = slot_loc {
+            self.cache.unpin(block);
+        }
+        self.verify_chunk_image(chunk, &image, slot)?;
+        Ok(image)
+    }
+
+    /// Assembles the chunk's memory image.
+    fn gather_memory_image(&mut self, chunk: u64) -> Vec<u8> {
+        let block_len = self.layout.block_bytes() as usize;
+        let mut image = vec![0u8; self.layout.chunk_bytes() as usize];
+        for j in 0..self.layout.blocks_per_chunk() {
+            let block = self.block_addr_of(chunk, j);
+            let dst = &mut image[j as usize * block_len..(j as usize + 1) * block_len];
+            match self.cache.peek(block) {
+                // A clean cached block equals its memory image.
+                Some(data) if self.cache.dirty(block) == Some(false) => {
+                    dst.copy_from_slice(data);
+                }
+                // Dirty or absent: the *memory* copy is what the parent
+                // slot covers.
+                _ => {
+                    self.stats.block_reads += 1;
+                    self.mem.read(block, dst);
+                }
+            }
+        }
+        image
+    }
+
+    /// Checks a chunk image against its parent slot value.
+    fn verify_chunk_image(
+        &mut self,
+        chunk: u64,
+        image: &[u8],
+        slot: [u8; DIGEST_BYTES],
+    ) -> Result<()> {
+        self.stats.chunk_verifications += 1;
+        let ok = match &self.protection {
+            ProtImpl::Hash(hasher) => {
+                self.stats.hash_computations += 1;
+                let computed = hasher.digest(image);
+                Digest::from_bytes(slot) == computed
+            }
+            ProtImpl::Mac(mac) => {
+                let (tag, ts) = parse_mac_slot(&slot);
+                let block_len = self.layout.block_bytes() as usize;
+                mac.verify(
+                    tag,
+                    image
+                        .chunks_exact(block_len)
+                        .enumerate()
+                        .map(|(j, b)| (b, ts >> j & 1 == 1)),
+                )
+            }
+        };
+        if !ok && self.exceptions_enabled {
+            return Err(IntegrityError::new(
+                chunk,
+                self.layout.chunk_addr(chunk),
+                self.protection.scheme_name(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Ensures the block holding `chunk`'s slot is resident (verifying the
+    /// parent on the way in) and returns `(block, offset)`; secure-memory
+    /// slots return `None`.
+    fn ensure_slot_resident(&mut self, chunk: u64) -> Result<Option<(u64, usize)>> {
+        match self.layout.parent(chunk) {
+            ParentRef::Secure { .. } => Ok(None),
+            ParentRef::Chunk { chunk: parent, index } => {
+                let (block, offset) = self.slot_block(parent, index);
+                if !self.cache.contains(block) {
+                    let image = self.read_and_check_chunk(parent)?;
+                    self.insert_uncached_blocks_unenforced(parent, &image);
+                }
+                Ok(Some((block, offset)))
+            }
+        }
+    }
+
+    /// Writes a chunk's slot through the parent `Write` operation: secure
+    /// memory directly, or the resident parent block (marking it dirty).
+    ///
+    /// The caller must have pinned the slot block via
+    /// [`ensure_slot_resident`](Self::ensure_slot_resident) so no fetch is
+    /// needed here — this keeps the write-back's final step atomic.
+    fn write_slot_resident(&mut self, chunk: u64, value: [u8; DIGEST_BYTES]) {
+        match self.layout.parent(chunk) {
+            ParentRef::Secure { index } => self.secure[index as usize] = value,
+            ParentRef::Chunk { chunk: parent, index } => {
+                let (block, offset) = self.slot_block(parent, index);
+                let data = self
+                    .cache
+                    .get_mut(block)
+                    .expect("slot block pinned resident by caller");
+                data[offset..offset + DIGEST_BYTES].copy_from_slice(&value);
+            }
+        }
+    }
+
+    /// `Write-Back` for the block at `victim` (which must be dirty),
+    /// dispatching on the protection scheme. The block is left resident
+    /// and clean; the caller may then remove it.
+    fn write_back_block(&mut self, victim: u64) -> Result<()> {
+        debug_assert_eq!(self.cache.dirty(victim), Some(true));
+        self.stats.writebacks += 1;
+        let r = match &self.protection {
+            ProtImpl::Hash(_) => self.write_back_chunk_hash(victim),
+            ProtImpl::Mac(_) => self.write_back_block_mac(victim),
+        };
+        // Paranoid mode (set MIV_PARANOID=1): audit the whole-tree
+        // invariant after every write-back. Used by stress tests.
+        static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *PARANOID.get_or_init(|| std::env::var_os("MIV_PARANOID").is_some()) {
+            if let Err(e) = self.audit_invariant() {
+                panic!("after write_back_block({victim:#x}): {e}");
+            }
+        }
+        r
+    }
+
+    /// §5.3 Write-Back: the whole chunk is re-hashed; all its dirty blocks
+    /// go to memory together.
+    fn write_back_chunk_hash(&mut self, victim: u64) -> Result<()> {
+        let chunk = self.layout.chunk_of_addr(victim);
+        let block_len = self.layout.block_bytes() as usize;
+
+        // Pin the chunk's cached blocks: no re-entrant eviction may write
+        // this chunk back while we are mid-update.
+        let pinned: Vec<u64> = (0..self.layout.blocks_per_chunk())
+            .map(|j| self.block_addr_of(chunk, j))
+            .filter(|b| self.cache.contains(*b))
+            .collect();
+        for &b in &pinned {
+            self.cache.pin(b);
+        }
+        let result = (|| -> Result<()> {
+            // Make the parent slot block resident and pin it, so the final
+            // hash store cannot miss.
+            let slot_loc = self.ensure_slot_resident(chunk)?;
+            if let Some((slot_block, _)) = slot_loc {
+                self.cache.pin(slot_block);
+            }
+            let inner = (|| -> Result<()> {
+                // Gather the chunk's *new* image: cached blocks (clean or
+                // dirty) as cached; missing blocks from the verified old
+                // memory image.
+                let old_image = if pinned.len() < self.layout.blocks_per_chunk() as usize {
+                    Some(self.read_and_check_chunk(chunk)?)
+                } else {
+                    None
+                };
+                let mut new_image = vec![0u8; self.layout.chunk_bytes() as usize];
+                let mut dirty_blocks = Vec::new();
+                for j in 0..self.layout.blocks_per_chunk() {
+                    let block = self.block_addr_of(chunk, j);
+                    let dst =
+                        &mut new_image[j as usize * block_len..(j as usize + 1) * block_len];
+                    if let Some(data) = self.cache.peek(block) {
+                        dst.copy_from_slice(data);
+                        if self.cache.dirty(block) == Some(true) {
+                            dirty_blocks.push((block, j));
+                        }
+                    } else {
+                        let img = old_image.as_ref().expect("missing blocks were gathered");
+                        dst.copy_from_slice(
+                            &img[j as usize * block_len..(j as usize + 1) * block_len],
+                        );
+                    }
+                }
+
+                // Atomic flip: write dirty blocks to memory, mark the
+                // chunk's blocks clean, store the new hash in the parent.
+                let ProtImpl::Hash(hasher) = &self.protection else { unreachable!() };
+                self.stats.hash_computations += 1;
+                let digest = hasher.digest(&new_image);
+                for &(block, j) in &dirty_blocks {
+                    self.stats.block_writes += 1;
+                    self.mem
+                        .write(block, &new_image[j as usize * block_len..(j as usize + 1) * block_len]);
+                    self.cache.mark_clean(block);
+                }
+                self.write_slot_resident(chunk, digest.into_bytes());
+                Ok(())
+            })();
+            if let Some((slot_block, _)) = slot_loc {
+                self.cache.unpin(slot_block);
+            }
+            inner
+        })();
+        for &b in &pinned {
+            self.cache.unpin(b);
+        }
+        result?;
+        self.enforce_capacity()
+    }
+
+    /// §5.4 Write-Back with the incremental MAC: only the evicted block is
+    /// written; the old value is read from memory *unchecked* and the MAC
+    /// updated in O(1), flipping the block's one-bit timestamp.
+    fn write_back_block_mac(&mut self, victim: u64) -> Result<()> {
+        let chunk = self.layout.chunk_of_addr(victim);
+        let block_len = self.layout.block_bytes() as usize;
+        let j = ((victim - self.layout.chunk_addr(chunk)) / block_len as u64) as u32;
+
+        self.cache.pin(victim);
+        let result = (|| -> Result<()> {
+            // Step 1: read the parent MAC through the trusted path and pin
+            // its block.
+            let slot_loc = self.ensure_slot_resident(chunk)?;
+            if let Some((slot_block, _)) = slot_loc {
+                self.cache.pin(slot_block);
+            }
+            let inner = {
+                let slot = match slot_loc {
+                    None => {
+                        let ParentRef::Secure { index } = self.layout.parent(chunk) else {
+                            unreachable!()
+                        };
+                        self.secure[index as usize]
+                    }
+                    Some((block, offset)) => {
+                        let data = self.cache.peek(block).expect("pinned resident");
+                        let mut out = [0u8; DIGEST_BYTES];
+                        out.copy_from_slice(&data[offset..offset + DIGEST_BYTES]);
+                        out
+                    }
+                };
+                let (tag, ts) = parse_mac_slot(&slot);
+
+                // Step 2: the old block value, read directly and unchecked.
+                self.stats.unchecked_block_reads += 1;
+                let mut old = vec![0u8; block_len];
+                self.mem.read(victim, &mut old);
+
+                // Step 3: O(1) MAC update with the timestamp flip.
+                let new = self.cache.peek(victim).expect("victim pinned").to_vec();
+                let old_ts = ts >> j & 1 == 1;
+                let new_ts = !old_ts;
+                let ProtImpl::Mac(mac) = &self.protection else { unreachable!() };
+                self.stats.mac_updates += 1;
+                let new_tag = mac.update(tag, j as u64, (&old, old_ts), (&new, new_ts));
+
+                // Step 4: flip both sides together.
+                self.stats.block_writes += 1;
+                self.mem.write(victim, &new);
+                self.cache.mark_clean(victim);
+                self.write_slot_resident(chunk, build_mac_slot(new_tag, ts ^ (1 << j)));
+                Ok(())
+            };
+            if let Some((slot_block, _)) = slot_loc {
+                self.cache.unpin(slot_block);
+            }
+            inner
+        })();
+        self.cache.unpin(victim);
+        result?;
+        self.enforce_capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Cache plumbing
+    // ------------------------------------------------------------------
+
+    /// Inserts a verified chunk image's uncached blocks as clean lines,
+    /// then trims the cache back to capacity.
+    fn insert_uncached_blocks(&mut self, chunk: u64, image: &[u8]) -> Result<()> {
+        self.insert_uncached_blocks_unenforced(chunk, image);
+        self.enforce_capacity()
+    }
+
+    fn insert_uncached_blocks_unenforced(&mut self, chunk: u64, image: &[u8]) {
+        let block_len = self.layout.block_bytes() as usize;
+        for j in 0..self.layout.blocks_per_chunk() {
+            let block = self.block_addr_of(chunk, j);
+            if !self.cache.contains(block) {
+                let data = image[j as usize * block_len..(j as usize + 1) * block_len].to_vec();
+                self.cache.insert(block, data, false);
+            }
+        }
+    }
+
+    /// Evicts LRU blocks (writing dirty ones back) until the cache is
+    /// within capacity.
+    fn enforce_capacity(&mut self) -> Result<()> {
+        while self.cache.over_capacity() {
+            let victim = self
+                .cache
+                .victim()
+                .expect("trusted cache too small: all blocks pinned (enforced at build)");
+            if self.cache.dirty(victim) == Some(true) {
+                self.write_back_block(victim)?;
+            }
+            // Only drop the victim if it is (still) clean: a nested
+            // write-back may have re-dirtied it by storing a child's slot
+            // into it, and removing it then would lose that update. A
+            // re-dirtied victim stays resident and the loop re-selects;
+            // each write-back strictly decreases the summed tree depth of
+            // dirty blocks, so this terminates.
+            if self.cache.dirty(victim) == Some(false) {
+                self.cache.remove(victim);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DMA support (§5.7) — see the `dma` module for the public API docs.
+    // ------------------------------------------------------------------
+
+    /// Discards a cached block (even dirty — device DMA overwrote it).
+    pub(crate) fn drop_cached_block(&mut self, block: u64) {
+        self.cache.remove(block);
+    }
+
+    /// Raw device write into untrusted memory (no tree update).
+    pub(crate) fn adversary_write_raw(&mut self, phys: u64, data: &[u8]) {
+        self.mem.write(phys, data);
+    }
+
+    /// Raw unchecked read from untrusted memory.
+    pub(crate) fn adversary_read_raw(&mut self, phys: u64, len: usize) -> Vec<u8> {
+        self.stats.unchecked_block_reads += 1;
+        self.mem.read_vec(phys, len)
+    }
+
+    /// Replaces the on-chip secure root (state restoration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count differs from the layout's.
+    pub(crate) fn restore_secure_root(&mut self, slots: &[[u8; DIGEST_BYTES]]) {
+        assert_eq!(slots.len(), self.secure.len(), "secure-root slot count mismatch");
+        self.secure.copy_from_slice(slots);
+    }
+
+    /// Recomputes `chunk`'s slot from its current memory image (the §5.7
+    /// rebuild step), flushing any remaining dirty cached blocks of the
+    /// chunk to memory first so the slot covers one coherent image. For
+    /// the incremental MAC the tag is computed from scratch with all
+    /// timestamps reset (footnote 7: the flush trick cannot rebuild MACs).
+    pub(crate) fn rebuild_chunk_slot(&mut self, chunk: u64) -> Result<()> {
+        let block_len = self.layout.block_bytes() as usize;
+        // Push surviving dirty blocks to memory without verification —
+        // the chunk's slot is stale by construction during a rebuild.
+        for j in 0..self.layout.blocks_per_chunk() {
+            let block = self.block_addr_of(chunk, j);
+            if self.cache.dirty(block) == Some(true) {
+                let data = self.cache.peek(block).expect("dirty implies cached").to_vec();
+                self.stats.block_writes += 1;
+                self.mem.write(block, &data);
+                self.cache.mark_clean(block);
+            }
+        }
+        let image = self
+            .mem
+            .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+        let slot = match &self.protection {
+            ProtImpl::Hash(hasher) => {
+                self.stats.hash_computations += 1;
+                hasher.digest(&image).into_bytes()
+            }
+            ProtImpl::Mac(mac) => {
+                self.stats.mac_updates += 1;
+                let tag = mac.mac_blocks(image.chunks_exact(block_len).map(|b| (b, false)));
+                build_mac_slot(tag, 0)
+            }
+        };
+        // Store through the parent Write path (pinned resident, as in a
+        // write-back) so ancestors update and verify normally.
+        let slot_loc = self.ensure_slot_resident(chunk)?;
+        if let Some((slot_block, _)) = slot_loc {
+            self.cache.pin(slot_block);
+        }
+        self.write_slot_resident(chunk, slot);
+        if let Some((slot_block, _)) = slot_loc {
+            self.cache.unpin(slot_block);
+        }
+        self.enforce_capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Small helpers
+    // ------------------------------------------------------------------
+
+    fn block_addr(&self, phys: u64) -> u64 {
+        phys & !(self.layout.block_bytes() as u64 - 1)
+    }
+
+    fn block_addr_of(&self, chunk: u64, j: u32) -> u64 {
+        self.layout.chunk_addr(chunk) + j as u64 * self.layout.block_bytes() as u64
+    }
+
+    /// The `(block address, offset within block)` of slot `index` in
+    /// `parent`.
+    fn slot_block(&self, parent: u64, index: u32) -> (u64, usize) {
+        let byte = self.layout.chunk_addr(parent) + self.layout.slot_offset(index) as u64;
+        let block = self.block_addr(byte);
+        (block, (byte - block) as usize)
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            Err(IntegrityError::new(u64::MAX, 0, self.protection.scheme_name()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison_on_err<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        match f(self) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Ground-truth invariant audit, bypassing the engine's own machinery:
+    /// for every chunk, the *current* slot value (cached parent block if
+    /// resident, else memory, else secure root) must equal the digest/MAC
+    /// of the chunk's **memory** image. Debug/test aid only — does not
+    /// perturb the cache.
+    #[doc(hidden)]
+    pub fn audit_invariant(&mut self) -> std::result::Result<(), String> {
+        let block_len = self.layout.block_bytes() as usize;
+        for chunk in 0..self.layout.total_chunks() {
+            let image = self
+                .mem
+                .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+            let slot: [u8; DIGEST_BYTES] = match self.layout.parent(chunk) {
+                ParentRef::Secure { index } => self.secure[index as usize],
+                ParentRef::Chunk { chunk: parent, index } => {
+                    let (block, offset) = self.slot_block(parent, index);
+                    let mut out = [0u8; DIGEST_BYTES];
+                    match self.cache.peek(block) {
+                        Some(data) => out.copy_from_slice(&data[offset..offset + DIGEST_BYTES]),
+                        None => {
+                            let addr = self.layout.chunk_addr(parent)
+                                + self.layout.slot_offset(index) as u64;
+                            let bytes = self.mem.read_vec(addr, DIGEST_BYTES);
+                            out.copy_from_slice(&bytes);
+                        }
+                    }
+                    out
+                }
+            };
+            let ok = match &self.protection {
+                ProtImpl::Hash(h) => h.digest(&image).into_bytes() == slot,
+                ProtImpl::Mac(mac) => {
+                    let (tag, ts) = parse_mac_slot(&slot);
+                    mac.verify(
+                        tag,
+                        image
+                            .chunks_exact(block_len)
+                            .enumerate()
+                            .map(|(j, b)| (b, ts >> j & 1 == 1)),
+                    )
+                }
+            };
+            if !ok {
+                return Err(format!("invariant broken at chunk {chunk}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the entire tree bottom-up from the current memory contents
+    /// (builder initialization).
+    fn rebuild_tree(&mut self) {
+        let block_len = self.layout.block_bytes() as usize;
+        for chunk in (0..self.layout.total_chunks()).rev() {
+            let image = self
+                .mem
+                .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+            let slot = match &self.protection {
+                ProtImpl::Hash(hasher) => hasher.digest(&image).into_bytes(),
+                ProtImpl::Mac(mac) => {
+                    let tag = mac.mac_blocks(image.chunks_exact(block_len).map(|b| (b, false)));
+                    build_mac_slot(tag, 0)
+                }
+            };
+            match self.layout.parent(chunk) {
+                ParentRef::Secure { index } => self.secure[index as usize] = slot,
+                ParentRef::Chunk { chunk: parent, index } => {
+                    let addr =
+                        self.layout.chunk_addr(parent) + self.layout.slot_offset(index) as u64;
+                    self.mem.write(addr, &slot);
+                }
+            }
+        }
+    }
+}
+
+/// Splits a 16-byte slot into `(120-bit MAC, timestamp bits)`.
+fn parse_mac_slot(slot: &[u8; DIGEST_BYTES]) -> (Mac120, u8) {
+    let mut tag = [0u8; NARROW_MAC_BYTES];
+    tag.copy_from_slice(&slot[..NARROW_MAC_BYTES]);
+    (tag, slot[NARROW_MAC_BYTES])
+}
+
+/// Packs a `(120-bit MAC, timestamp bits)` pair into a 16-byte slot.
+fn build_mac_slot(tag: Mac120, ts: u8) -> [u8; DIGEST_BYTES] {
+    let mut slot = [0u8; DIGEST_BYTES];
+    slot[..NARROW_MAC_BYTES].copy_from_slice(&tag);
+    slot[NARROW_MAC_BYTES] = ts;
+    slot
+}

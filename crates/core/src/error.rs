@@ -1,0 +1,68 @@
+//! Integrity-violation errors.
+
+use std::fmt;
+
+/// Raised when a chunk's contents do not match the hash (or MAC) stored
+/// in its parent — the memory-tampering exception of §5.8.
+///
+/// The paper's processor destroys the program's keys and aborts on this
+/// exception; mirroring that, the functional engine poisons itself after
+/// reporting one (all further operations fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityError {
+    chunk: u64,
+    addr: u64,
+    scheme: &'static str,
+}
+
+impl IntegrityError {
+    pub(crate) fn new(chunk: u64, addr: u64, scheme: &'static str) -> Self {
+        IntegrityError { chunk, addr, scheme }
+    }
+
+    /// The chunk whose verification failed.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// The chunk's physical base address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The verification scheme that detected the violation.
+    pub fn scheme(&self) -> &'static str {
+        self.scheme
+    }
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory integrity violation in chunk {} at address {:#x} ({} check failed)",
+            self.chunk, self.addr, self.scheme
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = IntegrityError::new(7, 0x1c0, "hash-tree");
+        assert_eq!(e.chunk(), 7);
+        assert_eq!(e.addr(), 0x1c0);
+        assert_eq!(e.scheme(), "hash-tree");
+        let msg = e.to_string();
+        assert!(msg.contains("chunk 7"));
+        assert!(msg.contains("0x1c0"));
+        // Error trait object usable.
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Cycle-level timing model of the checker's pipelined hashing unit
+//! (§6.1, Table 1).
+//!
+//! The paper's checker contains a hash unit with a **latency** of 160
+//! cycles and a **throughput** limit — at 3.2 GB/s on a 1 GHz core, a new
+//! 64-byte block may enter the pipeline every 20 cycles; Figure 6 sweeps
+//! this over {6.4, 3.2, 1.6, 0.8} GB/s. The parameters live in
+//! [`miv_hash::engine`]; this module adds the schedulable resource.
+//!
+//! Like the memory bus, the issue port grants each operation the earliest
+//! idle window at or after its data-ready time
+//! ([`IntervalSchedule`]), so background
+//! verifications booked for future timestamps never block checks whose
+//! data arrives earlier.
+
+use miv_hash::engine::HashEngineConfig;
+use miv_mem::IntervalSchedule;
+
+/// A simulation timestamp in core clock cycles.
+pub type Cycle = u64;
+
+/// Occupancy statistics for the hash unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashUnitStats {
+    /// Number of hash operations issued.
+    pub ops: u64,
+    /// Total bytes hashed.
+    pub bytes: u64,
+    /// Cycles the issue port was occupied.
+    pub busy_cycles: u64,
+    /// Cycles requests waited because the issue port was occupied.
+    pub wait_cycles: u64,
+}
+
+/// The pipelined hash unit as a schedulable timing resource.
+///
+/// [`schedule`](HashEngine::schedule) books an operation and returns its
+/// completion cycle; the checker uses that to decide when a verification
+/// finishes or when a write-back's new digest is ready.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::hash_unit::HashEngine;
+/// use miv_hash::HashEngineConfig;
+///
+/// let mut unit = HashEngine::new(HashEngineConfig::default());
+/// let first = unit.schedule(100, 64);
+/// assert_eq!(first, 100 + 160);
+/// // The pipeline accepts the next block only 20 cycles later.
+/// let second = unit.schedule(100, 64);
+/// assert_eq!(second, 120 + 160);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashEngine {
+    config: HashEngineConfig,
+    issue: IntervalSchedule,
+    stats: HashUnitStats,
+}
+
+impl HashEngine {
+    /// Creates an idle hash unit.
+    pub fn new(config: HashEngineConfig) -> Self {
+        HashEngine { config, issue: IntervalSchedule::new(), stats: HashUnitStats::default() }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &HashEngineConfig {
+        &self.config
+    }
+
+    /// Books a hash over `bytes` bytes arriving at cycle `now`; returns
+    /// the cycle at which the digest is available.
+    pub fn schedule(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let occupancy = self.config.throughput.interval_for(bytes);
+        let start = self.issue.book(now, occupancy);
+        self.stats.ops += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy_cycles += occupancy;
+        self.stats.wait_cycles += start - now;
+        // Fully pipelined: result ready `latency` after the last sub-block
+        // issues (a single 64-B block finishes `latency` after start).
+        start + (occupancy - self.config.throughput.cycles_per_block()) + self.config.latency
+    }
+
+    /// Informs the unit that no future request arrives before `time`.
+    pub fn advance_low_water(&mut self, time: Cycle) {
+        self.issue.advance_low_water(time);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HashUnitStats {
+        self.stats
+    }
+
+    /// Clears statistics and pipeline state (e.g. between measurement
+    /// windows).
+    pub fn reset(&mut self) {
+        self.issue.reset();
+        self.stats = HashUnitStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miv_hash::Throughput;
+
+    #[test]
+    fn single_op_latency() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        assert_eq!(unit.schedule(0, 64), 160);
+    }
+
+    #[test]
+    fn back_to_back_ops_are_throughput_limited() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        assert_eq!(unit.schedule(0, 64), 160);
+        assert_eq!(unit.schedule(0, 64), 180);
+        assert_eq!(unit.schedule(0, 64), 200);
+        assert_eq!(unit.stats().wait_cycles, 20 + 40);
+    }
+
+    #[test]
+    fn earlier_data_backfills_idle_pipeline() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        // A verification whose data arrives late...
+        assert_eq!(unit.schedule(1000, 64), 1160);
+        // ...must not delay one whose data is ready immediately.
+        assert_eq!(unit.schedule(0, 64), 160);
+        assert_eq!(unit.stats().wait_cycles, 0);
+    }
+
+    #[test]
+    fn multi_block_hash_occupies_longer() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        // 128 bytes = 2 pipeline blocks: last sub-block issues at +20,
+        // result at 20 + 160.
+        assert_eq!(unit.schedule(0, 128), 180);
+        // The pipeline is busy 0..40.
+        assert_eq!(unit.schedule(0, 64), 40 + 160);
+    }
+
+    #[test]
+    fn slow_unit_is_slower() {
+        let mut fast = HashEngine::new(HashEngineConfig {
+            throughput: Throughput::gbps(6.4),
+            ..Default::default()
+        });
+        let mut slow = HashEngine::new(HashEngineConfig {
+            throughput: Throughput::gbps(0.8),
+            ..Default::default()
+        });
+        let mut f_last = 0;
+        let mut s_last = 0;
+        for _ in 0..50 {
+            f_last = fast.schedule(0, 64);
+            s_last = slow.schedule(0, 64);
+        }
+        assert!(s_last > 3 * f_last, "{s_last} vs {f_last}");
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        unit.schedule(0, 64);
+        unit.schedule(0, 128);
+        let s = unit.stats();
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.bytes, 192);
+        assert_eq!(s.busy_cycles, 20 + 40);
+        unit.reset();
+        assert_eq!(unit.stats(), HashUnitStats::default());
+        assert_eq!(unit.schedule(0, 64), 160);
+    }
+}

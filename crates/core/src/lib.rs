@@ -1,0 +1,65 @@
+//! Hash-tree memory integrity verification — the core of the HPCA'03
+//! reproduction.
+//!
+//! This crate implements the paper's contribution:
+//!
+//! * [`layout`] — the §5.5 linear chunk layout of an almost-balanced
+//!   m-ary hash tree over a contiguous physical segment.
+//! * [`engine`] — the **functional** engine ([`VerifiedMemory`]): real
+//!   bytes, real MD5/SHA-1 digests or incremental MACs, real detection of
+//!   tampering by a physical [`Adversary`].
+//! * [`timing`] — the **cycle-level** checker ([`timing::L2Controller`]):
+//!   the L2 cache with integrated tree machinery, read/write hash
+//!   buffers, background verification, and the four schemes the paper
+//!   evaluates ([`Scheme::Naive`], [`Scheme::CHash`], [`Scheme::MHash`],
+//!   [`Scheme::IHash`]) plus the unprotected [`Scheme::Base`].
+//! * [`storage`] — untrusted memory and the attacker model (bit flips,
+//!   relocation, replay).
+//! * [`dma`] — §5.7 device transfers: unchecked reads, raw DMA writes,
+//!   and local tree rebuilds that adopt the data.
+//! * [`multi`] — several mutually mistrusting compartments on one
+//!   processor (the open problem §5.5 flags, solved conservatively).
+//! * [`persist`] — save/restore across power cycles with rollback
+//!   rejection (the trusted-storage connection from related work).
+//! * [`xom`] — a per-block MAC memory in the style of XOM, *without*
+//!   freshness, used to demonstrate the §4.4 replay attack that hash
+//!   trees defeat.
+//!
+//! # Quick start
+//!
+//! ```
+//! use miv_core::{MemoryBuilder, TamperKind};
+//!
+//! let mut mem = MemoryBuilder::new().data_bytes(32 * 1024).build();
+//! mem.write(0, b"launch code: 0000").unwrap();
+//! mem.flush().unwrap();
+//! mem.clear_cache().unwrap();
+//!
+//! // Physical attack on external RAM:
+//! let phys = mem.layout().data_phys_addr(13);
+//! mem.adversary().tamper(phys, TamperKind::BitFlip { bit: 0 });
+//!
+//! let err = mem.read_vec(0, 17).unwrap_err();
+//! println!("detected: {err}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dma;
+pub mod engine;
+pub mod error;
+pub mod hash_unit;
+pub mod layout;
+pub mod multi;
+pub mod persist;
+pub mod storage;
+pub mod timing;
+pub mod trusted_cache;
+pub mod xom;
+
+pub use engine::{EngineStats, MemoryBuilder, Protection, VerifiedMemory};
+pub use error::IntegrityError;
+pub use layout::{ParentRef, TreeLayout};
+pub use storage::{Adversary, Snapshot, TamperKind, UntrustedMemory};
+pub use timing::{CheckerConfig, CheckerEvent, CheckerStats, L2Controller, Scheme};

@@ -1,0 +1,225 @@
+//! Saving and restoring a verified memory across power cycles.
+//!
+//! The related work the paper builds on (Maheshwari, Vingralek and
+//! Shapiro's trusted database on untrusted storage) treats persistent
+//! state the same way the processor treats RAM: the bulk lives on
+//! untrusted media, and only the tree root must survive inside the trust
+//! boundary. This module gives the functional engine that capability:
+//!
+//! * [`VerifiedMemory::export_state`] flushes and serializes the
+//!   *untrusted* image — chunk contents, everything an adversary could
+//!   see anyway — plus the layout geometry;
+//! * [`VerifiedMemory::export_root`] returns the secure-root bytes, which
+//!   the caller must store **inside the trust boundary** (the paper's
+//!   processor keeps them in on-chip secure memory);
+//! * [`restore`] rebuilds a live engine from the pair, verifying that the
+//!   untrusted image still matches the root — a stale or tampered image
+//!   is rejected exactly like a replayed RAM chunk.
+
+use miv_hash::digest::{ChunkHasher, DIGEST_BYTES};
+
+use crate::engine::{MemoryBuilder, Protection, VerifiedMemory};
+use crate::error::IntegrityError;
+
+/// Magic prefix of the serialized untrusted image.
+const MAGIC: [u8; 8] = *b"MIVMEM01";
+
+/// The serialized untrusted state (safe to store anywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedImage {
+    bytes: Vec<u8>,
+}
+
+impl SavedImage {
+    /// Raw serialized bytes (e.g. to write to a file).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps raw serialized bytes read back from storage.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SavedImage { bytes }
+    }
+}
+
+/// The trusted root material (must be stored inside the trust boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedRoot {
+    protection: Protection,
+    key: [u8; 16],
+    slots: Vec<[u8; DIGEST_BYTES]>,
+}
+
+impl VerifiedMemory {
+    /// Flushes all dirty state and serializes the untrusted image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification errors from the flush.
+    pub fn export_state(&mut self) -> Result<SavedImage, IntegrityError> {
+        self.flush()?;
+        let layout = *self.layout();
+        let mut bytes = Vec::with_capacity(layout.physical_bytes() as usize + 64);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&layout.data_bytes().to_le_bytes());
+        bytes.extend_from_slice(&(layout.chunk_bytes() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(layout.block_bytes() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.adversary_read_raw(0, layout.physical_bytes() as usize));
+        Ok(SavedImage { bytes })
+    }
+
+    /// Returns the trusted root material for [`restore`].
+    pub fn export_root(&self, protection: Protection, key: [u8; 16]) -> SavedRoot {
+        SavedRoot { protection, key, slots: self.secure_root().to_vec() }
+    }
+}
+
+/// Rebuilds a verified memory from an untrusted image and the trusted
+/// root, verifying the pairing.
+///
+/// `cache_blocks` and `hasher` configure the revived engine (they are
+/// machine properties, not persistent state).
+///
+/// # Errors
+///
+/// Returns [`IntegrityError`] if the image does not verify against the
+/// root — tampered or stale storage is rejected just like tampered RAM.
+/// Malformed images panic (they indicate corruption *outside* the threat
+/// model, e.g. truncation by the caller).
+///
+/// # Panics
+///
+/// Panics if the image header is malformed.
+pub fn restore(
+    image: &SavedImage,
+    root: &SavedRoot,
+    cache_blocks: usize,
+    hasher: Box<dyn ChunkHasher + Send>,
+) -> Result<VerifiedMemory, IntegrityError> {
+    let b = &image.bytes;
+    assert!(b.len() >= 32 && b[..8] == MAGIC, "malformed image header");
+    let word = |i: usize| {
+        u64::from_le_bytes(b[8 + 8 * i..16 + 8 * i].try_into().expect("header word"))
+    };
+    let data_bytes = word(0);
+    let chunk_bytes = word(1) as u32;
+    let block_bytes = word(2) as u32;
+    let body = &b[32..];
+
+    // Rebuild an engine with the same geometry, then overwrite its
+    // physical segment and secure root with the saved pair.
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(data_bytes)
+        .chunk_bytes(chunk_bytes)
+        .block_bytes(block_bytes)
+        .protection(root.protection)
+        .key(root.key)
+        .hasher(hasher)
+        .cache_blocks(cache_blocks)
+        .build();
+    assert_eq!(
+        body.len() as u64,
+        mem.layout().physical_bytes(),
+        "image body does not match the layout geometry"
+    );
+    mem.adversary_write_raw(0, body);
+    mem.restore_secure_root(&root.slots);
+    // The root either blesses this image or the restore fails wholesale.
+    mem.verify_all()?;
+    Ok(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::TamperKind;
+    use miv_hash::digest::Md5Hasher;
+
+    const KEY: [u8; 16] = *b"persistence-key!";
+
+    fn build() -> VerifiedMemory {
+        MemoryBuilder::new().data_bytes(8 * 1024).key(KEY).cache_blocks(64).build()
+    }
+
+    #[test]
+    fn roundtrip_restores_contents() {
+        let mut mem = build();
+        mem.write(0x100, b"persistent payload").unwrap();
+        let image = mem.export_state().unwrap();
+        let root = mem.export_root(Protection::HashTree, KEY);
+
+        let mut revived = restore(&image, &root, 64, Box::new(Md5Hasher)).unwrap();
+        assert_eq!(revived.read_vec(0x100, 18).unwrap(), b"persistent payload");
+        revived.write(0x100, b"and writable too!!").unwrap();
+        revived.verify_all().unwrap();
+    }
+
+    #[test]
+    fn tampered_image_is_rejected() {
+        let mut mem = build();
+        mem.write(0, b"original").unwrap();
+        let mut image = mem.export_state().unwrap();
+        let root = mem.export_root(Protection::HashTree, KEY);
+        // Flip one bit somewhere in the stored body.
+        let idx = image.bytes.len() - 100;
+        image.bytes[idx] ^= 0x10;
+        assert!(restore(&image, &root, 64, Box::new(Md5Hasher)).is_err());
+    }
+
+    #[test]
+    fn stale_image_is_rejected() {
+        // The rollback attack on persistent storage: saving, updating,
+        // then restoring the OLD image against the NEW root fails.
+        let mut mem = build();
+        mem.write(0, b"version 1").unwrap();
+        let old_image = mem.export_state().unwrap();
+        mem.write(0, b"version 2").unwrap();
+        mem.flush().unwrap();
+        let new_root = mem.export_root(Protection::HashTree, KEY);
+        assert!(
+            restore(&old_image, &new_root, 64, Box::new(Md5Hasher)).is_err(),
+            "rollback to version 1 must not verify against the current root"
+        );
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let mut a = build();
+        a.write(0, b"machine A").unwrap();
+        let image = a.export_state().unwrap();
+        let mut other = build();
+        other.write(0, b"machine B").unwrap();
+        other.flush().unwrap();
+        let wrong_root = other.export_root(Protection::HashTree, KEY);
+        assert!(restore(&image, &wrong_root, 64, Box::new(Md5Hasher)).is_err());
+    }
+
+    #[test]
+    fn mac_scheme_roundtrips_too() {
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(8 * 1024)
+            .chunk_bytes(128)
+            .block_bytes(64)
+            .protection(Protection::IncrementalMac)
+            .key(KEY)
+            .cache_blocks(64)
+            .build();
+        mem.write(0x40, b"mac persisted").unwrap();
+        let image = mem.export_state().unwrap();
+        let root = mem.export_root(Protection::IncrementalMac, KEY);
+        let mut revived = restore(&image, &root, 64, Box::new(Md5Hasher)).unwrap();
+        assert_eq!(revived.read_vec(0x40, 13).unwrap(), b"mac persisted");
+        // ...and tampering the image still fails under the MAC.
+        let phys = revived.layout().data_phys_addr(0x40);
+        revived.adversary().tamper(phys, TamperKind::BitFlip { bit: 0 });
+        revived.clear_cache().unwrap();
+        assert!(revived.read_vec(0x40, 13).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed image header")]
+    fn garbage_image_panics() {
+        let root = build().export_root(Protection::HashTree, KEY);
+        let _ = restore(&SavedImage::from_bytes(vec![0; 8]), &root, 64, Box::new(Md5Hasher));
+    }
+}

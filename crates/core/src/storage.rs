@@ -1,0 +1,249 @@
+//! Untrusted external memory and the physical-attacker model (§3).
+//!
+//! Everything outside the processor chip — in particular RAM and the
+//! memory bus — can be observed and modified by the adversary. The
+//! functional engine keeps its backing store in an [`UntrustedMemory`],
+//! and tests/examples attack it through the [`Adversary`] view, which can
+//! flip bits, overwrite blocks, relocate data between addresses, and
+//! mount **replay attacks** (snapshot a region, let the program update it,
+//! then restore the stale bytes — exactly the §4.4 attack on XOM).
+
+use std::fmt;
+
+/// Untrusted off-chip memory: a flat byte array the adversary controls.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::storage::UntrustedMemory;
+///
+/// let mut mem = UntrustedMemory::new(1024);
+/// mem.write(16, b"hello");
+/// assert_eq!(mem.read_vec(16, 5), b"hello");
+/// ```
+#[derive(Clone)]
+pub struct UntrustedMemory {
+    bytes: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl fmt::Debug for UntrustedMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UntrustedMemory")
+            .field("len", &self.bytes.len())
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+impl UntrustedMemory {
+    /// Allocates `len` bytes of zeroed memory.
+    pub fn new(len: u64) -> Self {
+        UntrustedMemory { bytes: vec![0u8; len as usize], reads: 0, writes: 0 }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Returns `true` if the memory has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        self.reads += 1;
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_vec(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.writes += 1;
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of read transactions performed (functional accounting).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write transactions performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// A saved copy of a memory region, for replay attacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    addr: u64,
+    data: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The region's starting address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The saved bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// A single tampering action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperKind {
+    /// Flip one bit of the byte at the target address.
+    BitFlip {
+        /// Bit position 0–7.
+        bit: u8,
+    },
+    /// Overwrite with attacker-chosen bytes.
+    Replace {
+        /// Replacement data.
+        data: Vec<u8>,
+    },
+    /// Copy bytes from another (attacker-chosen) address — the relocation
+    /// attack XOM defeats by hashing the address, and the tree defeats by
+    /// position-binding every chunk.
+    CopyFrom {
+        /// Source address.
+        src: u64,
+        /// Number of bytes.
+        len: usize,
+    },
+}
+
+/// Attacker's-eye view of an [`UntrustedMemory`].
+///
+/// The adversary sees and modifies raw bytes without going through any
+/// verification. Obtain one from the functional engine's
+/// `adversary()` accessor.
+#[derive(Debug)]
+pub struct Adversary<'a> {
+    mem: &'a mut UntrustedMemory,
+}
+
+impl<'a> Adversary<'a> {
+    /// Wraps a memory in an adversary view.
+    pub fn new(mem: &'a mut UntrustedMemory) -> Self {
+        Adversary { mem }
+    }
+
+    /// Observes raw memory (the adversary can always read the bus).
+    pub fn observe(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        self.mem.read_vec(addr, len)
+    }
+
+    /// Applies a tampering action at `addr`.
+    pub fn tamper(&mut self, addr: u64, kind: TamperKind) {
+        match kind {
+            TamperKind::BitFlip { bit } => {
+                assert!(bit < 8, "bit index out of range");
+                let mut byte = [0u8];
+                self.mem.read(addr, &mut byte);
+                byte[0] ^= 1 << bit;
+                self.mem.write(addr, &byte);
+            }
+            TamperKind::Replace { data } => self.mem.write(addr, &data),
+            TamperKind::CopyFrom { src, len } => {
+                let data = self.mem.read_vec(src, len);
+                self.mem.write(addr, &data);
+            }
+        }
+    }
+
+    /// Records a region for a later replay.
+    pub fn snapshot(&mut self, addr: u64, len: usize) -> Snapshot {
+        Snapshot { addr, data: self.mem.read_vec(addr, len) }
+    }
+
+    /// Restores a previously-saved region — the replay attack.
+    pub fn replay(&mut self, snapshot: &Snapshot) {
+        self.mem.write(snapshot.addr, &snapshot.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = UntrustedMemory::new(256);
+        assert_eq!(mem.len(), 256);
+        assert!(!mem.is_empty());
+        mem.write(10, &[1, 2, 3]);
+        assert_eq!(mem.read_vec(10, 3), vec![1, 2, 3]);
+        assert_eq!(mem.read_vec(13, 1), vec![0]);
+        assert_eq!(mem.writes(), 1);
+        assert_eq!(mem.reads(), 2);
+    }
+
+    #[test]
+    fn bit_flip() {
+        let mut mem = UntrustedMemory::new(64);
+        mem.write(5, &[0b1010_1010]);
+        let mut adv = Adversary::new(&mut mem);
+        adv.tamper(5, TamperKind::BitFlip { bit: 0 });
+        assert_eq!(adv.observe(5, 1), vec![0b1010_1011]);
+    }
+
+    #[test]
+    fn replace_and_copy() {
+        let mut mem = UntrustedMemory::new(64);
+        mem.write(0, b"AAAA");
+        mem.write(32, b"BBBB");
+        let mut adv = Adversary::new(&mut mem);
+        adv.tamper(0, TamperKind::CopyFrom { src: 32, len: 4 });
+        assert_eq!(adv.observe(0, 4), b"BBBB");
+        adv.tamper(0, TamperKind::Replace { data: b"CC".to_vec() });
+        assert_eq!(adv.observe(0, 4), b"CCBB");
+    }
+
+    #[test]
+    fn snapshot_replay() {
+        let mut mem = UntrustedMemory::new(64);
+        mem.write(8, b"old!");
+        let snap = {
+            let mut adv = Adversary::new(&mut mem);
+            adv.snapshot(8, 4)
+        };
+        mem.write(8, b"new!");
+        let mut adv = Adversary::new(&mut mem);
+        adv.replay(&snap);
+        assert_eq!(adv.observe(8, 4), b"old!");
+        assert_eq!(snap.addr(), 8);
+        assert_eq!(snap.data(), b"old!");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut mem = UntrustedMemory::new(16);
+        let _ = mem.read_vec(15, 2);
+    }
+}

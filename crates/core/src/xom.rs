@@ -1,0 +1,217 @@
+//! A XOM-style per-block MAC memory — deliberately replay-vulnerable.
+//!
+//! The XOM architecture (§4.3) protects each off-chip block with a MAC
+//! that binds the block's *contents* and *address* under the compartment
+//! key. That defeats substitution and relocation, but provides **no
+//! freshness**: "there is no way to detect whether data in external memory
+//! is fresh or not" (§4.4) — an adversary can replay a stale value that
+//! was previously stored at the same address and the MAC still verifies.
+//!
+//! [`XomMemory`] reproduces exactly that design so tests and the
+//! `replay_attack` example can mount the paper's loop-counter replay and
+//! show that the hash-tree engine detects what XOM misses.
+
+use miv_hash::md5::Md5;
+use miv_hash::digest::{Digest, DIGEST_BYTES};
+
+use crate::error::IntegrityError;
+use crate::storage::{Adversary, UntrustedMemory};
+
+/// A per-block MAC'd memory without freshness (XOM-style).
+///
+/// Each block is stored in untrusted memory followed by
+/// `MD5(key ‖ address ‖ data)`. Reads verify the MAC; writes recompute
+/// it. There is no tree and no version state, so replays of stale
+/// `(data, MAC)` pairs verify successfully — by design, to demonstrate
+/// the attack.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::xom::XomMemory;
+///
+/// let mut mem = XomMemory::new(4096, 64, *b"compartment key!");
+/// mem.write_block(0, &[7u8; 64]);
+/// assert_eq!(mem.read_block(0).unwrap()[0], 7);
+/// ```
+#[derive(Debug)]
+pub struct XomMemory {
+    key: [u8; 16],
+    mem: UntrustedMemory,
+    block_bytes: usize,
+    blocks: u64,
+}
+
+impl XomMemory {
+    /// Stride of one block record (data + MAC) in untrusted memory.
+    fn stride(&self) -> u64 {
+        self.block_bytes as u64 + DIGEST_BYTES as u64
+    }
+
+    /// Creates a memory of `data_bytes` in `block_bytes` blocks, keyed by
+    /// the compartment key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or does not divide `data_bytes`.
+    pub fn new(data_bytes: u64, block_bytes: usize, key: [u8; 16]) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        assert!(
+            data_bytes.is_multiple_of(block_bytes as u64) && data_bytes > 0,
+            "data size must be a positive multiple of the block size"
+        );
+        let blocks = data_bytes / block_bytes as u64;
+        let mut xom = XomMemory {
+            key,
+            mem: UntrustedMemory::new(blocks * (block_bytes as u64 + DIGEST_BYTES as u64)),
+            block_bytes,
+            blocks,
+        };
+        // Install valid MACs over the zeroed contents.
+        for b in 0..blocks {
+            xom.write_block(b * block_bytes as u64, &vec![0u8; block_bytes]);
+        }
+        xom
+    }
+
+    /// Number of data blocks.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// The address-bound MAC: `MD5(key ‖ "xom" ‖ addr ‖ data)`.
+    fn mac(&self, addr: u64, data: &[u8]) -> Digest {
+        let mut ctx = Md5::new();
+        ctx.update(&self.key);
+        ctx.update(b"xom-block");
+        ctx.update(&addr.to_le_bytes());
+        ctx.update(data);
+        ctx.finalize()
+    }
+
+    fn record_addr(&self, addr: u64) -> u64 {
+        assert!(
+            addr.is_multiple_of(self.block_bytes as u64),
+            "address {addr:#x} not block-aligned"
+        );
+        let block = addr / self.block_bytes as u64;
+        assert!(block < self.blocks, "address {addr:#x} out of range");
+        block * self.stride()
+    }
+
+    /// Writes one block at block-aligned `addr`, storing data + fresh MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned/out of range or `data` is not one
+    /// block long.
+    pub fn write_block(&mut self, addr: u64, data: &[u8]) {
+        assert_eq!(data.len(), self.block_bytes, "data must be one block");
+        let rec = self.record_addr(addr);
+        let mac = self.mac(addr, data);
+        self.mem.write(rec, data);
+        self.mem.write(rec + self.block_bytes as u64, mac.as_bytes());
+    }
+
+    /// Reads and verifies one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if the stored MAC does not match —
+    /// which catches substitution and relocation but, crucially, **not**
+    /// replays of stale `(data, MAC)` pairs.
+    pub fn read_block(&mut self, addr: u64) -> Result<Vec<u8>, IntegrityError> {
+        let rec = self.record_addr(addr);
+        let data = self.mem.read_vec(rec, self.block_bytes);
+        let stored = self.mem.read_vec(rec + self.block_bytes as u64, DIGEST_BYTES);
+        if self.mac(addr, &data).as_bytes()[..] != stored[..] {
+            return Err(IntegrityError::new(addr / self.block_bytes as u64, addr, "xom-mac"));
+        }
+        Ok(data)
+    }
+
+    /// Attacker's view of the raw (data + MAC) records.
+    pub fn adversary(&mut self) -> Adversary<'_> {
+        Adversary::new(&mut self.mem)
+    }
+
+    /// The raw record address of a block (data starts here, MAC follows),
+    /// for adversaries that want to snapshot both.
+    pub fn raw_record_addr(&self, addr: u64) -> u64 {
+        self.record_addr(addr)
+    }
+
+    /// Size of one raw record (block + MAC).
+    pub fn raw_record_len(&self) -> usize {
+        self.block_bytes + DIGEST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::TamperKind;
+
+    fn mem() -> XomMemory {
+        XomMemory::new(1024, 64, [9u8; 16])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = mem();
+        m.write_block(64, &[0xabu8; 64]);
+        assert_eq!(m.read_block(64).unwrap(), vec![0xabu8; 64]);
+        assert_eq!(m.read_block(0).unwrap(), vec![0u8; 64]);
+        assert_eq!(m.blocks(), 16);
+        assert_eq!(m.block_bytes(), 64);
+    }
+
+    #[test]
+    fn detects_substitution() {
+        let mut m = mem();
+        m.write_block(0, &[1u8; 64]);
+        let rec = m.raw_record_addr(0);
+        m.adversary().tamper(rec, TamperKind::BitFlip { bit: 3 });
+        assert!(m.read_block(0).is_err());
+    }
+
+    #[test]
+    fn detects_relocation() {
+        // Copy block 1's record over block 0's: the address binding fails.
+        let mut m = mem();
+        m.write_block(0, &[1u8; 64]);
+        m.write_block(64, &[2u8; 64]);
+        let src = m.raw_record_addr(64);
+        let dst = m.raw_record_addr(0);
+        let len = m.raw_record_len();
+        m.adversary().tamper(dst, TamperKind::CopyFrom { src, len });
+        assert!(m.read_block(0).is_err(), "relocated record must fail the address-bound MAC");
+        assert!(m.read_block(64).is_ok());
+    }
+
+    #[test]
+    fn replay_succeeds_the_vulnerability() {
+        // The §4.4 attack: stale (data, MAC) at the same address verifies.
+        let mut m = mem();
+        m.write_block(0, &[1u8; 64]);
+        let rec = m.raw_record_addr(0);
+        let len = m.raw_record_len();
+        let snap = m.adversary().snapshot(rec, len);
+        m.write_block(0, &[2u8; 64]);
+        m.adversary().replay(&snap);
+        // XOM accepts the stale value: freshness is not protected.
+        assert_eq!(m.read_block(0).unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not block-aligned")]
+    fn misaligned_rejected() {
+        let mut m = mem();
+        let _ = m.read_block(13);
+    }
+}

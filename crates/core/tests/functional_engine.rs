@@ -1,0 +1,429 @@
+//! Functional tests of the verification engine: read/write correctness,
+//! write-back cascades, tamper/replay/relocation detection, scheme
+//! equivalence and the initialization procedure.
+
+use miv_core::{MemoryBuilder, Protection, TamperKind, VerifiedMemory};
+use miv_hash::digest::Sha1Hasher;
+
+fn hash_mem(cache_blocks: usize) -> VerifiedMemory {
+    MemoryBuilder::new()
+        .data_bytes(16 * 1024)
+        .cache_blocks(cache_blocks)
+        .build()
+}
+
+fn mac_mem(cache_blocks: usize) -> VerifiedMemory {
+    MemoryBuilder::new()
+        .data_bytes(16 * 1024)
+        .chunk_bytes(128)
+        .block_bytes(64)
+        .protection(Protection::IncrementalMac)
+        .cache_blocks(cache_blocks)
+        .build()
+}
+
+#[test]
+fn fresh_memory_reads_zero() {
+    let mut mem = hash_mem(256);
+    assert_eq!(mem.read_vec(0, 64).unwrap(), vec![0u8; 64]);
+    assert_eq!(mem.read_vec(16 * 1024 - 8, 8).unwrap(), vec![0u8; 8]);
+}
+
+#[test]
+fn read_your_writes_across_chunks() {
+    let mut mem = hash_mem(256);
+    let data: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+    mem.write(100, &data).unwrap(); // spans several 64-B chunks, misaligned
+    assert_eq!(mem.read_vec(100, 300).unwrap(), data);
+    // Overwrite the middle.
+    mem.write(150, b"XYZ").unwrap();
+    let got = mem.read_vec(100, 300).unwrap();
+    assert_eq!(&got[50..53], b"XYZ");
+    assert_eq!(got[49], data[49]);
+    assert_eq!(got[53], data[53]);
+}
+
+#[test]
+fn data_survives_flush_and_cold_read() {
+    let mut mem = hash_mem(256);
+    let data = vec![0xc3u8; 777];
+    mem.write(4096, &data).unwrap();
+    mem.clear_cache().unwrap();
+    assert_eq!(mem.read_vec(4096, 777).unwrap(), data);
+}
+
+#[test]
+fn small_cache_forces_writeback_cascades() {
+    // A cache barely above the enforced minimum thrashes constantly;
+    // correctness must be unaffected.
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(64 * 1024)
+        .cache_blocks(64)
+        .build();
+    let mut expected = vec![0u8; 64 * 1024];
+    // Deterministic pseudo-random write pattern.
+    let mut state = 0x12345678u64;
+    for i in 0..2000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let addr = (state >> 16) % (64 * 1024 - 16);
+        let val = [(state >> 40) as u8; 16];
+        mem.write(addr, &val).unwrap();
+        expected[addr as usize..addr as usize + 16].copy_from_slice(&val);
+        if i % 400 == 0 {
+            mem.flush().unwrap();
+        }
+    }
+    mem.flush().unwrap();
+    mem.verify_all().unwrap();
+    for start in (0..64 * 1024).step_by(4096) {
+        assert_eq!(
+            mem.read_vec(start, 4096).unwrap(),
+            expected[start as usize..start as usize + 4096].to_vec(),
+            "mismatch at {start:#x}"
+        );
+    }
+}
+
+#[test]
+fn detects_bit_flip_in_data() {
+    let mut mem = hash_mem(256);
+    mem.write(0, b"sensitive").unwrap();
+    mem.clear_cache().unwrap();
+    let phys = mem.layout().data_phys_addr(3);
+    mem.adversary().tamper(phys, TamperKind::BitFlip { bit: 7 });
+    let err = mem.read_vec(0, 9).unwrap_err();
+    assert_eq!(err.scheme(), "hash-tree");
+    // The engine is poisoned: everything fails now.
+    assert!(mem.read_vec(1024, 4).is_err());
+    assert!(mem.write(0, b"x").is_err());
+}
+
+#[test]
+fn detects_bit_flip_in_hash_chunk() {
+    let mut mem = hash_mem(256);
+    mem.write(0, b"data").unwrap();
+    mem.clear_cache().unwrap();
+    // Tamper with an interior hash chunk (chunk 1 exists for this size).
+    assert!(mem.layout().hash_chunks() > 1);
+    let hash_addr = mem.layout().chunk_addr(1) + 5;
+    mem.adversary().tamper(hash_addr, TamperKind::BitFlip { bit: 0 });
+    // A full audit must catch it even if a targeted read might not
+    // traverse that chunk.
+    assert!(mem.verify_all().is_err());
+}
+
+#[test]
+fn detects_relocation_between_chunks() {
+    let mut mem = hash_mem(256);
+    mem.write(0, &[1u8; 64]).unwrap();
+    mem.write(64, &[2u8; 64]).unwrap();
+    mem.clear_cache().unwrap();
+    let a = mem.layout().data_phys_addr(0);
+    let b = mem.layout().data_phys_addr(64);
+    mem.adversary().tamper(a, TamperKind::CopyFrom { src: b, len: 64 });
+    assert!(
+        mem.read_vec(0, 64).is_err(),
+        "copying an identical-format chunk to another address must fail"
+    );
+}
+
+#[test]
+fn detects_replay_of_stale_data() {
+    // The §4.4 freshness attack, applied to the tree: snapshot a chunk,
+    // let the program overwrite it, replay the stale bytes. The parent
+    // hash has moved on, so the replay is caught.
+    let mut mem = hash_mem(256);
+    mem.write(512, b"value-v1........").unwrap();
+    mem.flush().unwrap();
+    let phys = mem.layout().data_phys_addr(512);
+    let snap = mem.adversary().snapshot(phys, 64);
+    mem.write(512, b"value-v2........").unwrap();
+    mem.clear_cache().unwrap();
+    mem.adversary().replay(&snap);
+    assert!(mem.read_vec(512, 16).is_err(), "stale data must not verify");
+}
+
+#[test]
+fn whole_subtree_replay_is_detected() {
+    // Replaying data *and* all its ancestor hash chunks still fails,
+    // because the root lives in secure on-chip memory.
+    let mut mem = hash_mem(256);
+    mem.write(0, b"old").unwrap();
+    mem.flush().unwrap();
+    let total = mem.layout().total_chunks() * mem.layout().chunk_bytes() as u64;
+    let snap = mem.adversary().snapshot(0, total as usize);
+    mem.write(0, b"new").unwrap();
+    mem.flush().unwrap();
+    mem.clear_cache().unwrap();
+    mem.adversary().replay(&snap);
+    assert!(
+        mem.read_vec(0, 3).is_err(),
+        "replaying the entire untrusted memory must fail against the secure root"
+    );
+}
+
+#[test]
+fn untampered_memory_never_errors() {
+    let mut mem = hash_mem(128);
+    for round in 0..5 {
+        for addr in (0..16 * 1024).step_by(512) {
+            mem.write(addr, &[round as u8; 32]).unwrap();
+        }
+        mem.flush().unwrap();
+        mem.verify_all().unwrap();
+    }
+}
+
+#[test]
+fn sha1_hasher_works_too() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(8 * 1024)
+        .hasher(Box::new(Sha1Hasher))
+        .build();
+    mem.write(100, b"sha1 backed").unwrap();
+    mem.clear_cache().unwrap();
+    assert_eq!(mem.read_vec(100, 11).unwrap(), b"sha1 backed");
+    // Drop the cache again so the tampered block is re-fetched.
+    mem.clear_cache().unwrap();
+    let phys = mem.layout().data_phys_addr(100);
+    mem.adversary().tamper(phys, TamperKind::BitFlip { bit: 1 });
+    assert!(mem.read_vec(100, 11).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Incremental-MAC (ihash) scheme
+// ---------------------------------------------------------------------
+
+#[test]
+fn mac_scheme_read_write_roundtrip() {
+    let mut mem = mac_mem(256);
+    let data: Vec<u8> = (0..500u16).map(|i| (i * 7) as u8).collect();
+    mem.write(1000, &data).unwrap();
+    mem.flush().unwrap();
+    mem.clear_cache().unwrap();
+    assert_eq!(mem.read_vec(1000, 500).unwrap(), data);
+    mem.verify_all().unwrap();
+}
+
+#[test]
+fn mac_scheme_detects_tamper() {
+    let mut mem = mac_mem(256);
+    mem.write(0, b"macintosh").unwrap();
+    mem.clear_cache().unwrap();
+    let phys = mem.layout().data_phys_addr(2);
+    mem.adversary().tamper(phys, TamperKind::BitFlip { bit: 4 });
+    let err = mem.read_vec(0, 9).unwrap_err();
+    assert_eq!(err.scheme(), "incremental-mac");
+}
+
+#[test]
+fn mac_scheme_detects_replay_via_timestamp() {
+    // Even when the adversary replays data *and* knows the MAC slot was
+    // updated in place, the flipped timestamp bit defeats the §5.4
+    // cancellation attacks.
+    let mut mem = mac_mem(256);
+    mem.write(256, b"v1-payload").unwrap();
+    mem.flush().unwrap();
+    let phys = mem.layout().data_phys_addr(256);
+    let snap = mem.adversary().snapshot(phys, 64);
+    mem.write(256, b"v2-payload").unwrap();
+    mem.flush().unwrap();
+    mem.clear_cache().unwrap();
+    mem.adversary().replay(&snap);
+    assert!(mem.read_vec(256, 10).is_err());
+}
+
+#[test]
+fn mac_scheme_partial_chunk_writeback() {
+    // Write only one block of a two-block chunk and flush: the ihash
+    // write-back must not need the sibling block, and the result must
+    // verify.
+    let mut mem = mac_mem(256);
+    mem.write(0, &[0xaau8; 64]).unwrap(); // block 0 of chunk, whole-block
+    let before = mem.stats();
+    mem.flush().unwrap();
+    let after = mem.stats();
+    assert!(after.mac_updates > before.mac_updates);
+    mem.clear_cache().unwrap();
+    mem.verify_all().unwrap();
+    assert_eq!(mem.read_vec(0, 64).unwrap(), vec![0xaau8; 64]);
+}
+
+#[test]
+fn mac_scheme_small_cache_stress() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(32 * 1024)
+        .chunk_bytes(128)
+        .block_bytes(64)
+        .protection(Protection::IncrementalMac)
+        .cache_blocks(80)
+        .build();
+    let mut expected = vec![0u8; 32 * 1024];
+    let mut state = 99u64;
+    for _ in 0..1500 {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let addr = (state >> 12) % (32 * 1024 - 8);
+        let val = [(state >> 33) as u8; 8];
+        mem.write(addr, &val).unwrap();
+        expected[addr as usize..addr as usize + 8].copy_from_slice(&val);
+    }
+    mem.flush().unwrap();
+    mem.verify_all().unwrap();
+    assert_eq!(mem.read_vec(0, 32 * 1024).unwrap(), expected);
+}
+
+#[test]
+fn ihash_writeback_reads_fewer_blocks() {
+    // Functional counterpart of the paper's i-scheme advantage: flushing
+    // a partially-resident chunk costs the MAC scheme one unchecked block
+    // read instead of a verified gather of the whole chunk.
+    let mut hash = MemoryBuilder::new()
+        .data_bytes(16 * 1024)
+        .chunk_bytes(256)
+        .block_bytes(64)
+        .cache_blocks(256)
+        .build();
+    let mut mac = MemoryBuilder::new()
+        .data_bytes(16 * 1024)
+        .chunk_bytes(256)
+        .block_bytes(64)
+        .protection(Protection::IncrementalMac)
+        .cache_blocks(256)
+        .build();
+    // Dirty exactly one whole block per chunk (no fetch on allocate),
+    // then flush, then drop the cache so the next round is partial again.
+    for round in 0..4u8 {
+        for chunk_start in (0..16 * 1024).step_by(256) {
+            hash.write(chunk_start, &[round; 64]).unwrap();
+            mac.write(chunk_start, &[round; 64]).unwrap();
+        }
+        hash.clear_cache().unwrap();
+        mac.clear_cache().unwrap();
+    }
+    let h = hash.stats();
+    let m = mac.stats();
+    // The hash scheme gathers the 3 sibling blocks per write-back; the
+    // MAC scheme reads 1 unchecked block per write-back.
+    assert!(
+        m.block_reads + m.unchecked_block_reads < h.block_reads,
+        "mac reads {} + {} unchecked vs hash {}",
+        m.block_reads,
+        m.unchecked_block_reads,
+        h.block_reads
+    );
+    assert!(m.mac_updates > 0 && h.hash_computations > 0);
+}
+
+// ---------------------------------------------------------------------
+// Initialization (§5.6.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn touch_initialization_is_idempotent_on_valid_tree() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(8 * 1024)
+        .initial_data(vec![0x11u8; 8 * 1024])
+        .build();
+    let root_before = mem.secure_root().to_vec();
+    mem.initialize_via_touch().unwrap();
+    assert_eq!(mem.secure_root(), &root_before[..]);
+    mem.verify_all().unwrap();
+}
+
+#[test]
+fn touch_initialization_repairs_scrambled_hash_tree() {
+    // The literal §5.6.2 procedure rebuilds a consistent tree from
+    // whatever state memory is in (hash scheme only — see footnote 7).
+    let mut mem = MemoryBuilder::new().data_bytes(8 * 1024).build();
+    mem.write(0, b"payload to preserve").unwrap();
+    mem.flush().unwrap();
+    mem.clear_cache().unwrap();
+    // Scramble every hash chunk.
+    for c in 0..mem.layout().hash_chunks() {
+        let addr = mem.layout().chunk_addr(c);
+        mem.adversary()
+            .tamper(addr, TamperKind::Replace { data: vec![0xff; 64] });
+    }
+    // With exceptions on, reads fail. Run the init procedure instead.
+    mem.initialize_via_touch().unwrap();
+    mem.verify_all().unwrap();
+    assert_eq!(mem.read_vec(0, 19).unwrap(), b"payload to preserve");
+}
+
+#[test]
+fn builder_and_touch_initialization_agree() {
+    // Building bottom-up and running the touch procedure on identical
+    // contents must produce identical secure roots (the procedures are
+    // equivalent).
+    let data = vec![0x42u8; 4 * 1024];
+    let mut a = MemoryBuilder::new()
+        .data_bytes(4 * 1024)
+        .initial_data(data.clone())
+        .build();
+    let mut b = MemoryBuilder::new()
+        .data_bytes(4 * 1024)
+        .initial_data(data)
+        .build();
+    b.initialize_via_touch().unwrap();
+    b.clear_cache().unwrap();
+    assert_eq!(a.secure_root(), b.secure_root());
+    a.verify_all().unwrap();
+    b.verify_all().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Counters / amortization
+// ---------------------------------------------------------------------
+
+#[test]
+fn caching_amortizes_verifications() {
+    let mut mem = hash_mem(512);
+    mem.read_vec(0, 64).unwrap();
+    let cold = mem.stats().chunk_verifications;
+    assert!(cold >= 1);
+    mem.reset_stats();
+    // Re-reading cached data verifies nothing.
+    for _ in 0..100 {
+        mem.read_vec(0, 64).unwrap();
+    }
+    assert_eq!(mem.stats().chunk_verifications, 0);
+    // Sequential streaming shares parents: far fewer verifications than
+    // the naive log-depth per access.
+    mem.reset_stats();
+    for addr in (0..16 * 1024).step_by(64) {
+        mem.read_vec(addr, 64).unwrap();
+    }
+    let s = mem.stats();
+    let accesses = 16 * 1024 / 64;
+    let depth = mem.layout().levels() as u64 + 1;
+    assert!(
+        s.chunk_verifications < accesses * depth / 2,
+        "caching must amortize: {} verifications for {} accesses (depth {})",
+        s.chunk_verifications,
+        accesses,
+        depth
+    );
+}
+
+#[test]
+fn whole_block_writes_skip_fetch() {
+    let mut mem = hash_mem(256);
+    mem.write(0, &[1u8; 64]).unwrap();
+    let s = mem.stats();
+    assert_eq!(s.alloc_no_fetch, 1);
+    assert_eq!(s.block_reads, 0, "no fetch, no check for a full overwrite");
+    // A partial write does fetch.
+    mem.write(4096, &[2u8; 8]).unwrap();
+    assert!(mem.stats().block_reads > 0);
+}
+
+#[test]
+fn stats_reset() {
+    let mut mem = hash_mem(256);
+    mem.write(0, &[1u8; 64]).unwrap();
+    assert_ne!(mem.stats(), Default::default());
+    mem.reset_stats();
+    assert_eq!(mem.stats(), Default::default());
+    let (h, m) = mem.cache_counters();
+    assert!(h + m > 0);
+}

@@ -1,0 +1,73 @@
+//! Whole-tree invariant audits under small-cache stress.
+//!
+//! These run the engine's ground-truth `audit_invariant` (which checks,
+//! for every chunk, that the current slot value matches the digest of the
+//! chunk's memory image) after every write — much stronger than the
+//! black-box stress tests, at O(total chunks) per step.
+
+use miv_core::{MemoryBuilder, Protection};
+
+#[test]
+fn hash_scheme_invariant_holds_under_stress() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(8 * 1024)
+        .cache_blocks(40)
+        .build();
+    mem.audit_invariant().expect("initial tree consistent");
+    let mut state = 0x12345678u64;
+    for i in 0..400 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let addr = (state >> 16) % (8 * 1024 - 16);
+        let val = [(state >> 40) as u8; 16];
+        mem.write(addr, &val).unwrap();
+        mem.audit_invariant()
+            .unwrap_or_else(|e| panic!("audit after write {i} (addr {addr:#x}): {e}"));
+        if i % 100 == 0 {
+            mem.flush().unwrap();
+            mem.audit_invariant()
+                .unwrap_or_else(|e| panic!("audit after flush {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn mac_scheme_invariant_holds_under_stress() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(8 * 1024)
+        .chunk_bytes(128)
+        .block_bytes(64)
+        .protection(Protection::IncrementalMac)
+        .cache_blocks(48)
+        .build();
+    mem.audit_invariant().expect("initial tree consistent");
+    let mut state = 7u64;
+    for i in 0..300 {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let addr = (state >> 12) % (8 * 1024 - 32);
+        let val = [(state >> 30) as u8; 32];
+        mem.write(addr, &val).unwrap();
+        mem.audit_invariant()
+            .unwrap_or_else(|e| panic!("audit after write {i} (addr {addr:#x}): {e}"));
+    }
+    mem.flush().unwrap();
+    mem.audit_invariant().expect("after final flush");
+}
+
+#[test]
+fn reads_preserve_invariant() {
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(8 * 1024)
+        .cache_blocks(40)
+        .build();
+    for addr in (0..8 * 1024).step_by(256) {
+        mem.write(addr, &[addr as u8; 8]).unwrap();
+    }
+    // Cold reads of everything (with evictions along the way).
+    let mut state = 1u64;
+    for _ in 0..300 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = (state >> 16) % (8 * 1024 - 8);
+        mem.read_vec(addr, 8).unwrap();
+        mem.audit_invariant().expect("reads must not disturb the tree");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests: layout arithmetic, engine-vs-shadow-memory
+//! equivalence, and universal tamper detection.
+
+use miv_core::layout::{ParentRef, TreeLayout};
+use miv_core::{MemoryBuilder, Protection, TamperKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every child found via `children` names its parent via `parent`,
+    /// for arbitrary segment sizes and both chunk geometries.
+    #[test]
+    fn layout_parent_children_roundtrip(
+        data_chunks in 1u64..5000,
+        geometry in 0usize..3,
+    ) {
+        let (chunk, block) = [(64u32, 64u32), (128, 64), (128, 128)][geometry];
+        let l = TreeLayout::new(data_chunks * chunk as u64, chunk, block);
+        prop_assert!(l.data_chunks() >= data_chunks);
+        for c in 0..l.total_chunks() {
+            for child in l.children(c) {
+                prop_assert_eq!(
+                    l.parent(child),
+                    ParentRef::Chunk { chunk: c, index: (child % l.arity() as u64) as u32 }
+                );
+            }
+        }
+    }
+
+    /// Hash-slot assignments are injective: no two chunks share a slot.
+    #[test]
+    fn layout_slots_unique(data_chunks in 1u64..3000) {
+        let l = TreeLayout::new(data_chunks * 64, 64, 64);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..l.total_chunks() {
+            let key = match l.parent(c) {
+                ParentRef::Secure { index } => (u64::MAX, index),
+                ParentRef::Chunk { chunk, index } => (chunk, index),
+            };
+            prop_assert!(seen.insert(key));
+        }
+        // And every parent referenced is a hash chunk.
+        for c in 0..l.total_chunks() {
+            if let ParentRef::Chunk { chunk, .. } = l.parent(c) {
+                prop_assert!(l.is_hash_chunk(chunk));
+            }
+        }
+    }
+
+    /// Depth is log-bounded: at most ceil(log_m(total)) + 1.
+    #[test]
+    fn layout_depth_is_logarithmic(data_chunks in 1u64..100_000) {
+        let l = TreeLayout::new(data_chunks * 64, 64, 64);
+        let m = l.arity() as f64;
+        let bound = (l.total_chunks() as f64).log(m).ceil() as u32 + 1;
+        prop_assert!(l.levels() <= bound, "{} > {}", l.levels(), bound);
+    }
+}
+
+/// Operations for the engine-vs-shadow test.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, len: usize, fill: u8 },
+    Read { addr: u64, len: usize },
+    Flush,
+    ClearCache,
+}
+
+fn op_strategy(data_bytes: u64) -> impl Strategy<Value = Op> {
+    let addr = 0..data_bytes - 64;
+    prop_oneof![
+        4 => (addr.clone(), 1usize..64, any::<u8>())
+            .prop_map(|(addr, len, fill)| Op::Write { addr, len, fill }),
+        3 => (addr, 1usize..64).prop_map(|(addr, len)| Op::Read { addr, len }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::ClearCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The verified memory behaves exactly like a flat byte array under
+    /// arbitrary op sequences (no adversary): reads always match a shadow
+    /// model and nothing ever raises.
+    #[test]
+    fn engine_matches_shadow_memory(
+        ops in proptest::collection::vec(op_strategy(4096), 1..120),
+        mac in any::<bool>(),
+    ) {
+        let data_bytes = 4096u64;
+        let mut mem = if mac {
+            MemoryBuilder::new()
+                .data_bytes(data_bytes)
+                .chunk_bytes(128)
+                .block_bytes(64)
+                .protection(Protection::IncrementalMac)
+                .cache_blocks(48)
+                .build()
+        } else {
+            MemoryBuilder::new().data_bytes(data_bytes).cache_blocks(40).build()
+        };
+        let mut shadow = vec![0u8; data_bytes as usize];
+        for op in &ops {
+            match *op {
+                Op::Write { addr, len, fill } => {
+                    let data = vec![fill; len];
+                    mem.write(addr, &data).unwrap();
+                    shadow[addr as usize..addr as usize + len].copy_from_slice(&data);
+                }
+                Op::Read { addr, len } => {
+                    let got = mem.read_vec(addr, len).unwrap();
+                    prop_assert_eq!(&got[..], &shadow[addr as usize..addr as usize + len]);
+                }
+                Op::Flush => mem.flush().unwrap(),
+                Op::ClearCache => mem.clear_cache().unwrap(),
+            }
+        }
+        mem.flush().unwrap();
+        mem.verify_all().unwrap();
+        prop_assert_eq!(mem.read_vec(0, data_bytes as usize).unwrap(), shadow);
+    }
+
+    /// Flipping ANY single bit anywhere in the physical segment (data or
+    /// hash chunks alike) is detected by a full audit.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+        mac in any::<bool>(),
+    ) {
+        let mut mem = if mac {
+            MemoryBuilder::new()
+                .data_bytes(2048)
+                .chunk_bytes(128)
+                .block_bytes(64)
+                .protection(Protection::IncrementalMac)
+                .cache_blocks(48)
+                .build()
+        } else {
+            MemoryBuilder::new().data_bytes(2048).cache_blocks(40).build()
+        };
+        // Put nonzero content in and push everything to memory.
+        for addr in (0..2048).step_by(64) {
+            mem.write(addr, &[(addr % 251) as u8; 64]).unwrap();
+        }
+        mem.clear_cache().unwrap();
+        let total = mem.layout().total_chunks() * mem.layout().chunk_bytes() as u64;
+        let target = ((total - 1) as f64 * byte_frac) as u64;
+        mem.adversary().tamper(target, TamperKind::BitFlip { bit });
+        prop_assert!(
+            mem.verify_all().is_err(),
+            "flip of bit {bit} at {target:#x} (of {total:#x}) went undetected"
+        );
+    }
+
+    /// Replay of any chunk-aligned stale snapshot is detected after the
+    /// chunk has been legitimately rewritten.
+    #[test]
+    fn replay_of_any_chunk_is_detected(chunk_frac in 0.0f64..1.0) {
+        let mut mem = MemoryBuilder::new().data_bytes(2048).cache_blocks(40).build();
+        for addr in (0..2048).step_by(64) {
+            mem.write(addr, &[1u8; 64]).unwrap();
+        }
+        mem.flush().unwrap();
+        // Snapshot one data chunk.
+        let data_chunks = mem.layout().data_chunks();
+        let which = ((data_chunks - 1) as f64 * chunk_frac) as u64;
+        let data_addr = which * 64;
+        let phys = mem.layout().data_phys_addr(data_addr);
+        let snap = mem.adversary().snapshot(phys, 64);
+        // Legitimate update, then replay.
+        mem.write(data_addr, &[2u8; 64]).unwrap();
+        mem.flush().unwrap();
+        mem.clear_cache().unwrap();
+        mem.adversary().replay(&snap);
+        prop_assert!(mem.read_vec(data_addr, 64).is_err());
+    }
+}

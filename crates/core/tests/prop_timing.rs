@@ -1,0 +1,108 @@
+//! Property tests for the cycle-level checker: arbitrary access streams
+//! never panic, timing is monotone and deterministic, and accounting
+//! invariants hold for every scheme.
+
+use miv_cache::CacheConfig;
+use miv_core::timing::{CheckerConfig, L2Controller, Scheme};
+use miv_mem::MemoryBusConfig;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    addr: u64,
+    write: bool,
+    full_line: bool,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0u64..(4 << 20), any::<bool>(), any::<bool>())
+        .prop_map(|(addr, write, full_line)| Access { addr, write, full_line: write && full_line })
+}
+
+fn controller(scheme: Scheme, buffer_entries: u32) -> L2Controller {
+    let mut cfg = CheckerConfig::hpca03(scheme);
+    cfg.protected_bytes = 8 << 20;
+    cfg.buffer_entries = buffer_entries;
+    cfg.chunk_bytes = match scheme {
+        Scheme::MHash | Scheme::IHash => 128,
+        _ => 64,
+    };
+    L2Controller::new(cfg, CacheConfig::l2(128 << 10, 64), MemoryBusConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No access stream panics, data-ready times are sane, and the
+    /// bookkeeping adds up, for every scheme.
+    #[test]
+    fn any_stream_is_serviced(
+        accesses in proptest::collection::vec(access_strategy(), 1..300),
+        scheme_idx in 0usize..5,
+        buffers in 1u32..20,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut ctl = controller(scheme, buffers);
+        let mut now = 0;
+        let mut horizon = 0;
+        for a in &accesses {
+            let ready = ctl.access(now, a.addr, a.write, a.full_line);
+            prop_assert!(ready >= now, "time went backwards");
+            let h = ctl.verification_horizon();
+            prop_assert!(h >= horizon, "horizon went backwards");
+            horizon = h;
+            now = ready;
+        }
+        let s = ctl.stats();
+        let l2 = ctl.l2_stats();
+        // Every timed miss corresponds to an L2 data miss.
+        prop_assert_eq!(s.misses_timed, l2.data.misses());
+        // Demand fetches + no-fetch allocations cover all misses for the
+        // single-block schemes (multi-block chunks may satisfy a miss from
+        // an earlier sibling fill).
+        if matches!(scheme, Scheme::Base | Scheme::Naive | Scheme::CHash) {
+            prop_assert_eq!(s.data_fetches + s.alloc_no_fetch, l2.data.misses());
+        } else {
+            prop_assert!(s.data_fetches + s.alloc_no_fetch <= l2.data.misses());
+        }
+        // Bus bytes are line-granular.
+        prop_assert_eq!(ctl.bus_stats().total_bytes() % 64, 0);
+        if !scheme.verifies() {
+            prop_assert_eq!(ctl.bus_stats().hash_bytes(), 0);
+            prop_assert_eq!(ctl.verification_horizon(), 0);
+        }
+    }
+
+    /// Identical streams produce identical results (full determinism).
+    #[test]
+    fn deterministic(accesses in proptest::collection::vec(access_strategy(), 1..150)) {
+        let run = || {
+            let mut ctl = controller(Scheme::CHash, 16);
+            let mut now = 0;
+            for a in &accesses {
+                now = ctl.access(now, a.addr, a.write, a.full_line);
+            }
+            (now, ctl.stats(), *ctl.l2_stats(), ctl.bus_stats().total_bytes())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Verification makes nothing faster: for the same stream, chash
+    /// total time is at least base's, and naive at least chash's.
+    #[test]
+    fn scheme_cost_ordering(accesses in proptest::collection::vec(access_strategy(), 20..200)) {
+        let total = |scheme| {
+            let mut ctl = controller(scheme, 16);
+            let mut now = 0;
+            for a in &accesses {
+                now = ctl.access(now, a.addr, a.write, a.full_line);
+            }
+            now
+        };
+        let base = total(Scheme::Base);
+        let chash = total(Scheme::CHash);
+        let naive = total(Scheme::Naive);
+        prop_assert!(chash >= base, "chash {chash} < base {base}");
+        prop_assert!(naive >= chash, "naive {naive} < chash {chash}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The trace instruction format consumed by the core model.
+
+/// How a load's address depends on earlier loads.
+///
+/// This is the knob that differentiates streaming benchmarks (independent
+/// loads, high memory-level parallelism) from pointer-chasing ones like
+/// `mcf` (each load's address comes from the previous load, so misses
+/// serialize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadDep {
+    /// The address is available at issue; the load can go to memory
+    /// immediately (array streaming, stack access).
+    #[default]
+    Independent,
+    /// The address is produced by the `n`-th most recent load (1 = the
+    /// immediately preceding load): the load cannot issue to memory until
+    /// that load's data returns. `OnLoadsAgo(1)` is a pointer chase.
+    OnLoadsAgo(u8),
+}
+
+/// One instruction kind in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// A non-memory instruction completing `latency` cycles after issue
+    /// (1 for simple ALU ops, more for multiplies/FP).
+    Compute {
+        /// Execution latency in cycles (≥ 1).
+        latency: u8,
+    },
+    /// A load from `addr`.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+        /// Address dependency on earlier loads.
+        dep: LoadDep,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+        /// `true` when this store is part of a run that overwrites its
+        /// whole cache line — enables the §5.3 write-allocate-without-
+        /// fetch optimization in the checker.
+        full_line: bool,
+    },
+    /// A conditional branch. A mispredicted branch redirects fetch:
+    /// issue of younger instructions stalls for the core's misprediction
+    /// penalty after the branch executes.
+    Branch {
+        /// Whether the predictor missed this branch.
+        mispredicted: bool,
+    },
+    /// A cryptographic instruction (§5.8): acts as a verification
+    /// barrier — it cannot commit until every preceding integrity check
+    /// has completed.
+    CryptoBarrier,
+}
+
+/// One instruction of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use miv_cpu::{LoadDep, TraceInst, TraceOp};
+///
+/// let chase = TraceInst::load_dep(0x1000, LoadDep::OnLoadsAgo(1));
+/// assert!(matches!(chase.op, TraceOp::Load { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceInst {
+    /// The operation.
+    pub op: TraceOp,
+}
+
+impl TraceInst {
+    /// A 1-cycle ALU instruction.
+    pub fn compute() -> Self {
+        TraceInst { op: TraceOp::Compute { latency: 1 } }
+    }
+
+    /// A compute instruction with the given latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    pub fn compute_latency(latency: u8) -> Self {
+        assert!(latency >= 1, "compute latency must be at least 1");
+        TraceInst { op: TraceOp::Compute { latency } }
+    }
+
+    /// An independent load.
+    pub fn load(addr: u64) -> Self {
+        TraceInst { op: TraceOp::Load { addr, dep: LoadDep::Independent } }
+    }
+
+    /// A load with an explicit dependency on earlier loads.
+    pub fn load_dep(addr: u64, dep: LoadDep) -> Self {
+        TraceInst { op: TraceOp::Load { addr, dep } }
+    }
+
+    /// A store (not known to overwrite its whole line).
+    pub fn store(addr: u64) -> Self {
+        TraceInst { op: TraceOp::Store { addr, full_line: false } }
+    }
+
+    /// A store that is part of a whole-line overwrite.
+    pub fn store_full_line(addr: u64) -> Self {
+        TraceInst { op: TraceOp::Store { addr, full_line: true } }
+    }
+
+    /// A correctly predicted branch.
+    pub fn branch() -> Self {
+        TraceInst { op: TraceOp::Branch { mispredicted: false } }
+    }
+
+    /// A mispredicted branch (redirects fetch).
+    pub fn branch_mispredicted() -> Self {
+        TraceInst { op: TraceOp::Branch { mispredicted: true } }
+    }
+
+    /// A crypto-barrier instruction.
+    pub fn crypto_barrier() -> Self {
+        TraceInst { op: TraceOp::CryptoBarrier }
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.op, TraceOp::Load { .. } | TraceOp::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(TraceInst::compute().op, TraceOp::Compute { latency: 1 });
+        assert!(TraceInst::load(8).is_mem());
+        assert!(TraceInst::store(8).is_mem());
+        assert!(!TraceInst::compute().is_mem());
+        assert!(!TraceInst::crypto_barrier().is_mem());
+        assert!(!TraceInst::branch().is_mem());
+        assert_eq!(
+            TraceInst::branch_mispredicted().op,
+            TraceOp::Branch { mispredicted: true }
+        );
+        assert_eq!(
+            TraceInst::store_full_line(64).op,
+            TraceOp::Store { addr: 64, full_line: true }
+        );
+        assert_eq!(LoadDep::default(), LoadDep::Independent);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_latency_rejected() {
+        let _ = TraceInst::compute_latency(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The interface between the core and the memory hierarchy.
+
+use crate::Cycle;
+
+/// A memory hierarchy as seen by the core.
+///
+/// Implementations book their internal resources (caches, checker, bus)
+/// when a request is issued and answer with completion times. `miv-sim`
+/// provides the full L1/L2/checker/DRAM hierarchy; [`FixedLatencyPort`]
+/// is a perfect-memory stand-in for tests.
+pub trait MemoryPort {
+    /// Issues a load whose address is ready at `now`; returns the cycle
+    /// the data is available to dependent instructions.
+    ///
+    /// With speculative background verification (§5.8) this is when the
+    /// *data* arrives, not when its integrity check completes.
+    fn load(&mut self, now: Cycle, addr: u64) -> Cycle;
+
+    /// Issues a store that retires at `now`. `full_line` marks stores that
+    /// participate in a whole-line overwrite (§5.3 optimization).
+    ///
+    /// Returns the cycle the store is accepted by the hierarchy (stores
+    /// are posted; the core does not wait for memory).
+    fn store(&mut self, now: Cycle, addr: u64, full_line: bool) -> Cycle;
+
+    /// The cycle by which every integrity check issued so far completes.
+    ///
+    /// Crypto-barrier instructions cannot commit earlier than this
+    /// (§5.8). Hierarchies without verification return `0`.
+    fn verification_horizon(&self) -> Cycle {
+        0
+    }
+}
+
+/// A perfect memory with a fixed access latency — useful for unit tests
+/// and as an idealized baseline.
+///
+/// # Examples
+///
+/// ```
+/// use miv_cpu::{FixedLatencyPort, MemoryPort};
+///
+/// let mut port = FixedLatencyPort::new(10);
+/// assert_eq!(port.load(100, 0xdead), 110);
+/// assert_eq!(port.store(100, 0xdead, false), 100);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatencyPort {
+    latency: Cycle,
+    loads: u64,
+    stores: u64,
+}
+
+impl FixedLatencyPort {
+    /// Creates a port with the given load latency.
+    pub fn new(latency: Cycle) -> Self {
+        FixedLatencyPort { latency, loads: 0, stores: 0 }
+    }
+
+    /// Number of loads issued.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of stores issued.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+}
+
+impl MemoryPort for FixedLatencyPort {
+    fn load(&mut self, now: Cycle, _addr: u64) -> Cycle {
+        self.loads += 1;
+        now + self.latency
+    }
+
+    fn store(&mut self, now: Cycle, _addr: u64, _full_line: bool) -> Cycle {
+        self.stores += 1;
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_counts() {
+        let mut p = FixedLatencyPort::new(5);
+        p.load(0, 0);
+        p.load(3, 64);
+        p.store(7, 128, true);
+        assert_eq!(p.loads(), 2);
+        assert_eq!(p.stores(), 1);
+        assert_eq!(p.verification_horizon(), 0);
+    }
+}

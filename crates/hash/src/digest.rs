@@ -1,0 +1,257 @@
+//! The 128-bit digest value and the hashing abstraction used by the
+//! integrity tree.
+//!
+//! The paper fixes the hash length at 128 bits (Table 1): one 64-byte
+//! cache line holds four digests, giving a 4-ary tree; a 128-byte line
+//! holds eight, giving an 8-ary tree.
+
+use std::fmt;
+
+use crate::md5::Md5;
+use crate::sha1::Sha1;
+
+/// Size of a [`Digest`] in bytes (128 bits, per Table 1).
+pub const DIGEST_BYTES: usize = 16;
+
+/// A 128-bit digest, the unit stored in hash-tree chunks.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::Digest;
+///
+/// let zero = Digest::ZERO;
+/// let one = Digest::from_bytes([1u8; 16]);
+/// assert_ne!(zero, one);
+/// assert_eq!(zero ^ one, one);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Digest([u8; DIGEST_BYTES]);
+
+impl Digest {
+    /// The all-zero digest (XOR identity).
+    pub const ZERO: Digest = Digest([0u8; DIGEST_BYTES]);
+
+    /// Wraps raw bytes as a digest.
+    pub fn from_bytes(bytes: [u8; DIGEST_BYTES]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest's bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_BYTES] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning its bytes.
+    pub fn into_bytes(self) -> [u8; DIGEST_BYTES] {
+        self.0
+    }
+
+    /// Parses a digest from a 32-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDigestError`] if `s` is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Result<Self, ParseDigestError> {
+        let bytes = s.as_bytes();
+        if bytes.len() != DIGEST_BYTES * 2 {
+            return Err(ParseDigestError { len: bytes.len() });
+        }
+        let mut out = [0u8; DIGEST_BYTES];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = hex_val(pair[0]).ok_or(ParseDigestError { len: bytes.len() })?;
+            let lo = hex_val(pair[1]).ok_or(ParseDigestError { len: bytes.len() })?;
+            out[i] = (hi << 4) | lo;
+        }
+        Ok(Digest(out))
+    }
+
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl std::ops::BitXor for Digest {
+    type Output = Digest;
+
+    fn bitxor(self, rhs: Digest) -> Digest {
+        let mut out = [0u8; DIGEST_BYTES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a ^ b;
+        }
+        Digest(out)
+    }
+}
+
+impl std::ops::BitXorAssign for Digest {
+    fn bitxor_assign(&mut self, rhs: Digest) {
+        *self = *self ^ rhs;
+    }
+}
+
+impl From<[u8; DIGEST_BYTES]> for Digest {
+    fn from(bytes: [u8; DIGEST_BYTES]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Error returned by [`Digest::from_hex`] for malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDigestError {
+    len: usize,
+}
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid digest hex string of length {}", self.len)
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+/// A hash function producing 128-bit chunk digests.
+///
+/// The integrity-tree core is generic over this trait so the tree can run
+/// on MD5 (the paper's primary unit), truncated SHA-1, or any other
+/// collision-resistant function.
+///
+/// Implementors must be deterministic: equal input slices produce equal
+/// digests.
+pub trait ChunkHasher: fmt::Debug {
+    /// Hashes `data` into a 128-bit digest.
+    fn digest(&self, data: &[u8]) -> Digest;
+
+    /// Short human-readable algorithm name (e.g. `"md5"`).
+    fn name(&self) -> &'static str;
+}
+
+/// MD5-based [`ChunkHasher`] (the paper's primary hash unit).
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::{ChunkHasher, Md5Hasher};
+///
+/// let h = Md5Hasher;
+/// assert_eq!(h.digest(b"abc").to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Md5Hasher;
+
+impl ChunkHasher for Md5Hasher {
+    fn digest(&self, data: &[u8]) -> Digest {
+        let mut ctx = Md5::new();
+        ctx.update(data);
+        ctx.finalize()
+    }
+
+    fn name(&self) -> &'static str {
+        "md5"
+    }
+}
+
+/// SHA-1-based [`ChunkHasher`], truncated to 128 bits.
+///
+/// The paper considers SHA-1 as the alternative hash unit; the tree stores
+/// 128-bit values, so the 160-bit output is truncated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sha1Hasher;
+
+impl ChunkHasher for Sha1Hasher {
+    fn digest(&self, data: &[u8]) -> Digest {
+        let mut ctx = Sha1::new();
+        ctx.update(data);
+        let full = ctx.finalize();
+        let mut out = [0u8; DIGEST_BYTES];
+        out.copy_from_slice(&full[..DIGEST_BYTES]);
+        Digest(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "sha1-128"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Digest::from_bytes([
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ]);
+        assert_eq!(Digest::from_hex(&d.to_hex()), Ok(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Digest::from_hex("").is_err());
+        assert!(Digest::from_hex("00112233445566778899aabbccddeef").is_err()); // 31 chars
+        assert!(Digest::from_hex("zz112233445566778899aabbccddeeff").is_err());
+        // Error type is displayable and implements Error.
+        let err = Digest::from_hex("xyz").unwrap_err();
+        assert!(err.to_string().contains("3"));
+    }
+
+    #[test]
+    fn xor_identity_and_involution() {
+        let a = Digest::from_bytes([0x5au8; 16]);
+        let b = Digest::from_bytes([0xa5u8; 16]);
+        assert_eq!(a ^ Digest::ZERO, a);
+        assert_eq!((a ^ b) ^ b, a);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn sha1_hasher_truncates() {
+        let h = Sha1Hasher;
+        let d = h.digest(b"abc");
+        assert_eq!(d.to_hex(), "a9993e364706816aba3e25717850c26c");
+    }
+
+    #[test]
+    fn hashers_differ() {
+        assert_ne!(Md5Hasher.digest(b"x"), Sha1Hasher.digest(b"x"));
+        assert_eq!(Md5Hasher.name(), "md5");
+        assert_eq!(Sha1Hasher.name(), "sha1-128");
+    }
+
+    #[test]
+    fn digest_debug_is_nonempty() {
+        let s = format!("{:?}", Digest::ZERO);
+        assert!(s.contains("Digest("));
+        assert_eq!(format!("{}", Digest::ZERO), "0".repeat(32));
+    }
+}

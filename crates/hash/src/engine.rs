@@ -1,0 +1,148 @@
+//! Parameters of the pipelined hashing unit (§6.1, Table 1).
+//!
+//! The paper's hardware checker contains a hash unit with:
+//!
+//! * **latency** of 160 cycles from the start of an operation to the
+//!   digest being available, and
+//! * a **throughput** limit — at 3.2 GB/s on a 1 GHz core, a new 64-byte
+//!   block may enter the pipeline every 20 cycles. Figure 6 sweeps this
+//!   parameter over {6.4, 3.2, 1.6, 0.8} GB/s.
+//!
+//! This module holds the configuration types ([`Throughput`],
+//! [`HashEngineConfig`]); the schedulable cycle-level resource lives with
+//! the rest of the checker hardware in `miv-core::hash_unit`.
+
+/// A simulation timestamp in core clock cycles.
+pub type Cycle = u64;
+
+/// Width of one pipeline operation in bytes (one 512-bit hash block).
+pub const PIPELINE_BLOCK_BYTES: u64 = 64;
+
+/// Core clock frequency assumed by [`Throughput`] conversions (Table 1).
+pub const CORE_CLOCK_GHZ: f64 = 1.0;
+
+/// Hash-unit throughput, stored as the issue interval for one 64-byte
+/// pipeline block.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::Throughput;
+///
+/// let t = Throughput::gbps(3.2);
+/// assert_eq!(t.interval_for(64), 20); // one 64-B block every 20 cycles
+/// assert_eq!(t.interval_for(128), 40);
+/// assert!((t.as_gbps() - 3.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Throughput {
+    /// Cycles between successive 64-byte pipeline issues.
+    cycles_per_block: u64,
+}
+
+impl Throughput {
+    /// Table 1 default: 3.2 GB/s (one 64-byte block every 20 cycles).
+    pub const TABLE1: Throughput = Throughput { cycles_per_block: 20 };
+
+    /// Creates a throughput from GB/s at the 1 GHz core clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive or the implied interval rounds to
+    /// zero cycles.
+    pub fn gbps(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "throughput must be positive");
+        let cycles = (PIPELINE_BLOCK_BYTES as f64 / (gbps / CORE_CLOCK_GHZ)).round() as u64;
+        assert!(cycles >= 1, "throughput too high to model (interval rounds to 0)");
+        Throughput { cycles_per_block: cycles }
+    }
+
+    /// Creates a throughput directly from the per-64-byte issue interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn from_cycles_per_block(cycles: u64) -> Self {
+        assert!(cycles >= 1, "interval must be at least one cycle");
+        Throughput { cycles_per_block: cycles }
+    }
+
+    /// Cycles between successive 64-byte pipeline issues.
+    pub fn cycles_per_block(&self) -> u64 {
+        self.cycles_per_block
+    }
+
+    /// The modelled bandwidth in GB/s.
+    pub fn as_gbps(&self) -> f64 {
+        PIPELINE_BLOCK_BYTES as f64 * CORE_CLOCK_GHZ / self.cycles_per_block as f64
+    }
+
+    /// Issue-slot occupancy in cycles for hashing `bytes` bytes.
+    pub fn interval_for(&self, bytes: u64) -> u64 {
+        let blocks = bytes.div_ceil(PIPELINE_BLOCK_BYTES).max(1);
+        blocks * self.cycles_per_block
+    }
+}
+
+/// Configuration for the hash unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashEngineConfig {
+    /// Pipeline latency in cycles (Table 1: 160).
+    pub latency: u64,
+    /// Issue throughput.
+    pub throughput: Throughput,
+}
+
+impl Default for HashEngineConfig {
+    /// Table 1 parameters: 160-cycle latency, 3.2 GB/s.
+    fn default() -> Self {
+        HashEngineConfig { latency: 160, throughput: Throughput::TABLE1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_throughput_is_20_cycles() {
+        assert_eq!(Throughput::TABLE1.interval_for(64), 20);
+        assert!((Throughput::TABLE1.as_gbps() - 3.2).abs() < 1e-9);
+        assert_eq!(Throughput::TABLE1.cycles_per_block(), 20);
+    }
+
+    #[test]
+    fn figure6_sweep_points() {
+        assert_eq!(Throughput::gbps(6.4).interval_for(64), 10);
+        assert_eq!(Throughput::gbps(3.2).interval_for(64), 20);
+        assert_eq!(Throughput::gbps(1.6).interval_for(64), 40);
+        assert_eq!(Throughput::gbps(0.8).interval_for(64), 80);
+    }
+
+    #[test]
+    fn from_cycles_roundtrip() {
+        let t = Throughput::from_cycles_per_block(40);
+        assert!((t.as_gbps() - 1.6).abs() < 1e-9);
+        assert_eq!(t.interval_for(1), 40);
+        assert_eq!(t.interval_for(65), 80);
+    }
+
+    #[test]
+    fn default_config_is_table1() {
+        let cfg = HashEngineConfig::default();
+        assert_eq!(cfg.latency, 160);
+        assert_eq!(cfg.throughput, Throughput::TABLE1);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_rejected() {
+        let _ = Throughput::gbps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_interval_rejected() {
+        let _ = Throughput::from_cycles_per_block(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The SHA-1 secure hash algorithm (RFC 3174 / FIPS 180-1).
+//!
+//! SHA-1 is the paper's alternative hash unit (§6.2): a 512-bit block is
+//! digested into 160 bits over 80 rounds. The integrity tree uses 128-bit
+//! digests (Table 1, "hash length 128 bits"), so
+//! [`Sha1Hasher`](crate::digest::Sha1Hasher) truncates the output; the raw
+//! 20-byte digest is available from [`Sha1::finalize`].
+//!
+//! # Security
+//!
+//! SHA-1 is broken for collision resistance. It is implemented here because
+//! the paper evaluates it; see the crate-level documentation.
+
+/// Initial state H0..H4.
+const INIT: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+
+/// A streaming SHA-1 context.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::sha1::Sha1;
+///
+/// let mut ctx = Sha1::new();
+/// ctx.update(b"abc");
+/// assert_eq!(
+///     Sha1::to_hex(&ctx.finalize()),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d",
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh SHA-1 context.
+    pub fn new() -> Self {
+        Sha1 { state: INIT, len: 0, buf: [0u8; 64], buf_len: 0 }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Completes the digest, returning the full 20-byte value.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Renders a 20-byte digest as lowercase hex.
+    pub fn to_hex(digest: &[u8; 20]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6u32),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// Computes the SHA-1 digest of `data` in one shot.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::sha1::{sha1, Sha1};
+///
+/// let d = sha1(b"");
+/// assert_eq!(Sha1::to_hex(&d), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut ctx = Sha1::new();
+    ctx.update(data);
+    ctx.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 3174 / FIPS 180-1 test vectors.
+    #[test]
+    fn fips_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(Sha1::to_hex(&sha1(input)), *want, "sha1({:?})", input);
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut ctx = Sha1::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            ctx.update(&block);
+        }
+        assert_eq!(
+            Sha1::to_hex(&ctx.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..150u16).map(|i| (i * 13 + 1) as u8).collect();
+        let want = sha1(&data);
+        for split in 0..data.len() {
+            let mut ctx = Sha1::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        for len in [55usize, 56, 57, 63, 64, 65] {
+            let data = vec![0x5au8; len];
+            let one = sha1(&data);
+            let mut ctx = Sha1::new();
+            for b in &data {
+                ctx.update(std::slice::from_ref(b));
+            }
+            assert_eq!(ctx.finalize(), one, "len {len}");
+        }
+    }
+}

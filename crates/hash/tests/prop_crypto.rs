@@ -1,0 +1,118 @@
+//! Property tests for the cryptographic primitives.
+
+use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher};
+use miv_hash::md5::Md5;
+use miv_hash::narrow::{Prp120, XorMac120};
+use miv_hash::xtea::{Prp128, Xtea};
+use miv_hash::XorMac;
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming MD5 equals one-shot MD5 regardless of how the input is
+    /// chopped.
+    #[test]
+    fn md5_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        cuts in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let want = {
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            ctx.finalize()
+        };
+        let mut ctx = Md5::new();
+        let mut offsets: Vec<usize> =
+            cuts.iter().map(|&c| c as usize % (data.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(data.len());
+        offsets.sort_unstable();
+        for pair in offsets.windows(2) {
+            ctx.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(ctx.finalize(), want);
+    }
+
+    /// Different inputs (almost surely) hash differently, and a hasher is
+    /// deterministic.
+    #[test]
+    fn hashers_deterministic_and_sensitive(
+        a in proptest::collection::vec(any::<u8>(), 1..128),
+        flip in any::<u8>(),
+    ) {
+        let mut b = a.clone();
+        let idx = flip as usize % b.len();
+        b[idx] ^= 0x01;
+        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher] {
+            prop_assert_eq!(hasher.digest(&a), hasher.digest(&a));
+            prop_assert_ne!(hasher.digest(&a), hasher.digest(&b));
+        }
+    }
+
+    /// XTEA and both PRPs are bijective (decrypt ∘ encrypt = id).
+    #[test]
+    fn ciphers_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>(), half in any::<[u32; 2]>()) {
+        let xtea = Xtea::new(key);
+        prop_assert_eq!(xtea.decrypt_block(xtea.encrypt_block(half)), half);
+        let prp = Prp128::new(key);
+        prop_assert_eq!(prp.decrypt(prp.encrypt(block)), block);
+        let mut b15 = [0u8; 15];
+        b15.copy_from_slice(&block[..15]);
+        let prp120 = Prp120::new(key);
+        prop_assert_eq!(prp120.decrypt(prp120.encrypt(b15)), b15);
+    }
+
+    /// Any sequence of incremental XOR-MAC updates equals recomputation
+    /// from scratch (both widths).
+    #[test]
+    fn xormac_update_sequences_equal_recompute(
+        key in any::<[u8; 16]>(),
+        initial in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 32..33), 2..5),
+        updates in proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 32..33)), 0..8),
+    ) {
+        let n = initial.len();
+        let mac = XorMac::new(key);
+        let mac120 = XorMac120::new(key);
+        let mut blocks = initial.clone();
+        let mut ts = vec![false; n];
+        let mut tag = mac.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
+        let mut tag120 =
+            mac120.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
+        for (which, new_block) in &updates {
+            let i = *which as usize % n;
+            let old_ts = ts[i];
+            ts[i] = !old_ts;
+            tag = mac.update(tag, i as u64, (&blocks[i], old_ts), (new_block, ts[i]));
+            tag120 = mac120.update(tag120, i as u64, (&blocks[i], old_ts), (new_block, ts[i]));
+            blocks[i] = new_block.clone();
+        }
+        let want = mac.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
+        let want120 =
+            mac120.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
+        prop_assert_eq!(tag, want);
+        prop_assert_eq!(tag120, want120);
+    }
+
+    /// Verification rejects any single-block substitution.
+    #[test]
+    fn xormac_rejects_substitution(
+        key in any::<[u8; 16]>(),
+        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 16..17), 2..5),
+        which in any::<u16>(),
+        replacement in proptest::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let mac = XorMac::new(key);
+        let tag = mac.mac_blocks(blocks.iter().map(|b| (b.as_slice(), false)));
+        let i = which as usize % blocks.len();
+        prop_assume!(replacement != blocks[i]);
+        let mut tampered = blocks.clone();
+        tampered[i] = replacement;
+        prop_assert!(!mac.verify(tag, tampered.iter().map(|b| (b.as_slice(), false))));
+    }
+
+    /// Digest hex round-trips.
+    #[test]
+    fn digest_hex_roundtrip(bytes in any::<[u8; 16]>()) {
+        let d = Digest::from_bytes(bytes);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+    }
+}

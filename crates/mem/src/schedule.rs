@@ -1,0 +1,192 @@
+//! Gap-filling interval scheduling for shared timing resources.
+//!
+//! The simulator books resources (bus, hash unit) at the moment a request
+//! is *issued*, but issue order is not arrival order: a verification chain
+//! triggered by one miss books transactions far in the future, and the
+//! next demand miss — issued later in simulation order but *earlier in
+//! simulated time* — must not queue behind them. [`IntervalSchedule`]
+//! therefore keeps the set of busy intervals and places each new
+//! occupancy in the earliest gap at or after its ready time, exactly as a
+//! real arbiter granting an idle bus would.
+
+use std::collections::BTreeMap;
+
+/// A timeline of non-overlapping busy intervals with earliest-gap
+/// placement.
+///
+/// # Examples
+///
+/// ```
+/// use miv_mem::schedule::IntervalSchedule;
+///
+/// let mut s = IntervalSchedule::new();
+/// assert_eq!(s.book(100, 40), 100); // empty: starts at ready time
+/// assert_eq!(s.book(100, 40), 140); // queues behind the first
+/// // A 20-cycle request ready at 0 back-fills the idle prefix:
+/// assert_eq!(s.book(0, 20), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalSchedule {
+    /// start → end of each busy interval (non-overlapping).
+    busy: BTreeMap<u64, u64>,
+    /// Low-water mark: intervals ending before this can be pruned.
+    low_water: u64,
+    /// Adaptive prune trigger: doubled whenever pruning cannot shrink the
+    /// map (avoids O(n) retain on every insert during booking bursts).
+    prune_at: usize,
+}
+
+impl Default for IntervalSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntervalSchedule {
+    /// Creates an empty (fully idle) schedule.
+    pub fn new() -> Self {
+        IntervalSchedule { busy: BTreeMap::new(), low_water: 0, prune_at: 4096 }
+    }
+
+    /// Books `duration` cycles at the earliest gap starting at or after
+    /// `ready`; returns the start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    pub fn book(&mut self, ready: u64, duration: u64) -> u64 {
+        assert!(duration > 0, "zero-length booking");
+        let mut t = ready;
+        // Start from the interval that could overlap `t`: the last one
+        // beginning at or before it.
+        if let Some((_, &end)) = self.busy.range(..=t).next_back() {
+            if end > t {
+                t = end;
+            }
+        }
+        // Walk forward through later intervals until a gap fits.
+        for (&start, &end) in self.busy.range(t..) {
+            if t + duration <= start {
+                break;
+            }
+            t = t.max(end);
+        }
+        // Insert [t, t+duration), coalescing with touching neighbours so a
+        // densely packed region stays a single interval — this keeps the
+        // gap walk O(number of gaps) instead of O(number of bookings),
+        // which matters when write-back avalanches book thousands of
+        // transfers around the same timestamp.
+        let mut start = t;
+        let mut end = t + duration;
+        if let Some((&ps, &pe)) = self.busy.range(..=start).next_back() {
+            if pe == start {
+                self.busy.remove(&ps);
+                start = ps;
+            }
+        }
+        if let Some((&ns, &ne)) = self.busy.range(end..).next() {
+            if ns == end {
+                self.busy.remove(&ns);
+                end = ne;
+            }
+        }
+        self.busy.insert(start, end);
+        if self.busy.len() > self.prune_at {
+            self.prune();
+            // If nothing was prunable, back off so bursts of future
+            // bookings do not pay an O(n) retain per insert.
+            self.prune_at = (self.busy.len() * 2).max(4096);
+        }
+        t
+    }
+
+    /// Raises the low-water mark: no future `book` will use a `ready`
+    /// time below `time`, so older intervals become prunable.
+    pub fn advance_low_water(&mut self, time: u64) {
+        self.low_water = self.low_water.max(time);
+    }
+
+    /// Total booked cycles currently retained (for tests).
+    pub fn retained(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Clears everything (statistics-style reset).
+    pub fn reset(&mut self) {
+        self.busy.clear();
+        self.low_water = 0;
+        self.prune_at = 4096;
+    }
+
+    fn prune(&mut self) {
+        let keep = self.low_water;
+        self.busy.retain(|_, end| *end >= keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_starts_at_ready() {
+        let mut s = IntervalSchedule::new();
+        assert_eq!(s.book(0, 10), 0);
+        assert_eq!(s.book(100, 10), 100);
+    }
+
+    #[test]
+    fn fifo_when_contended() {
+        let mut s = IntervalSchedule::new();
+        assert_eq!(s.book(0, 40), 0);
+        assert_eq!(s.book(0, 40), 40);
+        assert_eq!(s.book(0, 40), 80);
+    }
+
+    #[test]
+    fn backfills_gaps() {
+        let mut s = IntervalSchedule::new();
+        assert_eq!(s.book(1000, 40), 1000); // future booking
+        assert_eq!(s.book(0, 40), 0, "idle prefix must be usable");
+        assert_eq!(s.book(0, 40), 40);
+        // Gap between 80 and 1000 fits more:
+        assert_eq!(s.book(50, 40), 80);
+        // A booking too large for the 120..1000 gap? 880 fits; 881 doesn't.
+        assert_eq!(s.book(120, 880), 120);
+        assert_eq!(s.book(120, 10), 1040, "everything earlier is now full");
+    }
+
+    #[test]
+    fn exact_fit_gap() {
+        let mut s = IntervalSchedule::new();
+        s.book(0, 10); // 0..10
+        s.book(20, 10); // 20..30
+        assert_eq!(s.book(0, 10), 10, "exact 10..20 gap");
+        assert_eq!(s.book(0, 10), 30);
+    }
+
+    #[test]
+    fn ready_inside_busy_interval() {
+        let mut s = IntervalSchedule::new();
+        s.book(0, 100); // 0..100
+        assert_eq!(s.book(50, 10), 100);
+    }
+
+    #[test]
+    fn pruning_keeps_behaviour() {
+        let mut s = IntervalSchedule::new();
+        for i in 0..10_000u64 {
+            let start = s.book(i * 50, 40);
+            assert!(start >= i * 50);
+            s.advance_low_water(i * 50);
+        }
+        assert!(s.retained() <= 4200, "pruned: {}", s.retained());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_duration_rejected() {
+        let mut s = IntervalSchedule::new();
+        s.book(0, 0);
+    }
+}

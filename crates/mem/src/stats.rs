@@ -1,0 +1,150 @@
+//! Bus traffic accounting, decomposed by traffic class.
+
+use std::fmt;
+
+/// Who is using the memory bus.
+///
+/// The decomposition lets the harness report *normalized bandwidth usage*
+/// (Figure 5b): how much of the bus the hash tree consumes on top of the
+/// program's own traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Program data block fetched on an L2 miss.
+    DataRead,
+    /// Program data block written back from L2.
+    DataWrite,
+    /// Hash-tree chunk fetched for verification.
+    HashRead,
+    /// Hash-tree chunk (or updated MAC) written back.
+    HashWrite,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::DataRead,
+        TrafficClass::DataWrite,
+        TrafficClass::HashRead,
+        TrafficClass::HashWrite,
+    ];
+
+    /// Returns `true` for the two hash-tree classes.
+    pub fn is_hash(&self) -> bool {
+        matches!(self, TrafficClass::HashRead | TrafficClass::HashWrite)
+    }
+
+    /// Returns `true` for reads (fills).
+    pub fn is_read(&self) -> bool {
+        matches!(self, TrafficClass::DataRead | TrafficClass::HashRead)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::DataRead => "data-read",
+            TrafficClass::DataWrite => "data-write",
+            TrafficClass::HashRead => "hash-read",
+            TrafficClass::HashWrite => "hash-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Transactions per class (indexed per [`TrafficClass::ALL`]).
+    pub transactions: [u64; 4],
+    /// Bytes transferred per class.
+    pub bytes: [u64; 4],
+    /// Core cycles the data bus was occupied.
+    pub busy_cycles: u64,
+    /// Core cycles transactions spent waiting for the data bus.
+    pub wait_cycles: u64,
+}
+
+impl BusStats {
+    fn idx(class: TrafficClass) -> usize {
+        TrafficClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class present in ALL")
+    }
+
+    pub(crate) fn record(&mut self, class: TrafficClass, bytes: u64, busy: u64, wait: u64) {
+        let i = Self::idx(class);
+        self.transactions[i] += 1;
+        self.bytes[i] += bytes;
+        self.busy_cycles += busy;
+        self.wait_cycles += wait;
+    }
+
+    /// Bytes transferred for a class.
+    pub fn bytes_for(&self, class: TrafficClass) -> u64 {
+        self.bytes[Self::idx(class)]
+    }
+
+    /// Transactions for a class.
+    pub fn transactions_for(&self, class: TrafficClass) -> u64 {
+        self.transactions[Self::idx(class)]
+    }
+
+    /// Total bytes over all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes moved for the hash tree (read + write).
+    pub fn hash_bytes(&self) -> u64 {
+        self.bytes_for(TrafficClass::HashRead) + self.bytes_for(TrafficClass::HashWrite)
+    }
+
+    /// Bytes moved for program data (read + write).
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes_for(TrafficClass::DataRead) + self.bytes_for(TrafficClass::DataWrite)
+    }
+
+    /// Fraction of `elapsed` cycles the data bus was busy.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+use crate::Cycle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_helpers() {
+        assert!(TrafficClass::HashRead.is_hash());
+        assert!(!TrafficClass::DataWrite.is_hash());
+        assert!(TrafficClass::DataRead.is_read());
+        assert!(!TrafficClass::HashWrite.is_read());
+        assert_eq!(TrafficClass::ALL.len(), 4);
+        assert_eq!(TrafficClass::HashWrite.to_string(), "hash-write");
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut s = BusStats::default();
+        s.record(TrafficClass::DataRead, 64, 40, 0);
+        s.record(TrafficClass::HashRead, 64, 40, 12);
+        s.record(TrafficClass::HashWrite, 64, 40, 3);
+        assert_eq!(s.bytes_for(TrafficClass::DataRead), 64);
+        assert_eq!(s.hash_bytes(), 128);
+        assert_eq!(s.data_bytes(), 64);
+        assert_eq!(s.total_bytes(), 192);
+        assert_eq!(s.transactions_for(TrafficClass::HashRead), 1);
+        assert_eq!(s.busy_cycles, 120);
+        assert_eq!(s.wait_cycles, 15);
+        assert!((s.utilization(240) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(0), 0.0);
+    }
+}

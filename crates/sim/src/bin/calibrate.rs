@@ -1,0 +1,62 @@
+//! Calibration aid: prints per-benchmark memory-system character under
+//! the baseline and chash machines, for tuning the synthetic profiles.
+//!
+//! ```text
+//! cargo run -p miv-sim --release --bin calibrate -- [measure]
+//! ```
+
+use miv_core::timing::Scheme;
+use miv_sim::{System, SystemConfig};
+use miv_trace::Benchmark;
+
+fn main() {
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let warmup = measure / 5;
+    println!(
+        "{:<8} {:>5} | {:>6} {:>8} {:>6} | {:>6} {:>8} {:>6} {:>7} {:>6} | {:>6} {:>6}",
+        "bench", "L2", "bIPC", "bMPKI", "bUtil", "cIPC", "cMPKI", "cUtil", "hashhit", "x/miss",
+        "c/b", "n/b"
+    );
+    for bench in Benchmark::ALL {
+        for (l2_kb, line) in [(256u64, 64u32), (1024, 64), (4096, 64)] {
+            let base = System::for_benchmark(
+                SystemConfig::hpca03(Scheme::Base, l2_kb << 10, line),
+                bench,
+                42,
+            )
+            .run(warmup, measure);
+            let mut csys = System::for_benchmark(
+                SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, line),
+                bench,
+                42,
+            );
+            let chash = csys.run(warmup, measure);
+            let naive = System::for_benchmark(
+                SystemConfig::hpca03(Scheme::Naive, l2_kb << 10, line),
+                bench,
+                42,
+            )
+            .run(warmup, measure);
+            let mpki = |r: &miv_sim::RunResult| r.l2_data_misses as f64 * 1000.0 / measure as f64;
+            let util = |r: &miv_sim::RunResult| r.bus_bytes as f64 / 8.0 * 5.0 / r.cycles as f64;
+            println!(
+                "{:<8} {:>4}K | {:>6.3} {:>8.2} {:>6.2} | {:>6.3} {:>8.2} {:>6.2} {:>7.2} {:>6.2} | {:>6.3} {:>6.3}",
+                bench.name(),
+                l2_kb,
+                base.ipc,
+                mpki(&base),
+                util(&base),
+                chash.ipc,
+                mpki(&chash),
+                util(&chash),
+                chash.hash_hit_rate,
+                chash.extra_loads_per_miss,
+                chash.ipc / base.ipc,
+                naive.ipc / base.ipc,
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p miv-sim --release --bin figures -- all
+//! cargo run -p miv-sim --release --bin figures -- fig3 fig5
+//! cargo run -p miv-sim --release --bin figures -- --quick fig3
+//! cargo run -p miv-sim --release --bin figures -- --measure 2000000 fig6
+//! cargo run -p miv-sim --release --bin figures -- --json data.json export
+//! ```
+
+use std::process::ExitCode;
+
+use miv_sim::experiments::{self, ExperimentConfig, Figure};
+
+const USAGE: &str = "usage: figures [--quick] [--warmup N] [--measure N] [--seed N] \
+[--json PATH] <artifact>...\n  artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 claims all export\n  export writes the raw measured rows of every figure as JSON (--json PATH, default stdout)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut xp = ExperimentConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => xp = ExperimentConfig::quick(),
+            "--json" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(v.clone());
+            }
+            "--warmup" | "--measure" | "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs a numeric value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--warmup" => xp.warmup = v,
+                    "--measure" => xp.measure = v,
+                    _ => xp.seed = v,
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "# warmup {} + measure {} instructions per run, seed {}",
+        xp.warmup, xp.measure, xp.seed
+    );
+    for target in targets {
+        let figures: Vec<Figure> = match target.as_str() {
+            "table1" => vec![experiments::table1()],
+            "fig1" => vec![experiments::fig1()],
+            "fig2" => vec![experiments::fig2()],
+            "fig3" => vec![experiments::fig3(&xp)],
+            "fig4" => vec![experiments::fig4(&xp)],
+            "fig5" => vec![experiments::fig5(&xp)],
+            "fig6" => vec![experiments::fig6(&xp)],
+            "fig7" => vec![experiments::fig7(&xp)],
+            "fig8" => vec![experiments::fig8(&xp)],
+            "claims" => vec![experiments::claims(&xp)],
+            "all" => experiments::all(&xp),
+            "export" => {
+                let data = experiments::export_data(&xp);
+                let json = serde_json::to_string_pretty(&data).expect("serializable");
+                match &json_path {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, &json) {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    None => println!("{json}"),
+                }
+                continue;
+            }
+            other => {
+                eprintln!("unknown artifact {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for figure in figures {
+            println!("{figure}");
+        }
+    }
+    ExitCode::SUCCESS
+}

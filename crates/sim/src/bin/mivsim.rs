@@ -1,0 +1,302 @@
+//! General-purpose simulator front end: run any scheme/machine/workload
+//! combination, record traces, replay trace files, export JSON.
+//!
+//! ```text
+//! # one run, text output
+//! mivsim run --scheme chash --l2 1M --bench swim --measure 500000
+//!
+//! # sweep all schemes over one workload, JSON to stdout
+//! mivsim sweep --bench mcf --l2 256K --json
+//!
+//! # record 1M instructions of a benchmark trace to a file, then replay it
+//! mivsim record --bench gzip --count 1000000 --out gzip.trc
+//! mivsim run --scheme naive --trace gzip.trc --working-set 640K
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use miv_core::timing::Scheme;
+use miv_hash::Throughput;
+use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
+use miv_sim::report::{f2, f3, pct, Table};
+use miv_sim::{RunResult, System, SystemConfig};
+use miv_trace::{Benchmark, Profile};
+
+const USAGE: &str = "\
+usage: mivsim <command> [options]
+
+commands:
+  run      simulate one configuration
+  sweep    simulate every scheme on one configuration
+  record   write a synthetic benchmark trace to a file
+
+options:
+  --scheme base|naive|chash|mhash|ihash   (run; default chash)
+  --bench gcc|gzip|mcf|twolf|vortex|vpr|applu|art|swim
+  --custom SPEC           synthetic workload, e.g. ws=8M,hot=64K,mem=0.4,run=512
+  --trace FILE            replay a recorded trace instead of --bench
+  --working-set BYTES     protected footprint for --trace runs (e.g. 8M)
+  --l2 SIZE               L2 capacity, e.g. 256K, 1M, 4M (default 1M)
+  --line 64|128           L2 line size (default 64)
+  --warmup N / --measure N / --seed N
+  --hash-gbps F           hash unit throughput (default 3.2)
+  --buffers N             read/write buffer entries (default 16)
+  --policy lru|fifo|random             L2 replacement policy
+  --protected SIZE        protected segment size (default 256M)
+  --block-on-verify       disable speculative use of unverified data
+  --no-write-alloc-opt    disable the whole-line overwrite optimization
+  --count N / --out FILE  (record)
+  --json                  emit results as JSON instead of a table";
+
+#[derive(Debug)]
+struct Options {
+    command: String,
+    scheme: Scheme,
+    bench: Option<Benchmark>,
+    custom: Option<Profile>,
+    trace: Option<String>,
+    working_set: u64,
+    l2: u64,
+    line: u32,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    hash_gbps: f64,
+    buffers: u32,
+    policy: miv_cache::ReplacementPolicy,
+    protected: u64,
+    block_on_verify: bool,
+    write_alloc_opt: bool,
+    count: u64,
+    out: Option<String>,
+    json: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            command: args.first().cloned().ok_or(USAGE.to_string())?,
+            scheme: Scheme::CHash,
+            bench: None,
+            custom: None,
+            trace: None,
+            working_set: 8 << 20,
+            l2: 1 << 20,
+            line: 64,
+            warmup: 50_000,
+            measure: 500_000,
+            seed: 42,
+            hash_gbps: 3.2,
+            buffers: 16,
+            policy: miv_cache::ReplacementPolicy::Lru,
+            protected: 256 << 20,
+            block_on_verify: false,
+            write_alloc_opt: true,
+            count: 1_000_000,
+            out: None,
+            json: false,
+        };
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--scheme" => {
+                    let v = value("--scheme")?;
+                    o.scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme {v}"))?;
+                }
+                "--bench" => {
+                    let v = value("--bench")?;
+                    o.bench = Some(parse_bench(&v).ok_or_else(|| format!("unknown benchmark {v}"))?);
+                }
+                "--custom" => {
+                    let v = value("--custom")?;
+                    o.custom = Some(parse_custom_profile(&v)?);
+                }
+                "--trace" => o.trace = Some(value("--trace")?),
+                "--working-set" => {
+                    let v = value("--working-set")?;
+                    o.working_set = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
+                }
+                "--l2" => {
+                    let v = value("--l2")?;
+                    o.l2 = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
+                }
+                "--line" => o.line = value("--line")?.parse().map_err(|_| "bad --line")?,
+                "--warmup" => o.warmup = value("--warmup")?.parse().map_err(|_| "bad --warmup")?,
+                "--measure" => o.measure = value("--measure")?.parse().map_err(|_| "bad --measure")?,
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+                "--hash-gbps" => {
+                    o.hash_gbps = value("--hash-gbps")?.parse().map_err(|_| "bad --hash-gbps")?
+                }
+                "--buffers" => o.buffers = value("--buffers")?.parse().map_err(|_| "bad --buffers")?,
+                "--policy" => {
+                    let v = value("--policy")?;
+                    o.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy {v}"))?;
+                }
+                "--protected" => {
+                    let v = value("--protected")?;
+                    o.protected = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
+                }
+                "--block-on-verify" => o.block_on_verify = true,
+                "--no-write-alloc-opt" => o.write_alloc_opt = false,
+                "--count" => o.count = value("--count")?.parse().map_err(|_| "bad --count")?,
+                "--out" => o.out = Some(value("--out")?),
+                "--json" => o.json = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown option {other}\n{USAGE}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn system_config(&self, scheme: Scheme) -> SystemConfig {
+        let mut cfg = SystemConfig::hpca03(scheme, self.l2, self.line)
+            .with_hash_throughput(Throughput::gbps(self.hash_gbps))
+            .with_buffer_entries(self.buffers);
+        cfg.checker.block_on_verify = self.block_on_verify;
+        cfg.checker.write_allocate_no_fetch = self.write_alloc_opt;
+        cfg.checker.l2_policy = self.policy;
+        cfg.checker.protected_bytes = self.protected;
+        cfg
+    }
+
+    /// Runs one scheme on the selected workload.
+    fn run_one(&self, scheme: Scheme) -> Result<RunResult, String> {
+        if let Some(path) = &self.trace {
+            let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let reader = miv_trace::file::read_trace(BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let insts: Result<Vec<_>, _> = reader.collect();
+            let insts = insts.map_err(|e| format!("{path}: {e}"))?;
+            // Replay through a custom profile-free system: reuse System by
+            // constructing a profile wrapper is not possible for raw
+            // traces, so drive the core directly.
+            let cfg = self.system_config(scheme);
+            let hierarchy = miv_sim::Hierarchy::new(&cfg);
+            let mut core = miv_cpu::Core::new(cfg.core, hierarchy);
+            let warm = (self.warmup as usize).min(insts.len());
+            core.run(insts[..warm].iter().copied());
+            core.port_mut().reset_stats();
+            let stats = core.run(insts[warm..].iter().copied());
+            let l2 = core.port().l2().l2_stats();
+            let bus = core.port().l2().bus_stats();
+            let checker = core.port().l2().stats();
+            Ok(RunResult {
+                scheme: scheme.label().into(),
+                benchmark: path.clone(),
+                instructions: stats.instructions,
+                cycles: stats.cycles,
+                ipc: stats.ipc(),
+                l2_data_miss_rate: l2.data.miss_rate(),
+                l2_data_misses: l2.data.misses(),
+                hash_hit_rate: if l2.hash.accesses() == 0 {
+                    1.0
+                } else {
+                    l2.hash.hits() as f64 / l2.hash.accesses() as f64
+                },
+                extra_loads_per_miss: if l2.data.misses() == 0 {
+                    0.0
+                } else {
+                    checker.extra_loads() as f64 / l2.data.misses() as f64
+                },
+                bus_bytes: bus.total_bytes(),
+                hash_bytes: bus.hash_bytes(),
+                bandwidth_gbps: if stats.cycles == 0 {
+                    0.0
+                } else {
+                    bus.total_bytes() as f64 / stats.cycles as f64
+                },
+                l2_hash_occupancy: 0.0,
+                read_buffer_wait: checker.read_buffer_wait,
+            })
+        } else if let Some(profile) = self.custom {
+            let mut sys = System::new(self.system_config(scheme), profile, self.seed);
+            Ok(sys.run(self.warmup, self.measure))
+        } else {
+            let bench = self.bench.ok_or("need --bench, --custom or --trace")?;
+            let mut sys = System::for_benchmark(self.system_config(scheme), bench, self.seed);
+            Ok(sys.run(self.warmup, self.measure))
+        }
+    }
+}
+
+fn print_results(results: &[RunResult], json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(results).expect("serializable"));
+        return;
+    }
+    let mut t = Table::new(vec![
+        "scheme".into(),
+        "workload".into(),
+        "IPC".into(),
+        "L2 miss".into(),
+        "hash hit".into(),
+        "extra/miss".into(),
+        "bus MB".into(),
+        "GB/s".into(),
+    ]);
+    for r in results {
+        t.row(vec![
+            r.scheme.clone(),
+            r.benchmark.clone(),
+            f3(r.ipc),
+            pct(r.l2_data_miss_rate),
+            pct(r.hash_hit_rate),
+            f2(r.extra_loads_per_miss),
+            f2(r.bus_bytes as f64 / 1e6),
+            f2(r.bandwidth_gbps),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match opts.command.as_str() {
+        "run" => opts.run_one(opts.scheme).map(|r| print_results(&[r], opts.json)),
+        "sweep" => {
+            let mut results = Vec::new();
+            for scheme in Scheme::ALL {
+                match opts.run_one(scheme) {
+                    Ok(r) => results.push(r),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            print_results(&results, opts.json);
+            Ok(())
+        }
+        "record" => (|| {
+            let bench = opts.bench.ok_or("record needs --bench")?;
+            let path = opts.out.clone().ok_or("record needs --out FILE")?;
+            let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let trace = bench.trace(opts.seed).take(opts.count as usize);
+            let n = miv_trace::file::write_trace(BufWriter::new(file), trace)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let _: Profile = bench.profile();
+            eprintln!("wrote {n} records to {path}");
+            Ok(())
+        })(),
+        _ => Err(USAGE.to_string()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Small argument-parsing helpers shared by the `figures` and `mivsim`
+//! binaries (kept dependency-free; the workspace carries no CLI crate).
+
+use miv_cache::ReplacementPolicy;
+use miv_core::timing::Scheme;
+use miv_trace::{Benchmark, Profile};
+
+/// Parses a size with an optional `K`/`M`/`G` suffix (powers of two).
+///
+/// # Examples
+///
+/// ```
+/// use miv_sim::cli::parse_size;
+///
+/// assert_eq!(parse_size("256K"), Some(256 << 10));
+/// assert_eq!(parse_size("1m"), Some(1 << 20));
+/// assert_eq!(parse_size("4096"), Some(4096));
+/// assert_eq!(parse_size("x"), None);
+/// ```
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// Parses a scheme by its paper label (`base`, `naive`, `chash`, …).
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    Scheme::ALL.into_iter().find(|sch| sch.label() == s)
+}
+
+/// Parses a benchmark by its SPEC name.
+pub fn parse_bench(s: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == s)
+}
+
+/// Parses a replacement policy by label.
+pub fn parse_policy(s: &str) -> Option<ReplacementPolicy> {
+    ReplacementPolicy::ALL.into_iter().find(|p| p.label() == s)
+}
+
+/// Parses a custom workload specification of the form
+/// `key=value,key=value,…` over a cache-friendly template.
+///
+/// Keys: `ws`, `hot`, `mid` (sizes with K/M/G suffix); `hot-frac`,
+/// `far-frac`, `mem`, `write`, `chase`, `stream`, `branch`, `mispredict`
+/// (probabilities); `run` (words).
+///
+/// # Examples
+///
+/// ```
+/// use miv_sim::cli::parse_custom_profile;
+///
+/// let p = parse_custom_profile("ws=8M,hot=64K,mem=0.4,run=512").unwrap();
+/// assert_eq!(p.working_set, 8 << 20);
+/// assert_eq!(p.run_words, 512);
+/// ```
+pub fn parse_custom_profile(spec: &str) -> Result<Profile, String> {
+    let mut p = Profile::cache_friendly("custom", 8 << 20);
+    p.mid_set = p.working_set;
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {part}"))?;
+        let size = || parse_size(value).ok_or_else(|| format!("bad size for {key}: {value}"));
+        let frac = || {
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("bad fraction for {key}: {value}"))
+        };
+        match key {
+            "ws" => p.working_set = size()?,
+            "hot" => p.hot_set = size()?,
+            "mid" => p.mid_set = size()?,
+            "hot-frac" => p.hot_fraction = frac()?,
+            "far-frac" => p.far_fraction = frac()?,
+            "mem" => p.mem_fraction = frac()?,
+            "write" => p.write_fraction = frac()?,
+            "chase" => p.pointer_chase = frac()?,
+            "stream" => p.streaming_stores = frac()?,
+            "branch" => p.branch_fraction = frac()?,
+            "mispredict" => p.mispredict_rate = frac()?,
+            "run" => {
+                p.run_words = value
+                    .parse()
+                    .map_err(|_| format!("bad run length: {value}"))?
+            }
+            other => return Err(format!("unknown profile key {other}")),
+        }
+    }
+    // Keep the regions nested if only the working set was given.
+    if p.mid_set > p.working_set {
+        p.mid_set = p.working_set;
+    }
+    if p.hot_set > p.mid_set {
+        p.hot_set = p.mid_set / 4;
+    }
+    p.try_validate()?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("0"), Some(0));
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size("256k"), Some(256 << 10));
+        assert_eq!(parse_size("256K"), Some(256 << 10));
+        assert_eq!(parse_size(" 2M "), Some(2 << 20), "whitespace is trimmed");
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("K"), None);
+        assert_eq!(parse_size("12Q"), None);
+    }
+
+    #[test]
+    fn custom_profiles() {
+        let p = parse_custom_profile("ws=2M,hot=128K,mem=0.45,write=0.2,run=64,chase=0.3").unwrap();
+        assert_eq!(p.working_set, 2 << 20);
+        assert_eq!(p.hot_set, 128 << 10);
+        assert_eq!(p.mem_fraction, 0.45);
+        assert_eq!(p.pointer_chase, 0.3);
+        assert!(parse_custom_profile("nope=1").is_err());
+        assert!(parse_custom_profile("ws").is_err());
+        assert!(parse_custom_profile("ws=2K").is_err(), "tiny working set rejected");
+        assert!(parse_custom_profile("mem=2.0").is_err(), "out-of-range rejected");
+        // Region auto-nesting.
+        let p = parse_custom_profile("ws=1M").unwrap();
+        assert!(p.hot_set <= p.mid_set && p.mid_set <= p.working_set);
+    }
+
+    #[test]
+    fn policies() {
+        use miv_cache::ReplacementPolicy;
+        assert_eq!(parse_policy("lru"), Some(ReplacementPolicy::Lru));
+        assert_eq!(parse_policy("fifo"), Some(ReplacementPolicy::Fifo));
+        assert_eq!(parse_policy("nope"), None);
+    }
+
+    #[test]
+    fn schemes_and_benches() {
+        assert_eq!(parse_scheme("chash"), Some(Scheme::CHash));
+        assert_eq!(parse_scheme("base"), Some(Scheme::Base));
+        assert_eq!(parse_scheme("CHASH"), None);
+        assert_eq!(parse_bench("mcf"), Some(Benchmark::Mcf));
+        assert_eq!(parse_bench("nope"), None);
+        for s in Scheme::ALL {
+            assert_eq!(parse_scheme(s.label()), Some(s));
+        }
+        for b in Benchmark::ALL {
+            assert_eq!(parse_bench(b.name()), Some(b));
+        }
+    }
+}

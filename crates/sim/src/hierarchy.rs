@@ -1,0 +1,169 @@
+//! The L1 + L2/checker memory hierarchy behind the core's
+//! [`MemoryPort`].
+
+use miv_cache::{Cache, LineKind};
+use miv_core::timing::L2Controller;
+use miv_cpu::{Cycle, MemoryPort};
+
+use crate::config::SystemConfig;
+
+/// The full memory hierarchy: an L1 data cache in front of the
+/// checker-integrated L2.
+///
+/// Instruction fetch is not modelled (the paper's 64 KB L1 I-cache makes
+/// SPEC I-misses negligible); the L1 D-cache filters the core's
+/// loads/stores, and its misses and dirty write-backs flow into the
+/// [`L2Controller`], which owns the L2, the hash machinery, the memory
+/// bus and DRAM.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l1_latency: u64,
+    l2: L2Controller,
+    l1_writebacks: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for a machine configuration.
+    pub fn new(config: &SystemConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(config.l1),
+            l1_latency: config.l1_latency,
+            l2: L2Controller::new(config.checker, config.l2, config.bus),
+            l1_writebacks: 0,
+        }
+    }
+
+    /// The L1 data cache (for statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 controller (for statistics).
+    pub fn l2(&self) -> &L2Controller {
+        &self.l2
+    }
+
+    /// The L2 capacity in bytes (for warm-up sizing).
+    pub fn l2_capacity_bytes(&self) -> u64 {
+        self.l2.l2_config().size_bytes
+    }
+
+    /// Dirty L1 lines written back into the L2.
+    pub fn l1_writebacks(&self) -> u64 {
+        self.l1_writebacks
+    }
+
+    /// Clears all statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l1_writebacks = 0;
+    }
+
+    /// An L1 access; on a miss the L2 (and checker) are consulted.
+    fn access(&mut self, now: Cycle, addr: u64, write: bool, full_line: bool) -> Cycle {
+        if self.l1.lookup(addr, LineKind::Data, write).is_hit() {
+            return now + self.l1_latency;
+        }
+        // Miss: fetch through the L2 side. A whole-L2-line overwrite is
+        // only recognizable when the L1 line covers the L2 line; with the
+        // Table 1 geometry (32 B L1 / 64 B L2) a streaming run still
+        // overwrites the L2 line in two L1 allocations, so we forward the
+        // hint as-is and let the controller decide.
+        let ready = self.l2.access(now + self.l1_latency, addr, write, full_line);
+        if let Some(ev) = self.l1.fill(addr, LineKind::Data, write) {
+            if ev.dirty {
+                // L1 victim write-back: an L2 write access.
+                self.l1_writebacks += 1;
+                self.l2.access(ready, ev.addr, true, false);
+            }
+        }
+        ready
+    }
+}
+
+impl MemoryPort for Hierarchy {
+    fn load(&mut self, now: Cycle, addr: u64) -> Cycle {
+        self.access(now, addr, false, false)
+    }
+
+    fn store(&mut self, now: Cycle, addr: u64, full_line: bool) -> Cycle {
+        self.access(now, addr, true, full_line)
+    }
+
+    fn verification_horizon(&self) -> Cycle {
+        self.l2.verification_horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miv_core::timing::Scheme;
+
+    fn hier(scheme: Scheme) -> Hierarchy {
+        let mut cfg = crate::SystemConfig::hpca03(scheme, 256 << 10, 64);
+        cfg.checker.protected_bytes = 16 << 20;
+        Hierarchy::new(&cfg)
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut h = hier(Scheme::Base);
+        let t1 = h.load(0, 0x100);
+        assert!(t1 > 100, "cold miss reaches memory");
+        let t2 = h.load(t1, 0x100);
+        assert_eq!(t2, t1 + 2, "L1 hit costs 2 cycles");
+        let t3 = h.load(t2, 0x108);
+        assert_eq!(t3, t2 + 2, "same 32-B line");
+    }
+
+    #[test]
+    fn l1_filters_l2_traffic() {
+        let mut h = hier(Scheme::CHash);
+        let mut now = 0;
+        // Sequential word walk: 1 L1 miss per 4 words (32-B lines).
+        for i in 0..4096u64 {
+            now = h.load(now, i * 8);
+        }
+        let l1 = h.l1().stats().data;
+        assert_eq!(l1.read_misses, 4096 / 4);
+        let l2 = h.l2().l2_stats().data;
+        assert_eq!(l2.read_misses + l2.read_hits, l1.read_misses);
+        // 64-B L2 lines: about half the L1 misses hit in L2. (Not exactly
+        // half: a data chunk whose ancestor hash chunks land in its own
+        // L2 set can be conflict-evicted by its own verification walk.)
+        let diff = l2.read_hits.abs_diff(l2.read_misses);
+        assert!(diff <= 16, "hits {} vs misses {}", l2.read_hits, l2.read_misses);
+    }
+
+    #[test]
+    fn dirty_l1_victims_reach_l2() {
+        let mut h = hier(Scheme::Base);
+        let mut now = 0;
+        // Write far more distinct lines than L1 holds.
+        for i in 0..20_000u64 {
+            now = h.store(now, (i * 32 * 7) % (8 << 20), false);
+        }
+        assert!(h.l1_writebacks() > 0);
+    }
+
+    #[test]
+    fn verification_horizon_passthrough() {
+        let mut h = hier(Scheme::CHash);
+        assert_eq!(h.verification_horizon(), 0);
+        h.load(0, 0x4000);
+        assert!(h.verification_horizon() > 0);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut h = hier(Scheme::CHash);
+        h.load(0, 0);
+        h.reset_stats();
+        assert_eq!(h.l1().stats().data.accesses(), 0);
+        assert_eq!(h.l2().l2_stats().data.accesses(), 0);
+        assert_eq!(h.l1_writebacks(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The assembled machine and measurement runs.
+
+use miv_cpu::Core;
+use miv_trace::{Profile, TraceGenerator};
+use serde::Serialize;
+
+use crate::config::SystemConfig;
+use crate::hierarchy::Hierarchy;
+
+/// Measured results of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Scheme label (`base`, `naive`, `chash`, `mhash`, `ihash`).
+    pub scheme: String,
+    /// Workload name.
+    pub benchmark: String,
+    /// Instructions measured (after warm-up).
+    pub instructions: u64,
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Instructions per cycle — the paper's headline metric.
+    pub ipc: f64,
+    /// L2 miss rate for program data accesses (Figure 4).
+    pub l2_data_miss_rate: f64,
+    /// Demand L2 data misses.
+    pub l2_data_misses: u64,
+    /// L2 hit rate for hash-line accesses (1.0 when the scheme never
+    /// touches hashes).
+    pub hash_hit_rate: f64,
+    /// Memory blocks loaded beyond demand fetches, per L2 data miss
+    /// (Figure 5a).
+    pub extra_loads_per_miss: f64,
+    /// Total bytes moved on the memory bus.
+    pub bus_bytes: u64,
+    /// Bytes moved for hash-tree traffic.
+    pub hash_bytes: u64,
+    /// Memory-bus data bandwidth used, in GB/s at the 1 GHz clock.
+    pub bandwidth_gbps: f64,
+    /// Fraction of L2 lines holding hashes at the end of the run.
+    pub l2_hash_occupancy: f64,
+    /// Cycles demand fetches waited for a read-buffer entry.
+    pub read_buffer_wait: u64,
+}
+
+impl RunResult {
+    /// Slowdown of this run relative to a baseline IPC.
+    pub fn slowdown_vs(&self, base_ipc: f64) -> f64 {
+        if self.ipc == 0.0 {
+            f64::INFINITY
+        } else {
+            base_ipc / self.ipc
+        }
+    }
+
+    /// Normalized IPC relative to a baseline (1.0 = no overhead).
+    pub fn normalized_ipc(&self, base_ipc: f64) -> f64 {
+        if base_ipc == 0.0 {
+            0.0
+        } else {
+            self.ipc / base_ipc
+        }
+    }
+}
+
+/// A configured machine attached to one workload.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::Scheme;
+/// use miv_sim::{System, SystemConfig};
+/// use miv_trace::Benchmark;
+///
+/// let cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+/// let mut sys = System::for_benchmark(cfg, Benchmark::Gzip, 1);
+/// let result = sys.run(10_000, 50_000);
+/// assert!(result.ipc > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    core: Core<Hierarchy>,
+    trace: TraceGenerator,
+    benchmark: String,
+    scheme: String,
+    prewarm_span: u64,
+    prewarmed: bool,
+}
+
+impl System {
+    /// Builds a machine running the given profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's working set exceeds the checker's
+    /// protected segment.
+    pub fn new(config: SystemConfig, profile: Profile, seed: u64) -> Self {
+        assert!(
+            profile.working_set <= config.checker.protected_bytes,
+            "working set larger than the protected segment"
+        );
+        let hierarchy = Hierarchy::new(&config);
+        System {
+            core: Core::new(config.core, hierarchy),
+            trace: TraceGenerator::new(profile, seed),
+            benchmark: profile.name.to_string(),
+            scheme: config.checker.scheme.label().to_string(),
+            // The capacity-interesting (mid) region is what must be
+            // resident for steady state; the far region never fits.
+            prewarm_span: profile.mid_set,
+            prewarmed: false,
+        }
+    }
+
+    /// Functional cache warm-up: touches the tail of the working set once
+    /// so capacity behaviour (rather than compulsory misses over the slow
+    /// stochastic coverage of the footprint) governs the measurement
+    /// window. Bounded to a few multiples of the L2 so huge streaming
+    /// footprints stay cheap. Timing state and statistics are discarded
+    /// by the warm-up reset in [`run`](Self::run).
+    fn prewarm(&mut self) {
+        use miv_cpu::MemoryPort;
+        let hierarchy = self.core.port_mut();
+        let line = hierarchy.l1().config().line_bytes as u64;
+        let l2_bytes = hierarchy.l2_capacity_bytes();
+        let span = self.prewarm_span.min(4 * l2_bytes);
+        let mut addr = 0;
+        while addr < span {
+            hierarchy.load(0, addr);
+            addr += line;
+        }
+    }
+
+    /// Builds a machine running one of the paper's benchmarks.
+    pub fn for_benchmark(
+        config: SystemConfig,
+        benchmark: miv_trace::Benchmark,
+        seed: u64,
+    ) -> Self {
+        Self::new(config, benchmark.profile(), seed)
+    }
+
+    /// Runs `warmup` instructions (statistics discarded), then `measure`
+    /// instructions, returning the measured results.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> RunResult {
+        if !self.prewarmed {
+            self.prewarm();
+            self.prewarmed = true;
+        }
+        if warmup > 0 {
+            let trace = &mut self.trace;
+            self.core.run(trace.take(warmup as usize));
+        }
+        self.core.port_mut().reset_stats();
+        let trace = &mut self.trace;
+        let stats = self.core.run(trace.take(measure as usize));
+
+        let hierarchy = self.core.port();
+        let l2 = hierarchy.l2().l2_stats();
+        let checker = hierarchy.l2().stats();
+        let bus = hierarchy.l2().bus_stats();
+        let (occ_data, occ_hash) = hierarchy.l2().l2_occupancy();
+
+        let data_misses = l2.data.misses();
+        let extra = checker.extra_loads();
+        RunResult {
+            scheme: self.scheme.clone(),
+            benchmark: self.benchmark.clone(),
+            instructions: stats.instructions,
+            cycles: stats.cycles,
+            ipc: stats.ipc(),
+            l2_data_miss_rate: l2.data.miss_rate(),
+            l2_data_misses: data_misses,
+            hash_hit_rate: if l2.hash.accesses() == 0 {
+                1.0
+            } else {
+                l2.hash.hits() as f64 / l2.hash.accesses() as f64
+            },
+            extra_loads_per_miss: if data_misses == 0 {
+                0.0
+            } else {
+                extra as f64 / data_misses as f64
+            },
+            bus_bytes: bus.total_bytes(),
+            hash_bytes: bus.hash_bytes(),
+            bandwidth_gbps: if stats.cycles == 0 {
+                0.0
+            } else {
+                bus.total_bytes() as f64 / stats.cycles as f64
+            },
+            l2_hash_occupancy: if occ_data + occ_hash == 0 {
+                0.0
+            } else {
+                occ_hash as f64 / (occ_data + occ_hash) as f64
+            },
+            read_buffer_wait: checker.read_buffer_wait,
+        }
+    }
+
+    /// The underlying hierarchy (for detailed statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        self.core.port()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miv_core::timing::Scheme;
+    use miv_trace::Benchmark;
+
+    fn quick(scheme: Scheme, bench: Benchmark) -> RunResult {
+        let mut cfg = SystemConfig::hpca03(scheme, 256 << 10, 64);
+        cfg.checker.protected_bytes = 128 << 20;
+        System::for_benchmark(cfg, bench, 7).run(5_000, 40_000)
+    }
+
+    #[test]
+    fn base_runs_and_produces_sane_ipc() {
+        let r = quick(Scheme::Base, Benchmark::Gzip);
+        assert_eq!(r.scheme, "base");
+        assert_eq!(r.benchmark, "gzip");
+        assert_eq!(r.instructions, 40_000);
+        assert!(r.ipc > 0.1 && r.ipc <= 4.0, "ipc = {}", r.ipc);
+        assert_eq!(r.hash_bytes, 0);
+        assert_eq!(r.extra_loads_per_miss, 0.0);
+    }
+
+    #[test]
+    fn chash_slower_than_base_but_faster_than_naive() {
+        let base = quick(Scheme::Base, Benchmark::Swim);
+        let chash = quick(Scheme::CHash, Benchmark::Swim);
+        let naive = quick(Scheme::Naive, Benchmark::Swim);
+        assert!(chash.ipc <= base.ipc * 1.02, "{} vs {}", chash.ipc, base.ipc);
+        assert!(naive.ipc < chash.ipc, "{} vs {}", naive.ipc, chash.ipc);
+        assert!(
+            naive.extra_loads_per_miss > chash.extra_loads_per_miss,
+            "{} vs {}",
+            naive.extra_loads_per_miss,
+            chash.extra_loads_per_miss
+        );
+    }
+
+    #[test]
+    fn hash_occupancy_only_for_caching_schemes() {
+        let chash = quick(Scheme::CHash, Benchmark::Twolf);
+        assert!(chash.l2_hash_occupancy > 0.0);
+        let naive = quick(Scheme::Naive, Benchmark::Twolf);
+        assert_eq!(naive.l2_hash_occupancy, 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = quick(Scheme::Base, Benchmark::Gcc);
+        assert!((r.normalized_ipc(r.ipc) - 1.0).abs() < 1e-12);
+        assert!((r.slowdown_vs(r.ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set larger")]
+    fn oversized_working_set_rejected() {
+        let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+        cfg.checker.protected_bytes = 1 << 20;
+        let _ = System::for_benchmark(cfg, Benchmark::Mcf, 1);
+    }
+}

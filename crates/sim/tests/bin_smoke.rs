@@ -1,0 +1,105 @@
+//! End-to-end smoke tests of the command-line binaries (`figures`,
+//! `mivsim`, `calibrate` compile targets), exercising argument parsing,
+//! trace record/replay and JSON export through real processes.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn figures_table1() {
+    let (ok, stdout, _) = run(env!("CARGO_BIN_EXE_figures"), &["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("1 GHz"));
+    assert!(stdout.contains("3.2 GB/s"));
+}
+
+#[test]
+fn figures_diagrams() {
+    let (ok, stdout, _) = run(env!("CARGO_BIN_EXE_figures"), &["fig1", "fig2"]);
+    assert!(ok);
+    assert!(stdout.contains("secure root"));
+    assert!(stdout.contains("READ BUFFER"));
+}
+
+#[test]
+fn figures_rejects_unknown_artifact() {
+    let (ok, _, stderr) = run(env!("CARGO_BIN_EXE_figures"), &["fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown artifact"));
+}
+
+#[test]
+fn figures_quick_fig4_runs() {
+    let (ok, stdout, _) =
+        run(env!("CARGO_BIN_EXE_figures"), &["--warmup", "2000", "--measure", "8000", "fig4"]);
+    assert!(ok);
+    assert!(stdout.contains("chash-256K"));
+    assert!(stdout.contains("mcf"));
+}
+
+#[test]
+fn mivsim_run_and_sweep() {
+    let exe = env!("CARGO_BIN_EXE_mivsim");
+    let (ok, stdout, _) = run(
+        exe,
+        &["run", "--scheme", "chash", "--bench", "gzip", "--l2", "256K", "--warmup", "2000",
+          "--measure", "10000"],
+    );
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("chash"));
+    assert!(stdout.contains("gzip"));
+
+    let (ok, stdout, _) = run(
+        exe,
+        &["run", "--bench", "gzip", "--warmup", "1000", "--measure", "5000", "--json"],
+    );
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('['), "JSON output: {stdout}");
+    assert!(stdout.contains("\"ipc\""));
+}
+
+#[test]
+fn mivsim_rejects_bad_args() {
+    let exe = env!("CARGO_BIN_EXE_mivsim");
+    let (ok, _, stderr) = run(exe, &["run", "--scheme", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scheme"));
+    let (ok, _, stderr) = run(exe, &["run"]);
+    assert!(!ok);
+    assert!(stderr.contains("need --bench, --custom or --trace"));
+    let (ok, _, _) = run(exe, &[]);
+    assert!(!ok);
+}
+
+#[test]
+fn mivsim_record_and_replay() {
+    let exe = env!("CARGO_BIN_EXE_mivsim");
+    let dir = std::env::temp_dir().join("miv_bin_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trc = dir.join("smoke.trc");
+    let trc_str = trc.to_str().unwrap();
+
+    let (ok, _, stderr) = run(
+        exe,
+        &["record", "--bench", "vpr", "--count", "30000", "--seed", "9", "--out", trc_str],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("wrote 30000 records"));
+
+    let (ok, stdout, stderr) = run(
+        exe,
+        &["run", "--scheme", "naive", "--trace", trc_str, "--warmup", "5000"],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("naive"));
+    assert!(stdout.contains("smoke.trc"));
+    std::fs::remove_file(trc).ok();
+}
