@@ -9,116 +9,99 @@
 //! * `ablation_write_allocate` — §5.3 no-fetch overwrite optimization.
 //! * `ablation_speculation` — §5.8 speculative use of unverified data.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use miv_bench::{bench_run, BENCH_MEASURE, BENCH_WARMUP};
+use miv_bench::{bench_run, Harness, BENCH_MEASURE, BENCH_WARMUP};
 use miv_core::timing::Scheme;
 use miv_sim::{System, SystemConfig};
 use miv_trace::Benchmark;
 
-fn ablation_hash_caching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_hash_caching");
-    group.sample_size(10);
-    group.bench_function("cached", |b| {
-        b.iter(|| bench_run(Scheme::CHash, 1 << 20, 64, Benchmark::Swim).ipc)
-    });
-    group.bench_function("naive", |b| {
-        b.iter(|| bench_run(Scheme::Naive, 1 << 20, 64, Benchmark::Swim).ipc)
-    });
-    group.finish();
+fn bench_variant(
+    h: &mut Harness,
+    name: &str,
+    mutate: impl Fn(&mut SystemConfig) + Copy,
+    bench: Benchmark,
+) {
+    h.bench_with_setup(
+        name,
+        move || {
+            let mut cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
+            mutate(&mut cfg);
+            System::for_benchmark(cfg, bench, 42)
+        },
+        |mut sys| sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc,
+    );
 }
 
-fn ablation_chunk_geometry(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_chunk_geometry");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args();
+
+    h.bench_with_setup(
+        "ablation_hash_caching/cached",
+        || (),
+        |()| bench_run(Scheme::CHash, 1 << 20, 64, Benchmark::Swim).ipc,
+    );
+    h.bench_with_setup(
+        "ablation_hash_caching/naive",
+        || (),
+        |()| bench_run(Scheme::Naive, 1 << 20, 64, Benchmark::Swim).ipc,
+    );
+
     for (label, scheme, line) in [
         ("one_block_64B", Scheme::CHash, 64u32),
         ("one_block_128B", Scheme::CHash, 128),
         ("two_blocks_64B", Scheme::MHash, 64),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| bench_run(scheme, 1 << 20, line, Benchmark::Vortex).ipc)
-        });
-    }
-    group.finish();
-}
-
-fn ablation_incremental_mac(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_incremental_mac");
-    group.sample_size(10);
-    group.bench_function("rehash_whole_chunk", |b| {
-        b.iter(|| bench_run(Scheme::MHash, 1 << 20, 64, Benchmark::Swim).bus_bytes)
-    });
-    group.bench_function("incremental_update", |b| {
-        b.iter(|| bench_run(Scheme::IHash, 1 << 20, 64, Benchmark::Swim).bus_bytes)
-    });
-    group.finish();
-}
-
-fn run_with(
-    mutate: impl Fn(&mut SystemConfig),
-    bench: Benchmark,
-) -> impl FnMut(&mut criterion::Bencher<'_>) {
-    move |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
-                mutate(&mut cfg);
-                System::for_benchmark(cfg, bench, 42)
-            },
-            |mut sys| sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc,
-            BatchSize::SmallInput,
-        )
-    }
-}
-
-fn ablation_write_allocate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_write_allocate");
-    group.sample_size(10);
-    group.bench_function(
-        "no_fetch_on_overwrite",
-        run_with(|cfg| cfg.checker.write_allocate_no_fetch = true, Benchmark::Swim),
-    );
-    group.bench_function(
-        "always_fetch_and_check",
-        run_with(|cfg| cfg.checker.write_allocate_no_fetch = false, Benchmark::Swim),
-    );
-    group.finish();
-}
-
-fn ablation_speculation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_speculation");
-    group.sample_size(10);
-    group.bench_function(
-        "speculative_background_checks",
-        run_with(|cfg| cfg.checker.block_on_verify = false, Benchmark::Mcf),
-    );
-    group.bench_function(
-        "block_until_verified",
-        run_with(|cfg| cfg.checker.block_on_verify = true, Benchmark::Mcf),
-    );
-    group.finish();
-}
-
-fn ablation_replacement(c: &mut Criterion) {
-    use miv_cache::ReplacementPolicy;
-    let mut group = c.benchmark_group("ablation_replacement");
-    group.sample_size(10);
-    for policy in ReplacementPolicy::ALL {
-        group.bench_function(
-            policy.label(),
-            run_with(move |cfg| cfg.checker.l2_policy = policy, Benchmark::Twolf),
+        h.bench_with_setup(
+            &format!("ablation_chunk_geometry/{label}"),
+            || (),
+            move |()| bench_run(scheme, 1 << 20, line, Benchmark::Vortex).ipc,
         );
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    ablation_hash_caching,
-    ablation_chunk_geometry,
-    ablation_incremental_mac,
-    ablation_write_allocate,
-    ablation_speculation,
-    ablation_replacement
-);
-criterion_main!(benches);
+    h.bench_with_setup(
+        "ablation_incremental_mac/rehash_whole_chunk",
+        || (),
+        |()| bench_run(Scheme::MHash, 1 << 20, 64, Benchmark::Swim).bus_bytes,
+    );
+    h.bench_with_setup(
+        "ablation_incremental_mac/incremental_update",
+        || (),
+        |()| bench_run(Scheme::IHash, 1 << 20, 64, Benchmark::Swim).bus_bytes,
+    );
+
+    bench_variant(
+        &mut h,
+        "ablation_write_allocate/no_fetch_on_overwrite",
+        |cfg| cfg.checker.write_allocate_no_fetch = true,
+        Benchmark::Swim,
+    );
+    bench_variant(
+        &mut h,
+        "ablation_write_allocate/always_fetch_and_check",
+        |cfg| cfg.checker.write_allocate_no_fetch = false,
+        Benchmark::Swim,
+    );
+
+    bench_variant(
+        &mut h,
+        "ablation_speculation/speculative_background_checks",
+        |cfg| cfg.checker.block_on_verify = false,
+        Benchmark::Mcf,
+    );
+    bench_variant(
+        &mut h,
+        "ablation_speculation/block_until_verified",
+        |cfg| cfg.checker.block_on_verify = true,
+        Benchmark::Mcf,
+    );
+
+    for policy in miv_cache::ReplacementPolicy::ALL {
+        bench_variant(
+            &mut h,
+            &format!("ablation_replacement/{}", policy.label()),
+            move |cfg| cfg.checker.l2_policy = policy,
+            Benchmark::Twolf,
+        );
+    }
+
+    h.finish();
+}

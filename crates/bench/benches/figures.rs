@@ -1,112 +1,79 @@
-//! One Criterion benchmark per evaluation figure.
+//! One benchmark per evaluation figure.
 //!
 //! Each bench runs a scaled-down version of the corresponding sweep from
 //! `miv-sim::experiments` (the full-size rows are printed by
-//! `cargo run -p miv-sim --release --bin figures -- all`). Criterion's
-//! timing here measures the *simulator's* cost per figure; the asserted
-//! relationships keep the figure shapes honest under `cargo bench`.
+//! `cargo run -p miv-sim --release --bin figures -- all`). The timing
+//! here measures the *simulator's* cost per figure.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use miv_bench::bench_run;
+use miv_bench::{bench_run, Harness, BENCH_MEASURE, BENCH_WARMUP};
 use miv_core::timing::Scheme;
 use miv_hash::Throughput;
 use miv_sim::{System, SystemConfig};
 use miv_trace::Benchmark;
 
-fn fig3_ipc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_ipc");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args();
+
     for scheme in [Scheme::Base, Scheme::CHash, Scheme::Naive] {
-        group.bench_function(scheme.label(), |b| {
-            b.iter(|| bench_run(scheme, 1 << 20, 64, Benchmark::Gzip).ipc)
-        });
+        h.bench_with_setup(
+            &format!("fig3_ipc/{}", scheme.label()),
+            || (),
+            move |()| bench_run(scheme, 1 << 20, 64, Benchmark::Gzip).ipc,
+        );
     }
-    group.finish();
-}
 
-fn fig4_missrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_missrate");
-    group.sample_size(10);
     for (label, kb) in [("l2_256K", 256u64), ("l2_4M", 4096)] {
-        group.bench_function(label, |b| {
-            b.iter(|| bench_run(Scheme::CHash, kb << 10, 64, Benchmark::Twolf).l2_data_miss_rate)
-        });
+        h.bench_with_setup(
+            &format!("fig4_missrate/{label}"),
+            || (),
+            move |()| bench_run(Scheme::CHash, kb << 10, 64, Benchmark::Twolf).l2_data_miss_rate,
+        );
     }
-    group.finish();
-}
 
-fn fig5_bandwidth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_bandwidth");
-    group.sample_size(10);
     for scheme in [Scheme::CHash, Scheme::Naive] {
-        group.bench_function(scheme.label(), |b| {
-            b.iter(|| bench_run(scheme, 1 << 20, 64, Benchmark::Swim).bus_bytes)
-        });
+        h.bench_with_setup(
+            &format!("fig5_bandwidth/{}", scheme.label()),
+            || (),
+            move |()| bench_run(scheme, 1 << 20, 64, Benchmark::Swim).bus_bytes,
+        );
     }
-    group.finish();
-}
 
-fn fig6_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_throughput");
-    group.sample_size(10);
     for gbps in [6.4, 0.8] {
-        group.bench_function(format!("hash_{gbps}GBps"), |b| {
-            b.iter_batched(
-                || {
-                    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
-                        .with_hash_throughput(Throughput::gbps(gbps));
-                    System::for_benchmark(cfg, Benchmark::Swim, 42)
-                },
-                |mut sys| sys.run(miv_bench::BENCH_WARMUP, miv_bench::BENCH_MEASURE).ipc,
-                BatchSize::SmallInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("fig6_throughput/hash_{gbps}GBps"),
+            move || {
+                let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
+                    .with_hash_throughput(Throughput::gbps(gbps));
+                System::for_benchmark(cfg, Benchmark::Swim, 42)
+            },
+            |mut sys| sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc,
+        );
     }
-    group.finish();
-}
 
-fn fig7_buffers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_buffers");
-    group.sample_size(10);
     for entries in [2u32, 16] {
-        group.bench_function(format!("{entries}_entries"), |b| {
-            b.iter_batched(
-                || {
-                    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
-                        .with_buffer_entries(entries);
-                    System::for_benchmark(cfg, Benchmark::Mcf, 42)
-                },
-                |mut sys| sys.run(miv_bench::BENCH_WARMUP, miv_bench::BENCH_MEASURE).ipc,
-                BatchSize::SmallInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("fig7_buffers/{entries}_entries"),
+            move || {
+                let cfg =
+                    SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64).with_buffer_entries(entries);
+                System::for_benchmark(cfg, Benchmark::Mcf, 42)
+            },
+            |mut sys| sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc,
+        );
     }
-    group.finish();
-}
 
-fn fig8_schemes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_schemes");
-    group.sample_size(10);
     for (label, scheme, line) in [
         ("c_64B", Scheme::CHash, 64u32),
         ("c_128B", Scheme::CHash, 128),
         ("m_64B", Scheme::MHash, 64),
         ("i_64B", Scheme::IHash, 64),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| bench_run(scheme, 1 << 20, line, Benchmark::Applu).ipc)
-        });
+        h.bench_with_setup(
+            &format!("fig8_schemes/{label}"),
+            || (),
+            move |()| bench_run(scheme, 1 << 20, line, Benchmark::Applu).ipc,
+        );
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    fig3_ipc,
-    fig4_missrate,
-    fig5_bandwidth,
-    fig6_throughput,
-    fig7_buffers,
-    fig8_schemes
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -5,11 +5,16 @@
 //! whole-block optimization, and flushes under the hash-tree vs the
 //! incremental-MAC protections.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use miv_bench::Harness;
 use miv_core::{MemoryBuilder, Protection, VerifiedMemory};
 
 fn hash_mem() -> VerifiedMemory {
-    MemoryBuilder::new().data_bytes(256 << 10).cache_blocks(1024).build()
+    MemoryBuilder::new()
+        .data_bytes(256 << 10)
+        .cache_blocks(1024)
+        .build()
 }
 
 fn mac_mem() -> VerifiedMemory {
@@ -22,74 +27,53 @@ fn mac_mem() -> VerifiedMemory {
         .build()
 }
 
-fn bench_reads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verified_reads");
-    group.throughput(Throughput::Bytes(64));
-    group.bench_function("cached_hit", |b| {
-        let mut mem = hash_mem();
-        mem.read_vec(0, 64).unwrap();
-        b.iter(|| mem.read_vec(black_box(0), 64).unwrap());
-    });
-    group.bench_function("cold_verified", |b| {
-        b.iter_batched(
-            || {
-                let mut mem = hash_mem();
-                mem.clear_cache().unwrap();
-                mem
-            },
-            |mut mem| mem.read_vec(black_box(4096), 64).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+fn dirty(mut mem: VerifiedMemory) -> VerifiedMemory {
+    for i in 0..64u64 {
+        mem.write(i * 4096, &[i as u8; 64]).unwrap();
+    }
+    mem
 }
 
-fn bench_writes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verified_writes");
-    group.throughput(Throughput::Bytes(64));
+fn main() {
+    let mut h = Harness::from_args();
+
+    let mut mem = hash_mem();
+    mem.read_vec(0, 64).unwrap();
+    h.bench_bytes("verified_reads/cached_hit", 64, move || {
+        mem.read_vec(black_box(0), 64).unwrap()
+    });
+    h.bench_with_setup(
+        "verified_reads/cold_verified",
+        || {
+            let mut mem = hash_mem();
+            mem.clear_cache().unwrap();
+            mem
+        },
+        |mut mem| mem.read_vec(black_box(4096), 64).unwrap(),
+    );
+
     let full = [7u8; 64];
-    group.bench_function("whole_block_no_fetch", |b| {
-        b.iter_batched(
-            hash_mem,
-            |mut mem| mem.write(black_box(8192), &full).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("partial_block_fetch_and_check", |b| {
-        b.iter_batched(
-            hash_mem,
-            |mut mem| mem.write(black_box(8192 + 8), &full[..8]).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+    h.bench_with_setup(
+        "verified_writes/whole_block_no_fetch",
+        hash_mem,
+        move |mut mem| mem.write(black_box(8192), &full).unwrap(),
+    );
+    h.bench_with_setup(
+        "verified_writes/partial_block_fetch_and_check",
+        hash_mem,
+        move |mut mem| mem.write(black_box(8192 + 8), &full[..8]).unwrap(),
+    );
 
-fn bench_flush(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flush_64_dirty_blocks");
-    group.sample_size(20);
-    let dirty = |mut mem: VerifiedMemory| {
-        for i in 0..64u64 {
-            mem.write(i * 4096, &[i as u8; 64]).unwrap();
-        }
-        mem
-    };
-    group.bench_function("hash_tree", |b| {
-        b.iter_batched(
-            || dirty(hash_mem()),
-            |mut mem| mem.flush().unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("incremental_mac", |b| {
-        b.iter_batched(
-            || dirty(mac_mem()),
-            |mut mem| mem.flush().unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+    h.bench_with_setup(
+        "flush_64_dirty_blocks/hash_tree",
+        || dirty(hash_mem()),
+        |mut mem| mem.flush().unwrap(),
+    );
+    h.bench_with_setup(
+        "flush_64_dirty_blocks/incremental_mac",
+        || dirty(mac_mem()),
+        |mut mem| mem.flush().unwrap(),
+    );
 
-criterion_group!(benches, bench_reads, bench_writes, bench_flush);
-criterion_main!(benches);
+    h.finish();
+}

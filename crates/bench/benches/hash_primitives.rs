@@ -6,45 +6,34 @@
 //! cost of the incremental XOR-MAC update versus a full chunk re-hash —
 //! the trade the *ihash* scheme exploits.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use miv_bench::Harness;
 use miv_hash::digest::{ChunkHasher, Md5Hasher, Sha1Hasher};
 use miv_hash::narrow::XorMac120;
 use miv_hash::xtea::{Prp128, Xtea};
 use miv_hash::XorMac;
 
-fn bench_digests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("digest_64B_chunk");
-    group.throughput(Throughput::Bytes(64));
+fn main() {
+    let mut h = Harness::from_args();
+
     let chunk = [0xa5u8; 64];
-    group.bench_function("md5", |b| {
-        b.iter(|| Md5Hasher.digest(black_box(&chunk)));
+    h.bench_bytes("digest_64B_chunk/md5", 64, || {
+        Md5Hasher.digest(black_box(&chunk))
     });
-    group.bench_function("sha1_128", |b| {
-        b.iter(|| Sha1Hasher.digest(black_box(&chunk)));
+    h.bench_bytes("digest_64B_chunk/sha1_128", 64, || {
+        Sha1Hasher.digest(black_box(&chunk))
     });
-    group.finish();
-
-    let mut group = c.benchmark_group("digest_512B_chunk");
-    group.throughput(Throughput::Bytes(512));
     let big = [0x3cu8; 512];
-    group.bench_function("md5", |b| {
-        b.iter(|| Md5Hasher.digest(black_box(&big)));
+    h.bench_bytes("digest_512B_chunk/md5", 512, || {
+        Md5Hasher.digest(black_box(&big))
     });
-    group.finish();
-}
 
-fn bench_ciphers(c: &mut Criterion) {
     let xtea = Xtea::new([7u8; 16]);
     let prp = Prp128::new([7u8; 16]);
-    c.bench_function("xtea_block", |b| {
-        b.iter(|| xtea.encrypt_block(black_box([1u32, 2])));
-    });
-    c.bench_function("prp128_encrypt", |b| {
-        b.iter(|| prp.encrypt(black_box([9u8; 16])));
-    });
-}
+    h.bench("xtea_block", || xtea.encrypt_block(black_box([1u32, 2])));
+    h.bench("prp128_encrypt", || prp.encrypt(black_box([9u8; 16])));
 
-fn bench_xormac(c: &mut Criterion) {
     let mac = XorMac::new([3u8; 16]);
     let mac120 = XorMac120::new([3u8; 16]);
     let blocks: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64]).collect();
@@ -54,23 +43,23 @@ fn bench_xormac(c: &mut Criterion) {
 
     // Full 4-block MAC from scratch vs a single-block incremental update:
     // the §5.4 asymmetry.
-    let mut group = c.benchmark_group("xormac_4x64B");
-    group.bench_function("mac_from_scratch", |b| {
-        b.iter(|| mac.mac_blocks(blocks.iter().map(|blk| (black_box(blk.as_slice()), false))));
+    h.bench("xormac_4x64B/mac_from_scratch", || {
+        mac.mac_blocks(blocks.iter().map(|blk| (black_box(blk.as_slice()), false)))
     });
-    group.bench_function("incremental_update", |b| {
-        b.iter(|| mac.update(black_box(tag), 2, (&blocks[2], false), (&new_block, true)));
+    h.bench("xormac_4x64B/incremental_update", || {
+        mac.update(black_box(tag), 2, (&blocks[2], false), (&new_block, true))
     });
-    group.bench_function("narrow_mac_from_scratch", |b| {
-        b.iter(|| {
-            mac120.mac_blocks(blocks.iter().map(|blk| (black_box(blk.as_slice()), false)))
-        });
+    h.bench("xormac_4x64B/narrow_mac_from_scratch", || {
+        mac120.mac_blocks(blocks.iter().map(|blk| (black_box(blk.as_slice()), false)))
     });
-    group.bench_function("narrow_incremental_update", |b| {
-        b.iter(|| mac120.update(black_box(tag120), 2, (&blocks[2], false), (&new_block, true)));
+    h.bench("xormac_4x64B/narrow_incremental_update", || {
+        mac120.update(
+            black_box(tag120),
+            2,
+            (&blocks[2], false),
+            (&new_block, true),
+        )
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_digests, bench_ciphers, bench_xormac);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,0 +1,78 @@
+//! Cost of the `miv-obs` recording handles, enabled versus disabled.
+//!
+//! The telemetry layer's contract is that a *disabled* handle (the
+//! default on every instrumented component) costs a single branch, so
+//! instrumentation can stay compiled into the hot paths of the cache,
+//! bus and checker. This bench quantifies that: per-operation costs of
+//! counters/histograms/event sinks in both states, and the end-to-end
+//! cost of a full simulation run with and without telemetry attached.
+//! The companion test `tests/disabled_recorder.rs` asserts the disabled
+//! path also performs zero allocations and records nothing.
+
+use miv_bench::{Harness, BENCH_MEASURE, BENCH_WARMUP};
+use miv_core::timing::Scheme;
+use miv_obs::{Counter, EventSink, Histogram, Registry, SimEvent};
+use miv_sim::{System, SystemConfig, Telemetry};
+use miv_trace::Benchmark;
+
+fn sim() -> System {
+    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
+    System::for_benchmark(cfg, Benchmark::Gzip, 42)
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    let registry = Registry::new();
+
+    let disabled = Counter::disabled();
+    h.bench("counter/disabled_inc", || disabled.inc());
+    let enabled = registry.counter("bench.counter");
+    h.bench("counter/enabled_inc", || enabled.inc());
+
+    let disabled = Histogram::default();
+    let mut v = 0u64;
+    h.bench("histogram/disabled_record", || {
+        v = v.wrapping_add(17);
+        disabled.record(v & 0xffff);
+    });
+    let enabled = registry.histogram("bench.hist");
+    h.bench("histogram/enabled_record", || {
+        v = v.wrapping_add(17);
+        enabled.record(v & 0xffff);
+    });
+
+    let disabled = EventSink::disabled();
+    let mut cycle = 0u64;
+    h.bench("event_sink/disabled_record", || {
+        cycle += 1;
+        disabled.record(cycle, SimEvent::HashEnqueue { bytes: 64 });
+    });
+    let trace = miv_obs::EventTrace::bounded(1 << 12);
+    let enabled = trace.sink();
+    h.bench("event_sink/enabled_record", || {
+        cycle += 1;
+        enabled.record(cycle, SimEvent::HashEnqueue { bytes: 64 });
+    });
+
+    // End to end: the same simulation with all recorders disabled
+    // (default) versus a fully attached telemetry bundle.
+    h.bench_with_setup("sim_run/telemetry_disabled", sim, |mut sys| {
+        sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc
+    });
+    h.bench_with_setup(
+        "sim_run/telemetry_enabled",
+        || {
+            let mut sys = sim();
+            let telemetry = Telemetry::new();
+            sys.attach_telemetry(&telemetry);
+            (sys, telemetry)
+        },
+        |(mut sys, telemetry)| {
+            let ipc = sys.run(BENCH_WARMUP, BENCH_MEASURE).ipc;
+            drop(telemetry);
+            ipc
+        },
+    );
+
+    h.finish();
+}

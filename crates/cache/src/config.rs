@@ -32,12 +32,28 @@ impl CacheConfig {
     /// Panics if any parameter is zero or not a power of two, if the line
     /// size exceeds the capacity, or if the geometry yields zero sets.
     pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(assoc.is_power_of_two(), "associativity must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            assoc.is_power_of_two(),
+            "associativity must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes as u64;
-        assert!(lines >= assoc as u64, "cache too small for its associativity");
-        CacheConfig { size_bytes, assoc, line_bytes }
+        assert!(
+            lines >= assoc as u64,
+            "cache too small for its associativity"
+        );
+        CacheConfig {
+            size_bytes,
+            assoc,
+            line_bytes,
+        }
     }
 
     /// The paper's L1 geometry: 64 KB, 2-way, 32-byte lines (Table 1).

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod observe;
 mod policy;
 mod set_assoc;
 mod stats;
 
 pub use config::CacheConfig;
+pub use observe::{CacheObserver, KindCounters};
 pub use policy::ReplacementPolicy;
 pub use set_assoc::{Cache, Eviction, LookupResult};
 pub use stats::{CacheStats, KindStats, LineKind};

@@ -1,0 +1,101 @@
+//! Telemetry hooks: per-[`LineKind`] counters recorded into a
+//! `miv-obs` [`Registry`].
+//!
+//! The observer is a bundle of pre-registered counter handles, so the
+//! cache hot path never performs a name lookup. A default-constructed
+//! observer is disabled: every recording call is a single branch.
+
+use miv_obs::{Counter, Registry};
+
+use crate::stats::LineKind;
+
+/// Counter handles for one line kind.
+#[derive(Debug, Clone, Default)]
+pub struct KindCounters {
+    /// Read hits.
+    pub read_hits: Counter,
+    /// Read misses.
+    pub read_misses: Counter,
+    /// Write hits.
+    pub write_hits: Counter,
+    /// Write misses.
+    pub write_misses: Counter,
+    /// Lines evicted.
+    pub evictions: Counter,
+    /// Dirty lines evicted (write-backs caused).
+    pub dirty_evictions: Counter,
+}
+
+impl KindCounters {
+    fn for_registry(registry: &Registry, prefix: &str) -> Self {
+        let name = |field: &str| format!("{prefix}.{field}");
+        KindCounters {
+            read_hits: registry.counter(&name("read_hits")),
+            read_misses: registry.counter(&name("read_misses")),
+            write_hits: registry.counter(&name("write_hits")),
+            write_misses: registry.counter(&name("write_misses")),
+            evictions: registry.counter(&name("evictions")),
+            dirty_evictions: registry.counter(&name("dirty_evictions")),
+        }
+    }
+}
+
+/// Per-kind cache telemetry. Attach with
+/// [`Cache::set_observer`](crate::Cache::set_observer).
+#[derive(Debug, Clone, Default)]
+pub struct CacheObserver {
+    /// Counters for data lines.
+    pub data: KindCounters,
+    /// Counters for hash lines.
+    pub hash: KindCounters,
+}
+
+impl CacheObserver {
+    /// A no-op observer (the default).
+    pub fn disabled() -> Self {
+        CacheObserver::default()
+    }
+
+    /// Registers counters named `{prefix}.{data|hash}.{event}` (e.g.
+    /// `l2.hash.read_misses`) and returns the live handles.
+    pub fn for_registry(registry: &Registry, prefix: &str) -> Self {
+        CacheObserver {
+            data: KindCounters::for_registry(registry, &format!("{prefix}.data")),
+            hash: KindCounters::for_registry(registry, &format!("{prefix}.hash")),
+        }
+    }
+
+    /// The counter bundle for `kind`.
+    #[inline]
+    pub fn kind(&self, kind: LineKind) -> &KindCounters {
+        match kind {
+            LineKind::Data => &self.data,
+            LineKind::Hash => &self.hash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_under_prefix() {
+        let reg = Registry::new();
+        let obs = CacheObserver::for_registry(&reg, "l2");
+        obs.kind(LineKind::Hash).read_misses.inc();
+        obs.kind(LineKind::Data).write_hits.add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["l2.hash.read_misses"], 1);
+        assert_eq!(snap.counters["l2.data.write_hits"], 2);
+        assert_eq!(snap.counters["l2.data.read_misses"], 0);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = CacheObserver::default();
+        obs.kind(LineKind::Data).read_hits.inc();
+        assert!(!obs.data.read_hits.is_enabled());
+        assert_eq!(obs.data.read_hits.get(), 0);
+    }
+}

@@ -22,8 +22,11 @@ pub enum ReplacementPolicy {
 
 impl ReplacementPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [ReplacementPolicy; 3] =
-        [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random];
+    pub const ALL: [ReplacementPolicy; 3] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ];
 
     /// Short label for tables.
     pub fn label(&self) -> &'static str {

@@ -1,6 +1,7 @@
 //! The set-associative cache state machine.
 
 use crate::config::CacheConfig;
+use crate::observe::CacheObserver;
 use crate::policy::ReplacementPolicy;
 use crate::stats::{CacheStats, LineKind};
 
@@ -18,7 +19,13 @@ struct Line {
 
 impl Line {
     fn empty() -> Self {
-        Line { tag: 0, kind: LineKind::Data, valid: false, dirty: false, lru: 0 }
+        Line {
+            tag: 0,
+            kind: LineKind::Data,
+            valid: false,
+            dirty: false,
+            lru: 0,
+        }
     }
 }
 
@@ -82,6 +89,7 @@ pub struct Cache {
     /// Xorshift state for [`ReplacementPolicy::Random`].
     rng_state: u64,
     stats: CacheStats,
+    obs: CacheObserver,
 }
 
 impl Cache {
@@ -102,7 +110,14 @@ impl Cache {
             clock: 0,
             rng_state: 0x9e37_79b9_7f4a_7c15,
             stats: CacheStats::default(),
+            obs: CacheObserver::default(),
         }
+    }
+
+    /// Attaches registry-backed telemetry counters. The default observer
+    /// is disabled and free; see [`CacheObserver::for_registry`].
+    pub fn set_observer(&mut self, obs: CacheObserver) {
+        self.obs = obs;
     }
 
     /// The replacement policy in effect.
@@ -136,6 +151,7 @@ impl Cache {
         let set = self.config.set_index(addr) as usize;
         let clock = self.clock;
         let stats = self.stats.kind_mut(kind);
+        let counters = self.obs.kind(kind);
         let refresh = self.policy == ReplacementPolicy::Lru;
         for line in &mut self.sets[set] {
             if line.valid && line.tag == tag {
@@ -145,16 +161,20 @@ impl Cache {
                 if write {
                     line.dirty = true;
                     stats.write_hits += 1;
+                    counters.write_hits.inc();
                 } else {
                     stats.read_hits += 1;
+                    counters.read_hits.inc();
                 }
                 return LookupResult::Hit;
             }
         }
         if write {
             stats.write_misses += 1;
+            counters.write_misses.inc();
         } else {
             stats.read_misses += 1;
+            counters.read_misses.inc();
         }
         LookupResult::Miss
     }
@@ -219,16 +239,29 @@ impl Cache {
             let old = self.sets[set][way];
             if old.valid {
                 let vstats = self.stats.kind_mut(old.kind);
+                let vcounters = self.obs.kind(old.kind);
                 vstats.evictions += 1;
+                vcounters.evictions.inc();
                 if old.dirty {
                     vstats.dirty_evictions += 1;
+                    vcounters.dirty_evictions.inc();
                 }
-                Some(Eviction { addr: old.tag, kind: old.kind, dirty: old.dirty })
+                Some(Eviction {
+                    addr: old.tag,
+                    kind: old.kind,
+                    dirty: old.dirty,
+                })
             } else {
                 None
             }
         };
-        self.sets[set][way] = Line { tag, kind, valid: true, dirty, lru: self.clock };
+        self.sets[set][way] = Line {
+            tag,
+            kind,
+            valid: true,
+            dirty,
+            lru: self.clock,
+        };
         victim
     }
 
@@ -270,7 +303,11 @@ impl Cache {
         for line in &mut self.sets[set] {
             if line.valid && line.tag == tag {
                 line.valid = false;
-                return Some(Eviction { addr: line.tag, kind: line.kind, dirty: line.dirty });
+                return Some(Eviction {
+                    addr: line.tag,
+                    kind: line.kind,
+                    dirty: line.dirty,
+                });
             }
         }
         None
@@ -284,7 +321,11 @@ impl Cache {
         for set in &mut self.sets {
             for line in set {
                 if line.valid {
-                    out.push(Eviction { addr: line.tag, kind: line.kind, dirty: line.dirty });
+                    out.push(Eviction {
+                        addr: line.tag,
+                        kind: line.kind,
+                        dirty: line.dirty,
+                    });
                     line.valid = false;
                     line.dirty = false;
                 }
@@ -327,7 +368,10 @@ mod tests {
         assert!(c.lookup(0x40, LineKind::Data, false).is_miss());
         assert!(c.fill(0x40, LineKind::Data, false).is_none());
         assert!(c.lookup(0x40, LineKind::Data, false).is_hit());
-        assert!(c.lookup(0x7f, LineKind::Data, false).is_hit(), "same line, different offset");
+        assert!(
+            c.lookup(0x7f, LineKind::Data, false).is_hit(),
+            "same line, different offset"
+        );
         assert_eq!(c.stats().data.read_hits, 2);
         assert_eq!(c.stats().data.read_misses, 1);
     }

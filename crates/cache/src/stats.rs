@@ -67,6 +67,30 @@ impl KindStats {
             self.misses() as f64 / total as f64
         }
     }
+
+    /// Accumulates `other` into `self`. Merging is commutative and
+    /// associative, so per-segment stats sum to the whole-run totals.
+    pub fn merge(&mut self, other: &KindStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.evictions += other.evictions;
+        self.dirty_evictions += other.dirty_evictions;
+    }
+
+    /// The component-wise difference `self - earlier`, for interval
+    /// sampling over cumulative counters.
+    pub fn delta(&self, earlier: &KindStats) -> KindStats {
+        KindStats {
+            read_hits: self.read_hits - earlier.read_hits,
+            read_misses: self.read_misses - earlier.read_misses,
+            write_hits: self.write_hits - earlier.write_hits,
+            write_misses: self.write_misses - earlier.write_misses,
+            evictions: self.evictions - earlier.evictions,
+            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
+        }
+    }
 }
 
 /// Full statistics for a cache: per-kind counters plus occupancy tracking.
@@ -104,6 +128,20 @@ impl CacheStats {
     pub fn total_accesses(&self) -> u64 {
         self.data.accesses() + self.hash.accesses()
     }
+
+    /// Accumulates `other` into `self`, kind by kind.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.data.merge(&other.data);
+        self.hash.merge(&other.hash);
+    }
+
+    /// The component-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            data: self.data.delta(&earlier.data),
+            hash: self.hash.delta(&earlier.hash),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +155,13 @@ mod tests {
 
     #[test]
     fn miss_rate_arithmetic() {
-        let s = KindStats { read_hits: 6, read_misses: 2, write_hits: 1, write_misses: 1, ..Default::default() };
+        let s = KindStats {
+            read_hits: 6,
+            read_misses: 2,
+            write_hits: 1,
+            write_misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.accesses(), 10);
         assert_eq!(s.misses(), 3);
         assert_eq!(s.hits(), 7);
@@ -131,6 +175,9 @@ mod tests {
         assert_eq!(s.kind(LineKind::Hash).read_misses, 5);
         assert_eq!(s.kind(LineKind::Data).read_misses, 0);
         assert_eq!(s.total_misses(), 5);
-        assert_eq!(format!("{}/{}", LineKind::Data, LineKind::Hash), "data/hash");
+        assert_eq!(
+            format!("{}/{}", LineKind::Data, LineKind::Hash),
+            "data/hash"
+        );
     }
 }

@@ -1,13 +1,14 @@
-//! Property-based tests for the set-associative cache model.
+//! Randomized property tests for the set-associative cache model,
+//! driven by the workspace's deterministic PRNG (`miv_obs::rng`).
 //!
 //! These check structural invariants under arbitrary operation sequences:
 //! no duplicate resident lines, capacity bounds per set, LRU correctness
-//! against a reference model, and stats bookkeeping.
+//! against a reference model, stats bookkeeping, and stats merging.
 
 use std::collections::VecDeque;
 
-use miv_cache::{Cache, CacheConfig, LineKind};
-use proptest::prelude::*;
+use miv_cache::{Cache, CacheConfig, CacheStats, KindStats, LineKind};
+use miv_obs::rng::Rng;
 
 /// A reference cache: per-set VecDeque of (tag, dirty), front = LRU.
 struct RefCache {
@@ -17,7 +18,10 @@ struct RefCache {
 
 impl RefCache {
     fn new(config: CacheConfig) -> Self {
-        RefCache { config, sets: (0..config.sets()).map(|_| VecDeque::new()).collect() }
+        RefCache {
+            config,
+            sets: (0..config.sets()).map(|_| VecDeque::new()).collect(),
+        }
     }
 
     fn lookup(&mut self, addr: u64, write: bool) -> bool {
@@ -36,7 +40,11 @@ impl RefCache {
         let tag = self.config.tag(addr);
         let assoc = self.config.assoc as usize;
         let set = &mut self.sets[self.config.set_index(addr) as usize];
-        let victim = if set.len() == assoc { set.pop_front().map(|(t, _)| t) } else { None };
+        let victim = if set.len() == assoc {
+            set.pop_front().map(|(t, _)| t)
+        } else {
+            None
+        };
         set.push_back((tag, dirty));
         victim
     }
@@ -57,51 +65,60 @@ impl RefCache {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Access { addr: u64, write: bool },
     Invalidate { addr: u64 },
     MarkClean { addr: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // Confine addresses to 16 lines' worth of space spread over a tiny
-    // cache so sets collide heavily.
-    let addr = (0u64..16).prop_map(|line| line * 64 + (line % 7));
-    prop_oneof![
-        4 => (addr.clone(), any::<bool>()).prop_map(|(addr, write)| Op::Access { addr, write }),
-        1 => addr.clone().prop_map(|addr| Op::Invalidate { addr }),
-        1 => addr.prop_map(|addr| Op::MarkClean { addr }),
-    ]
+/// Confine addresses to 16 lines' worth of space spread over a tiny
+/// cache so sets collide heavily.
+fn random_op(rng: &mut Rng) -> Op {
+    let line = rng.gen_range_u64(0, 16);
+    let addr = line * 64 + (line % 7);
+    match rng.pick_weighted(&[4, 1, 1]) {
+        0 => Op::Access {
+            addr,
+            write: rng.gen_bool(0.5),
+        },
+        1 => Op::Invalidate { addr },
+        _ => Op::MarkClean { addr },
+    }
 }
 
-proptest! {
-    /// The cache model agrees with a simple LRU reference on residency and
-    /// dirty state under arbitrary access/invalidate/clean sequences.
-    #[test]
-    fn matches_reference_lru(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+/// The cache model agrees with a simple LRU reference on residency and
+/// dirty state under arbitrary access/invalidate/clean sequences.
+#[test]
+fn matches_reference_lru() {
+    let mut rng = Rng::seed_from_u64(0xcafe);
+    for _case in 0..64 {
         let config = CacheConfig::new(256, 2, 64); // 2 sets × 2 ways
         let mut sut = Cache::new(config);
         let mut reference = RefCache::new(config);
+        let ops = rng.gen_range_usize(1, 400);
 
-        for op in &ops {
-            match *op {
+        for _ in 0..ops {
+            match random_op(&mut rng) {
                 Op::Access { addr, write } => {
                     let hit = sut.lookup(addr, LineKind::Data, write).is_hit();
                     let ref_hit = reference.lookup(addr, write);
-                    prop_assert_eq!(hit, ref_hit, "hit mismatch at {:#x}", addr);
+                    assert_eq!(hit, ref_hit, "hit mismatch at {addr:#x}");
                     if !hit {
                         let victim = sut.fill(addr, LineKind::Data, write);
                         let ref_victim = reference.fill(addr, write);
-                        prop_assert_eq!(victim.map(|v| v.addr), ref_victim);
+                        assert_eq!(victim.map(|v| v.addr), ref_victim);
                     }
                 }
                 Op::Invalidate { addr } => {
                     let got = sut.invalidate(addr).is_some();
                     let tag = config.tag(addr);
                     let set = &mut reference.sets[config.set_index(addr) as usize];
-                    let expect = set.iter().position(|(t, _)| *t == tag).map(|p| set.remove(p));
-                    prop_assert_eq!(got, expect.is_some());
+                    let expect = set
+                        .iter()
+                        .position(|(t, _)| *t == tag)
+                        .map(|p| set.remove(p));
+                    assert_eq!(got, expect.is_some());
                 }
                 Op::MarkClean { addr } => {
                     let got = sut.mark_clean(addr);
@@ -114,53 +131,67 @@ proptest! {
                             found = true;
                         }
                     }
-                    prop_assert_eq!(got, found);
+                    assert_eq!(got, found);
                 }
             }
             // Residency & dirty state agree for every address in range.
             for line in 0..16u64 {
                 let addr = line * 64;
-                prop_assert_eq!(sut.contains(addr), reference.contains(addr));
-                prop_assert_eq!(sut.dirty(addr), reference.dirty(addr));
+                assert_eq!(sut.contains(addr), reference.contains(addr));
+                assert_eq!(sut.dirty(addr), reference.dirty(addr));
             }
         }
     }
+}
 
-    /// Hits + misses equals total accesses, and occupancy is bounded by
-    /// capacity.
-    #[test]
-    fn stats_and_occupancy_invariants(
-        addrs in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
-    ) {
+/// Hits + misses equals total accesses, and occupancy is bounded by
+/// capacity.
+#[test]
+fn stats_and_occupancy_invariants() {
+    let mut rng = Rng::seed_from_u64(0xbeef);
+    for _case in 0..64 {
         let config = CacheConfig::new(512, 4, 32); // 4 sets × 4 ways, 32-B lines
         let mut c = Cache::new(config);
-        for &(line, write) in &addrs {
+        let n = rng.gen_range_usize(1, 300);
+        for _ in 0..n {
+            let line = rng.gen_range_u64(0, 64);
+            let write = rng.gen_bool(0.5);
             let addr = line * 32;
-            let kind = if line % 3 == 0 { LineKind::Hash } else { LineKind::Data };
+            let kind = if line.is_multiple_of(3) {
+                LineKind::Hash
+            } else {
+                LineKind::Data
+            };
             if c.lookup(addr, kind, write).is_miss() {
                 c.fill(addr, kind, write);
             }
         }
         let s = *c.stats();
-        prop_assert_eq!(s.total_accesses(), addrs.len() as u64);
-        prop_assert_eq!(s.data.hits() + s.data.misses(), s.data.accesses());
-        prop_assert_eq!(s.hash.hits() + s.hash.misses(), s.hash.accesses());
+        assert_eq!(s.total_accesses(), n as u64);
+        assert_eq!(s.data.hits() + s.data.misses(), s.data.accesses());
+        assert_eq!(s.hash.hits() + s.hash.misses(), s.hash.accesses());
         let (d, h) = c.occupancy();
-        prop_assert!(d + h <= config.lines());
+        assert!(d + h <= config.lines());
         // Fills = misses; evictions can't exceed fills.
-        prop_assert!(s.data.evictions + s.hash.evictions <= s.total_misses());
-        prop_assert!(s.data.dirty_evictions <= s.data.evictions);
-        prop_assert!(s.hash.dirty_evictions <= s.hash.evictions);
+        assert!(s.data.evictions + s.hash.evictions <= s.total_misses());
+        assert!(s.data.dirty_evictions <= s.data.evictions);
+        assert!(s.hash.dirty_evictions <= s.hash.evictions);
     }
+}
 
-    /// After a flush the cache is empty and every previously-dirty line was
-    /// reported dirty.
-    #[test]
-    fn flush_reports_all_dirty_lines(lines in proptest::collection::vec((0u64..32, any::<bool>()), 1..100)) {
+/// After a flush the cache is empty and every previously-dirty line was
+/// reported dirty.
+#[test]
+fn flush_reports_all_dirty_lines() {
+    let mut rng = Rng::seed_from_u64(0xf00d);
+    for _case in 0..64 {
         let config = CacheConfig::new(1024, 2, 64);
         let mut c = Cache::new(config);
         let mut dirty_now = std::collections::HashMap::new();
-        for &(line, write) in &lines {
+        let n = rng.gen_range_usize(1, 100);
+        for _ in 0..n {
+            let line = rng.gen_range_u64(0, 32);
+            let write = rng.gen_bool(0.5);
             let addr = line * 64;
             if c.lookup(addr, LineKind::Data, write).is_miss() {
                 if let Some(v) = c.fill(addr, LineKind::Data, write) {
@@ -171,10 +202,95 @@ proptest! {
             *e = *e || write;
         }
         let drained = c.flush();
-        prop_assert_eq!(drained.len(), dirty_now.len());
+        assert_eq!(drained.len(), dirty_now.len());
         for ev in drained {
-            prop_assert_eq!(ev.dirty, dirty_now[&ev.addr], "line {:#x}", ev.addr);
+            assert_eq!(ev.dirty, dirty_now[&ev.addr], "line {:#x}", ev.addr);
         }
-        prop_assert_eq!(c.occupancy(), (0, 0));
+        assert_eq!(c.occupancy(), (0, 0));
+    }
+}
+
+fn random_kind_stats(rng: &mut Rng) -> KindStats {
+    KindStats {
+        read_hits: rng.gen_range_u64(0, 1000),
+        read_misses: rng.gen_range_u64(0, 1000),
+        write_hits: rng.gen_range_u64(0, 1000),
+        write_misses: rng.gen_range_u64(0, 1000),
+        evictions: rng.gen_range_u64(0, 1000),
+        dirty_evictions: rng.gen_range_u64(0, 1000),
+    }
+}
+
+/// `KindStats::merge` is associative and commutative, with the default
+/// value as identity — so any segmentation of a run sums identically.
+#[test]
+fn kind_stats_merge_is_associative() {
+    let mut rng = Rng::seed_from_u64(0x57a7);
+    for _case in 0..200 {
+        let a = random_kind_stats(&mut rng);
+        let b = random_kind_stats(&mut rng);
+        let c = random_kind_stats(&mut rng);
+
+        // (a + b) + c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Commutativity.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Identity.
+        let mut with_zero = a;
+        with_zero.merge(&KindStats::default());
+        assert_eq!(with_zero, a);
+
+        // delta inverts merge.
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.delta(&a), b);
+    }
+}
+
+/// Splitting a run's `CacheStats` at arbitrary points and merging the
+/// segments reproduces the uninterrupted totals.
+#[test]
+fn segmented_cache_stats_sum_to_whole() {
+    let mut rng = Rng::seed_from_u64(0x5e6);
+    for _case in 0..32 {
+        let config = CacheConfig::new(512, 4, 32);
+        let mut c = Cache::new(config);
+        let n = rng.gen_range_usize(10, 300);
+        let cut = rng.gen_range_usize(1, n);
+        let mut merged = CacheStats::default();
+        let mut before_cut = CacheStats::default();
+        for i in 0..n {
+            if i == cut {
+                before_cut = *c.stats();
+                merged.merge(&before_cut);
+            }
+            let line = rng.gen_range_u64(0, 64);
+            let kind = if line.is_multiple_of(3) {
+                LineKind::Hash
+            } else {
+                LineKind::Data
+            };
+            let addr = line * 32;
+            if c.lookup(addr, kind, rng.gen_bool(0.4)).is_miss() {
+                c.fill(addr, kind, false);
+            }
+        }
+        let whole = *c.stats();
+        merged.merge(&whole.delta(&before_cut));
+        assert_eq!(merged, whole);
     }
 }

@@ -97,10 +97,15 @@ impl VerifiedMemory {
     ///
     /// Panics if the range exceeds the data segment.
     pub fn reprotect(&mut self, addr: u64, len: u64) -> Result<(), IntegrityError> {
-        assert!(addr + len <= self.layout().data_bytes(), "range out of bounds");
+        assert!(
+            addr + len <= self.layout().data_bytes(),
+            "range out of bounds"
+        );
         let chunk_bytes = self.layout().chunk_bytes() as u64;
         let first = self.layout().data_chunk_for(addr);
-        let last = self.layout().data_chunk_for((addr + len - 1).min(self.layout().data_bytes() - 1));
+        let last = self
+            .layout()
+            .data_chunk_for((addr + len - 1).min(self.layout().data_bytes() - 1));
         let _ = chunk_bytes;
         for chunk in first..=last {
             self.rebuild_chunk_slot(chunk)?;
@@ -129,7 +134,10 @@ mod tests {
 
     #[test]
     fn dma_data_is_untrusted_until_reprotected() {
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         mem.dma_write(0x400, &[0xEEu8; 256]);
         // A checked read of the DMA'd region fails (by design)...
         assert!(mem.read_vec(0x400, 16).is_err());
@@ -137,7 +145,10 @@ mod tests {
 
     #[test]
     fn reprotect_adopts_dma_data() {
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         mem.dma_write(0x400, &[0xEEu8; 256]);
         // The unchecked read sees the device's bytes.
         assert_eq!(mem.read_without_checking(0x400, 4), vec![0xEE; 4]);
@@ -151,7 +162,10 @@ mod tests {
     #[test]
     fn reprotect_is_local() {
         // Rebuilding a small range must not rehash the whole segment.
-        let mut mem = MemoryBuilder::new().data_bytes(64 * 1024).cache_blocks(256).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(64 * 1024)
+            .cache_blocks(256)
+            .build();
         mem.reset_stats();
         mem.dma_write(0, &[7u8; 64]);
         mem.reprotect(0, 64).unwrap();
@@ -167,7 +181,10 @@ mod tests {
 
     #[test]
     fn unaligned_dma_ranges() {
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         mem.write(0x7f0, &[1u8; 64]).unwrap();
         mem.flush().unwrap();
         // DMA a misaligned range straddling chunk boundaries.
@@ -181,12 +198,18 @@ mod tests {
 
     #[test]
     fn adopt_moves_staged_data_into_protection() {
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         // Device stages a payload at the top of the segment.
         mem.dma_write(12 * 1024, b"incoming packet payload!");
         // The processor adopts it into a protected buffer.
         mem.adopt(12 * 1024, 0x100, 24).unwrap();
-        assert_eq!(mem.read_vec(0x100, 24).unwrap(), b"incoming packet payload!");
+        assert_eq!(
+            mem.read_vec(0x100, 24).unwrap(),
+            b"incoming packet payload!"
+        );
         // The staging buffer itself stays unprotected until reclaimed
         // (a checked read there would raise — and poison the engine — so
         // a real program uses read_without_checking until this point).
@@ -198,20 +221,30 @@ mod tests {
     #[test]
     fn dma_cannot_mask_unrelated_tampering() {
         // Reprotecting one range must not bless tampering elsewhere.
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         mem.write(0x2000, &[5u8; 64]).unwrap();
         mem.flush().unwrap();
         mem.clear_cache().unwrap();
         let victim = mem.layout().data_phys_addr(0x2000);
-        mem.adversary().tamper(victim, TamperKind::BitFlip { bit: 1 });
+        mem.adversary()
+            .tamper(victim, TamperKind::BitFlip { bit: 1 });
         mem.dma_write(0, &[1u8; 64]);
         mem.reprotect(0, 64).unwrap();
-        assert!(mem.read_vec(0x2000, 8).is_err(), "tamper must still be caught");
+        assert!(
+            mem.read_vec(0x2000, 8).is_err(),
+            "tamper must still be caught"
+        );
     }
 
     #[test]
     fn dma_invalidates_stale_cached_copies() {
-        let mut mem = MemoryBuilder::new().data_bytes(16 * 1024).cache_blocks(128).build();
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(16 * 1024)
+            .cache_blocks(128)
+            .build();
         mem.write(0x800, &[3u8; 64]).unwrap(); // cached dirty
         mem.dma_write(0x800, &[4u8; 64]); // device overwrites in RAM
         mem.reprotect(0x800, 64).unwrap();

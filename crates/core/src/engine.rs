@@ -28,6 +28,7 @@
 
 use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, DIGEST_BYTES};
 use miv_hash::narrow::{Mac120, XorMac120, NARROW_MAC_BYTES};
+use miv_obs::{EventSink, Histogram, Registry, SimEvent};
 
 use crate::error::IntegrityError;
 use crate::layout::{ParentRef, TreeLayout};
@@ -72,6 +73,35 @@ pub struct EngineStats {
     /// Write allocations that skipped the fetch+check because the whole
     /// block was overwritten (§5.3 optimization).
     pub alloc_no_fetch: u64,
+}
+
+impl EngineStats {
+    /// Accumulates `other` into `self`. Merging is commutative and
+    /// associative, so per-segment stats sum to the whole-run totals.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.chunk_verifications += other.chunk_verifications;
+        self.hash_computations += other.hash_computations;
+        self.mac_updates += other.mac_updates;
+        self.block_reads += other.block_reads;
+        self.unchecked_block_reads += other.unchecked_block_reads;
+        self.block_writes += other.block_writes;
+        self.writebacks += other.writebacks;
+        self.alloc_no_fetch += other.alloc_no_fetch;
+    }
+
+    /// The component-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            chunk_verifications: self.chunk_verifications - earlier.chunk_verifications,
+            hash_computations: self.hash_computations - earlier.hash_computations,
+            mac_updates: self.mac_updates - earlier.mac_updates,
+            block_reads: self.block_reads - earlier.block_reads,
+            unchecked_block_reads: self.unchecked_block_reads - earlier.unchecked_block_reads,
+            block_writes: self.block_writes - earlier.block_writes,
+            writebacks: self.writebacks - earlier.writebacks,
+            alloc_no_fetch: self.alloc_no_fetch - earlier.alloc_no_fetch,
+        }
+    }
 }
 
 /// Builder for [`VerifiedMemory`].
@@ -205,7 +235,10 @@ impl MemoryBuilder {
 
         let mut engine = VerifiedMemory {
             cache: TrustedCache::new(self.cache_blocks, layout.block_bytes() as usize),
-            secure: vec![[0u8; DIGEST_BYTES]; layout.arity().min(layout.total_chunks() as u32) as usize],
+            secure: vec![
+                [0u8; DIGEST_BYTES];
+                layout.arity().min(layout.total_chunks() as u32) as usize
+            ],
             protection: match self.protection {
                 Protection::HashTree => ProtImpl::Hash(self.hasher),
                 Protection::IncrementalMac => ProtImpl::Mac(XorMac120::new(self.key)),
@@ -215,6 +248,10 @@ impl MemoryBuilder {
             exceptions_enabled: true,
             poisoned: false,
             stats: EngineStats::default(),
+            verify_depth: Histogram::disabled(),
+            events: EventSink::disabled(),
+            walk_cur: 0,
+            walk_peak: 0,
         };
         engine.rebuild_tree();
         engine
@@ -287,6 +324,15 @@ pub struct VerifiedMemory {
     exceptions_enabled: bool,
     poisoned: bool,
     stats: EngineStats,
+    /// Telemetry: chunks verified per outermost check (walk depth).
+    verify_depth: Histogram,
+    /// Telemetry: integrity-violation events, timestamped by the
+    /// verification's operation index.
+    events: EventSink,
+    /// Current `read_and_check_chunk` recursion depth.
+    walk_cur: u32,
+    /// Peak recursion depth since the outermost call began.
+    walk_peak: u32,
 }
 
 type Result<T> = std::result::Result<T, IntegrityError>;
@@ -309,6 +355,14 @@ impl VerifiedMemory {
     /// Resets the operation counters.
     pub fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+    }
+
+    /// Attaches telemetry: an `engine.verify_depth` histogram (chunks
+    /// verified per outermost check) and [`SimEvent::IntegrityViolation`]
+    /// events, timestamped by verification operation index.
+    pub fn attach_observability(&mut self, registry: &Registry, events: EventSink) {
+        self.verify_depth = registry.histogram("engine.verify_depth");
+        self.events = events;
     }
 
     /// Trusted-cache hit/miss counters `(hits, misses)`.
@@ -404,7 +458,8 @@ impl VerifiedMemory {
                 // §5.3: a whole-block overwrite allocates without fetching
                 // or checking the old contents.
                 self.stats.alloc_no_fetch += 1;
-                self.cache.insert(block, data[pos..pos + take].to_vec(), true);
+                self.cache
+                    .insert(block, data[pos..pos + take].to_vec(), true);
                 self.enforce_capacity()?;
             } else {
                 let chunk = self.layout.chunk_of_addr(phys);
@@ -513,6 +568,18 @@ impl VerifiedMemory {
     /// image and compares it against the (pinned-resident) slot with no
     /// cache activity in between, so nothing can move under the compare.
     fn read_and_check_chunk(&mut self, chunk: u64) -> Result<Vec<u8>> {
+        self.walk_cur += 1;
+        self.walk_peak = self.walk_peak.max(self.walk_cur);
+        let result = self.read_and_check_chunk_inner(chunk);
+        self.walk_cur -= 1;
+        if self.walk_cur == 0 {
+            self.verify_depth.record(self.walk_peak as u64);
+            self.walk_peak = 0;
+        }
+        result
+    }
+
+    fn read_and_check_chunk_inner(&mut self, chunk: u64) -> Result<Vec<u8>> {
         // Phase 1: all fetches, fills, evictions and cascaded write-backs.
         let slot_loc = self.ensure_slot_resident(chunk)?;
         if let Some((block, _)) = slot_loc {
@@ -591,6 +658,12 @@ impl VerifiedMemory {
             }
         };
         if !ok && self.exceptions_enabled {
+            self.events.record(
+                self.stats.chunk_verifications,
+                SimEvent::IntegrityViolation {
+                    addr: self.layout.chunk_addr(chunk),
+                },
+            );
             return Err(IntegrityError::new(
                 chunk,
                 self.layout.chunk_addr(chunk),
@@ -606,7 +679,10 @@ impl VerifiedMemory {
     fn ensure_slot_resident(&mut self, chunk: u64) -> Result<Option<(u64, usize)>> {
         match self.layout.parent(chunk) {
             ParentRef::Secure { .. } => Ok(None),
-            ParentRef::Chunk { chunk: parent, index } => {
+            ParentRef::Chunk {
+                chunk: parent,
+                index,
+            } => {
                 let (block, offset) = self.slot_block(parent, index);
                 if !self.cache.contains(block) {
                     let image = self.read_and_check_chunk(parent)?;
@@ -626,7 +702,10 @@ impl VerifiedMemory {
     fn write_slot_resident(&mut self, chunk: u64, value: [u8; DIGEST_BYTES]) {
         match self.layout.parent(chunk) {
             ParentRef::Secure { index } => self.secure[index as usize] = value,
-            ParentRef::Chunk { chunk: parent, index } => {
+            ParentRef::Chunk {
+                chunk: parent,
+                index,
+            } => {
                 let (block, offset) = self.slot_block(parent, index);
                 let data = self
                     .cache
@@ -693,8 +772,7 @@ impl VerifiedMemory {
                 let mut dirty_blocks = Vec::new();
                 for j in 0..self.layout.blocks_per_chunk() {
                     let block = self.block_addr_of(chunk, j);
-                    let dst =
-                        &mut new_image[j as usize * block_len..(j as usize + 1) * block_len];
+                    let dst = &mut new_image[j as usize * block_len..(j as usize + 1) * block_len];
                     if let Some(data) = self.cache.peek(block) {
                         dst.copy_from_slice(data);
                         if self.cache.dirty(block) == Some(true) {
@@ -710,13 +788,17 @@ impl VerifiedMemory {
 
                 // Atomic flip: write dirty blocks to memory, mark the
                 // chunk's blocks clean, store the new hash in the parent.
-                let ProtImpl::Hash(hasher) = &self.protection else { unreachable!() };
+                let ProtImpl::Hash(hasher) = &self.protection else {
+                    unreachable!()
+                };
                 self.stats.hash_computations += 1;
                 let digest = hasher.digest(&new_image);
                 for &(block, j) in &dirty_blocks {
                     self.stats.block_writes += 1;
-                    self.mem
-                        .write(block, &new_image[j as usize * block_len..(j as usize + 1) * block_len]);
+                    self.mem.write(
+                        block,
+                        &new_image[j as usize * block_len..(j as usize + 1) * block_len],
+                    );
                     self.cache.mark_clean(block);
                 }
                 self.write_slot_resident(chunk, digest.into_bytes());
@@ -776,7 +858,9 @@ impl VerifiedMemory {
                 let new = self.cache.peek(victim).expect("victim pinned").to_vec();
                 let old_ts = ts >> j & 1 == 1;
                 let new_ts = !old_ts;
-                let ProtImpl::Mac(mac) = &self.protection else { unreachable!() };
+                let ProtImpl::Mac(mac) = &self.protection else {
+                    unreachable!()
+                };
                 self.stats.mac_updates += 1;
                 let new_tag = mac.update(tag, j as u64, (&old, old_ts), (&new, new_ts));
 
@@ -869,7 +953,11 @@ impl VerifiedMemory {
     ///
     /// Panics if the slot count differs from the layout's.
     pub(crate) fn restore_secure_root(&mut self, slots: &[[u8; DIGEST_BYTES]]) {
-        assert_eq!(slots.len(), self.secure.len(), "secure-root slot count mismatch");
+        assert_eq!(
+            slots.len(),
+            self.secure.len(),
+            "secure-root slot count mismatch"
+        );
         self.secure.copy_from_slice(slots);
     }
 
@@ -885,15 +973,20 @@ impl VerifiedMemory {
         for j in 0..self.layout.blocks_per_chunk() {
             let block = self.block_addr_of(chunk, j);
             if self.cache.dirty(block) == Some(true) {
-                let data = self.cache.peek(block).expect("dirty implies cached").to_vec();
+                let data = self
+                    .cache
+                    .peek(block)
+                    .expect("dirty implies cached")
+                    .to_vec();
                 self.stats.block_writes += 1;
                 self.mem.write(block, &data);
                 self.cache.mark_clean(block);
             }
         }
-        let image = self
-            .mem
-            .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+        let image = self.mem.read_vec(
+            self.layout.chunk_addr(chunk),
+            self.layout.chunk_bytes() as usize,
+        );
         let slot = match &self.protection {
             ProtImpl::Hash(hasher) => {
                 self.stats.hash_computations += 1;
@@ -940,7 +1033,11 @@ impl VerifiedMemory {
 
     fn check_poisoned(&self) -> Result<()> {
         if self.poisoned {
-            Err(IntegrityError::new(u64::MAX, 0, self.protection.scheme_name()))
+            Err(IntegrityError::new(
+                u64::MAX,
+                0,
+                self.protection.scheme_name(),
+            ))
         } else {
             Ok(())
         }
@@ -965,12 +1062,16 @@ impl VerifiedMemory {
     pub fn audit_invariant(&mut self) -> std::result::Result<(), String> {
         let block_len = self.layout.block_bytes() as usize;
         for chunk in 0..self.layout.total_chunks() {
-            let image = self
-                .mem
-                .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+            let image = self.mem.read_vec(
+                self.layout.chunk_addr(chunk),
+                self.layout.chunk_bytes() as usize,
+            );
             let slot: [u8; DIGEST_BYTES] = match self.layout.parent(chunk) {
                 ParentRef::Secure { index } => self.secure[index as usize],
-                ParentRef::Chunk { chunk: parent, index } => {
+                ParentRef::Chunk {
+                    chunk: parent,
+                    index,
+                } => {
                     let (block, offset) = self.slot_block(parent, index);
                     let mut out = [0u8; DIGEST_BYTES];
                     match self.cache.peek(block) {
@@ -1010,9 +1111,10 @@ impl VerifiedMemory {
     fn rebuild_tree(&mut self) {
         let block_len = self.layout.block_bytes() as usize;
         for chunk in (0..self.layout.total_chunks()).rev() {
-            let image = self
-                .mem
-                .read_vec(self.layout.chunk_addr(chunk), self.layout.chunk_bytes() as usize);
+            let image = self.mem.read_vec(
+                self.layout.chunk_addr(chunk),
+                self.layout.chunk_bytes() as usize,
+            );
             let slot = match &self.protection {
                 ProtImpl::Hash(hasher) => hasher.digest(&image).into_bytes(),
                 ProtImpl::Mac(mac) => {
@@ -1022,7 +1124,10 @@ impl VerifiedMemory {
             };
             match self.layout.parent(chunk) {
                 ParentRef::Secure { index } => self.secure[index as usize] = slot,
-                ParentRef::Chunk { chunk: parent, index } => {
+                ParentRef::Chunk {
+                    chunk: parent,
+                    index,
+                } => {
                     let addr =
                         self.layout.chunk_addr(parent) + self.layout.slot_offset(index) as u64;
                     self.mem.write(addr, &slot);

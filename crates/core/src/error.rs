@@ -17,7 +17,11 @@ pub struct IntegrityError {
 
 impl IntegrityError {
     pub(crate) fn new(chunk: u64, addr: u64, scheme: &'static str) -> Self {
-        IntegrityError { chunk, addr, scheme }
+        IntegrityError {
+            chunk,
+            addr,
+            scheme,
+        }
     }
 
     /// The chunk whose verification failed.

@@ -16,6 +16,8 @@
 use miv_hash::engine::HashEngineConfig;
 use miv_mem::IntervalSchedule;
 
+use crate::observe::HashUnitObserver;
+
 /// A simulation timestamp in core clock cycles.
 pub type Cycle = u64;
 
@@ -30,6 +32,27 @@ pub struct HashUnitStats {
     pub busy_cycles: u64,
     /// Cycles requests waited because the issue port was occupied.
     pub wait_cycles: u64,
+}
+
+impl HashUnitStats {
+    /// Accumulates `other` into `self`, component-wise.
+    pub fn merge(&mut self, other: &HashUnitStats) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+        self.busy_cycles += other.busy_cycles;
+        self.wait_cycles += other.wait_cycles;
+    }
+
+    /// The component-wise difference `self - earlier`, for interval
+    /// sampling over cumulative counters.
+    pub fn delta(&self, earlier: &HashUnitStats) -> HashUnitStats {
+        HashUnitStats {
+            ops: self.ops - earlier.ops,
+            bytes: self.bytes - earlier.bytes,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            wait_cycles: self.wait_cycles - earlier.wait_cycles,
+        }
+    }
 }
 
 /// The pipelined hash unit as a schedulable timing resource.
@@ -56,12 +79,24 @@ pub struct HashEngine {
     config: HashEngineConfig,
     issue: IntervalSchedule,
     stats: HashUnitStats,
+    obs: HashUnitObserver,
 }
 
 impl HashEngine {
     /// Creates an idle hash unit.
     pub fn new(config: HashEngineConfig) -> Self {
-        HashEngine { config, issue: IntervalSchedule::new(), stats: HashUnitStats::default() }
+        HashEngine {
+            config,
+            issue: IntervalSchedule::new(),
+            stats: HashUnitStats::default(),
+            obs: HashUnitObserver::disabled(),
+        }
+    }
+
+    /// Attaches telemetry handles; pass
+    /// [`HashUnitObserver::disabled`] to detach.
+    pub fn set_observer(&mut self, obs: HashUnitObserver) {
+        self.obs = obs;
     }
 
     /// The unit's configuration.
@@ -78,6 +113,7 @@ impl HashEngine {
         self.stats.bytes += bytes;
         self.stats.busy_cycles += occupancy;
         self.stats.wait_cycles += start - now;
+        self.obs.record(now, start, bytes);
         // Fully pipelined: result ready `latency` after the last sub-block
         // issues (a single 64-B block finishes `latency` after start).
         start + (occupancy - self.config.throughput.cycles_per_block()) + self.config.latency

@@ -85,8 +85,14 @@ impl TreeLayout {
     /// `data_bytes` is zero.
     pub fn new(data_bytes: u64, chunk_bytes: u32, block_bytes: u32) -> Self {
         assert!(data_bytes > 0, "cannot protect an empty segment");
-        assert!(chunk_bytes.is_power_of_two(), "chunk size must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            chunk_bytes.is_power_of_two(),
+            "chunk size must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(
             chunk_bytes.is_multiple_of(block_bytes) && chunk_bytes >= block_bytes,
             "chunk must be a whole number of blocks"
@@ -188,7 +194,10 @@ impl TreeLayout {
         if chunk < m {
             ParentRef::Secure { index }
         } else {
-            ParentRef::Chunk { chunk: chunk / m - 1, index }
+            ParentRef::Chunk {
+                chunk: chunk / m - 1,
+                index,
+            }
         }
     }
 
@@ -246,13 +255,19 @@ impl TreeLayout {
     ///
     /// Panics if `addr` is at or beyond `data_bytes`.
     pub fn data_chunk_for(&self, addr: u64) -> u64 {
-        assert!(addr < self.data_bytes, "data address {addr:#x} out of range");
+        assert!(
+            addr < self.data_bytes,
+            "data address {addr:#x} out of range"
+        );
         self.hash_chunks + addr / self.chunk_bytes as u64
     }
 
     /// Physical address of program-data address `addr`.
     pub fn data_phys_addr(&self, addr: u64) -> u64 {
-        assert!(addr < self.data_bytes, "data address {addr:#x} out of range");
+        assert!(
+            addr < self.data_bytes,
+            "data address {addr:#x} out of range"
+        );
         self.hash_chunks * self.chunk_bytes as u64 + addr
     }
 
@@ -372,7 +387,10 @@ mod tests {
             for child in l.children(chunk) {
                 assert_eq!(
                     l.parent(child),
-                    ParentRef::Chunk { chunk, index: (child % l.arity() as u64) as u32 },
+                    ParentRef::Chunk {
+                        chunk,
+                        index: (child % l.arity() as u64) as u32
+                    },
                     "child {child} of {chunk}"
                 );
             }
@@ -416,7 +434,11 @@ mod tests {
     fn overhead_is_about_one_over_m_minus_one() {
         let l = TreeLayout::new(16 << 20, 64, 64); // 4-ary
         let want = 1.0 / 3.0;
-        assert!((l.overhead() - want).abs() < 0.01, "overhead {}", l.overhead());
+        assert!(
+            (l.overhead() - want).abs() < 0.01,
+            "overhead {}",
+            l.overhead()
+        );
         let l8 = TreeLayout::new(16 << 20, 128, 128); // 8-ary
         assert!((l8.overhead() - 1.0 / 7.0).abs() < 0.01);
     }
@@ -463,7 +485,10 @@ mod tests {
         assert_eq!(l.data_chunk_for(63), first);
         assert_eq!(l.data_chunk_for(64), first + 1);
         assert_eq!(l.data_phys_addr(0), l.chunk_addr(first));
-        assert_eq!(l.chunk_of_addr(l.data_phys_addr(100)), l.data_chunk_for(100));
+        assert_eq!(
+            l.chunk_of_addr(l.data_phys_addr(100)),
+            l.data_chunk_for(100)
+        );
     }
 
     #[test]

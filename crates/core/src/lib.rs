@@ -52,6 +52,7 @@ pub mod error;
 pub mod hash_unit;
 pub mod layout;
 pub mod multi;
+pub mod observe;
 pub mod persist;
 pub mod storage;
 pub mod timing;
@@ -61,5 +62,6 @@ pub mod xom;
 pub use engine::{EngineStats, MemoryBuilder, Protection, VerifiedMemory};
 pub use error::IntegrityError;
 pub use layout::{ParentRef, TreeLayout};
+pub use observe::HashUnitObserver;
 pub use storage::{Adversary, Snapshot, TamperKind, UntrustedMemory};
 pub use timing::{CheckerConfig, CheckerEvent, CheckerStats, L2Controller, Scheme};

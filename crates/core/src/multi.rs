@@ -107,10 +107,7 @@ impl SecureContextManager {
         id: CompartmentId,
         data_bytes: u64,
     ) -> Result<CompartmentId, IntegrityError> {
-        assert!(
-            !self.compartments.contains_key(&id),
-            "{id} already exists"
-        );
+        assert!(!self.compartments.contains_key(&id), "{id} already exists");
         let mem = MemoryBuilder::new()
             .data_bytes(data_bytes)
             .key(self.compartment_key(id))
@@ -210,13 +207,25 @@ mod tests {
     fn compartments_are_isolated_state() {
         let (mut cpu, a, b) = two_compartments();
         cpu.switch_to(a).unwrap();
-        cpu.current_mut().unwrap().write(0, b"belongs to A").unwrap();
+        cpu.current_mut()
+            .unwrap()
+            .write(0, b"belongs to A")
+            .unwrap();
         cpu.switch_to(b).unwrap();
-        cpu.current_mut().unwrap().write(0, b"belongs to B").unwrap();
+        cpu.current_mut()
+            .unwrap()
+            .write(0, b"belongs to B")
+            .unwrap();
         cpu.switch_to(a).unwrap();
-        assert_eq!(cpu.current_mut().unwrap().read_vec(0, 12).unwrap(), b"belongs to A");
+        assert_eq!(
+            cpu.current_mut().unwrap().read_vec(0, 12).unwrap(),
+            b"belongs to A"
+        );
         cpu.switch_to(b).unwrap();
-        assert_eq!(cpu.current_mut().unwrap().read_vec(0, 12).unwrap(), b"belongs to B");
+        assert_eq!(
+            cpu.current_mut().unwrap().read_vec(0, 12).unwrap(),
+            b"belongs to B"
+        );
         assert_eq!(cpu.switches(), 3);
     }
 
@@ -293,7 +302,10 @@ mod tests {
         assert!(abort.is_err(), "the outgoing poisoned task is reported");
         assert!(cpu.compartment_mut(b).is_none(), "B was destroyed");
         assert_eq!(cpu.current_id(), Some(a));
-        assert_eq!(cpu.current_mut().unwrap().read_vec(0x100, 7).unwrap(), b"healthy");
+        assert_eq!(
+            cpu.current_mut().unwrap().read_vec(0x100, 7).unwrap(),
+            b"healthy"
+        );
     }
 
     #[test]

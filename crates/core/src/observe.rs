@@ -1,0 +1,88 @@
+//! Telemetry hooks for the checker: hash-unit queue metrics and the
+//! event handles the timing controller records walks into.
+//!
+//! Mirrors the observer pattern in `miv-cache`/`miv-mem`: bundles of
+//! pre-registered `miv-obs` handles, disabled by default, attached in one
+//! call by the simulation harness.
+
+use miv_obs::{Counter, EventSink, Histogram, Registry, SimEvent};
+
+/// Hash-unit telemetry. Attach with
+/// [`HashEngine::set_observer`](crate::hash_unit::HashEngine::set_observer).
+#[derive(Debug, Clone, Default)]
+pub struct HashUnitObserver {
+    /// Hash operations issued.
+    pub ops: Counter,
+    /// Bytes digested.
+    pub bytes: Counter,
+    /// Cycles each operation queued for the issue port.
+    pub queue_wait: Histogram,
+    /// Enqueue/dequeue events.
+    pub events: EventSink,
+}
+
+impl HashUnitObserver {
+    /// A no-op observer (the default).
+    pub fn disabled() -> Self {
+        HashUnitObserver::default()
+    }
+
+    /// Registers `{prefix}.ops`, `{prefix}.bytes` and a
+    /// `{prefix}.queue_wait` histogram, recording enqueue/dequeue events
+    /// into `events`.
+    pub fn for_registry(registry: &Registry, prefix: &str, events: EventSink) -> Self {
+        HashUnitObserver {
+            ops: registry.counter(&format!("{prefix}.ops")),
+            bytes: registry.counter(&format!("{prefix}.bytes")),
+            queue_wait: registry.histogram(&format!("{prefix}.queue_wait")),
+            events,
+        }
+    }
+
+    /// Records one scheduled operation: `bytes` arriving at `now`, issue
+    /// granted at `start`.
+    #[inline]
+    pub fn record(&self, now: u64, start: u64, bytes: u64) {
+        self.ops.inc();
+        self.bytes.add(bytes);
+        self.queue_wait.record(start - now);
+        if self.events.is_enabled() {
+            self.events.record(
+                now,
+                SimEvent::HashEnqueue {
+                    bytes: bytes as u32,
+                },
+            );
+            self.events
+                .record(start, SimEvent::HashDequeue { wait: start - now });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miv_obs::EventTrace;
+
+    #[test]
+    fn registers_under_prefix() {
+        let reg = Registry::new();
+        let trace = EventTrace::bounded(8);
+        let obs = HashUnitObserver::for_registry(&reg, "hash_unit", trace.sink());
+        obs.record(100, 120, 64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["hash_unit.ops"], 1);
+        assert_eq!(snap.counters["hash_unit.bytes"], 64);
+        assert_eq!(snap.histograms["hash_unit.queue_wait"].count, 1);
+        assert_eq!(snap.histograms["hash_unit.queue_wait"].sum, 20);
+        assert_eq!(trace.recorded(), 2);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = HashUnitObserver::default();
+        obs.record(0, 10, 64);
+        assert!(!obs.ops.is_enabled());
+        assert_eq!(obs.ops.get(), 0);
+    }
+}

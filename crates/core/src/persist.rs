@@ -70,7 +70,11 @@ impl VerifiedMemory {
 
     /// Returns the trusted root material for [`restore`].
     pub fn export_root(&self, protection: Protection, key: [u8; 16]) -> SavedRoot {
-        SavedRoot { protection, key, slots: self.secure_root().to_vec() }
+        SavedRoot {
+            protection,
+            key,
+            slots: self.secure_root().to_vec(),
+        }
     }
 }
 
@@ -98,9 +102,8 @@ pub fn restore(
 ) -> Result<VerifiedMemory, IntegrityError> {
     let b = &image.bytes;
     assert!(b.len() >= 32 && b[..8] == MAGIC, "malformed image header");
-    let word = |i: usize| {
-        u64::from_le_bytes(b[8 + 8 * i..16 + 8 * i].try_into().expect("header word"))
-    };
+    let word =
+        |i: usize| u64::from_le_bytes(b[8 + 8 * i..16 + 8 * i].try_into().expect("header word"));
     let data_bytes = word(0);
     let chunk_bytes = word(1) as u32;
     let block_bytes = word(2) as u32;
@@ -138,7 +141,11 @@ mod tests {
     const KEY: [u8; 16] = *b"persistence-key!";
 
     fn build() -> VerifiedMemory {
-        MemoryBuilder::new().data_bytes(8 * 1024).key(KEY).cache_blocks(64).build()
+        MemoryBuilder::new()
+            .data_bytes(8 * 1024)
+            .key(KEY)
+            .cache_blocks(64)
+            .build()
     }
 
     #[test]
@@ -211,7 +218,9 @@ mod tests {
         assert_eq!(revived.read_vec(0x40, 13).unwrap(), b"mac persisted");
         // ...and tampering the image still fails under the MAC.
         let phys = revived.layout().data_phys_addr(0x40);
-        revived.adversary().tamper(phys, TamperKind::BitFlip { bit: 0 });
+        revived
+            .adversary()
+            .tamper(phys, TamperKind::BitFlip { bit: 0 });
         revived.clear_cache().unwrap();
         assert!(revived.read_vec(0x40, 13).is_err());
     }
@@ -220,6 +229,11 @@ mod tests {
     #[should_panic(expected = "malformed image header")]
     fn garbage_image_panics() {
         let root = build().export_root(Protection::HashTree, KEY);
-        let _ = restore(&SavedImage::from_bytes(vec![0; 8]), &root, 64, Box::new(Md5Hasher));
+        let _ = restore(
+            &SavedImage::from_bytes(vec![0; 8]),
+            &root,
+            64,
+            Box::new(Md5Hasher),
+        );
     }
 }

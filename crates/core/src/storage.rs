@@ -41,7 +41,11 @@ impl fmt::Debug for UntrustedMemory {
 impl UntrustedMemory {
     /// Allocates `len` bytes of zeroed memory.
     pub fn new(len: u64) -> Self {
-        UntrustedMemory { bytes: vec![0u8; len as usize], reads: 0, writes: 0 }
+        UntrustedMemory {
+            bytes: vec![0u8; len as usize],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Size in bytes.
@@ -178,7 +182,10 @@ impl<'a> Adversary<'a> {
 
     /// Records a region for a later replay.
     pub fn snapshot(&mut self, addr: u64, len: usize) -> Snapshot {
-        Snapshot { addr, data: self.mem.read_vec(addr, len) }
+        Snapshot {
+            addr,
+            data: self.mem.read_vec(addr, len),
+        }
     }
 
     /// Restores a previously-saved region — the replay attack.
@@ -220,7 +227,12 @@ mod tests {
         let mut adv = Adversary::new(&mut mem);
         adv.tamper(0, TamperKind::CopyFrom { src: 32, len: 4 });
         assert_eq!(adv.observe(0, 4), b"BBBB");
-        adv.tamper(0, TamperKind::Replace { data: b"CC".to_vec() });
+        adv.tamper(
+            0,
+            TamperKind::Replace {
+                data: b"CC".to_vec(),
+            },
+        );
         assert_eq!(adv.observe(0, 4), b"CCBB");
     }
 

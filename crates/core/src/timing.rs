@@ -21,11 +21,15 @@
 //! issued checks finish — which crypto-barrier instructions wait for.
 //! The `block_on_verify` option disables speculation (an ablation).
 
-use miv_cache::{Cache, CacheConfig, CacheStats, Eviction, LineKind, ReplacementPolicy};
+use miv_cache::{
+    Cache, CacheConfig, CacheObserver, CacheStats, Eviction, LineKind, ReplacementPolicy,
+};
 use miv_hash::engine::HashEngineConfig;
+use miv_obs::{EventSink, Histogram, LineClass, Registry, SimEvent};
 
 use crate::hash_unit::HashEngine;
-use miv_mem::{MemoryBus, MemoryBusConfig, TrafficClass};
+use crate::observe::HashUnitObserver;
+use miv_mem::{BusObserver, MemoryBus, MemoryBusConfig, TrafficClass};
 
 use crate::layout::{ParentRef, TreeLayout};
 
@@ -49,8 +53,13 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes in presentation order.
-    pub const ALL: [Scheme; 5] =
-        [Scheme::Base, Scheme::Naive, Scheme::CHash, Scheme::MHash, Scheme::IHash];
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Base,
+        Scheme::Naive,
+        Scheme::CHash,
+        Scheme::MHash,
+        Scheme::IHash,
+    ];
 
     /// Short label used in tables (matches the paper's names).
     pub fn label(&self) -> &'static str {
@@ -149,6 +158,38 @@ pub struct CheckerStats {
 }
 
 impl CheckerStats {
+    /// Accumulates `other` into `self`. Merging is commutative and
+    /// associative, so per-segment stats sum to the whole-run totals.
+    pub fn merge(&mut self, other: &CheckerStats) {
+        self.data_fetches += other.data_fetches;
+        self.hash_fetches += other.hash_fetches;
+        self.extra_data_fetches += other.extra_data_fetches;
+        self.verifications += other.verifications;
+        self.writebacks += other.writebacks;
+        self.alloc_no_fetch += other.alloc_no_fetch;
+        self.read_buffer_wait += other.read_buffer_wait;
+        self.write_buffer_wait += other.write_buffer_wait;
+        self.miss_latency += other.miss_latency;
+        self.misses_timed += other.misses_timed;
+    }
+
+    /// The component-wise difference `self - earlier`, for interval
+    /// sampling over cumulative counters.
+    pub fn delta(&self, earlier: &CheckerStats) -> CheckerStats {
+        CheckerStats {
+            data_fetches: self.data_fetches - earlier.data_fetches,
+            hash_fetches: self.hash_fetches - earlier.hash_fetches,
+            extra_data_fetches: self.extra_data_fetches - earlier.extra_data_fetches,
+            verifications: self.verifications - earlier.verifications,
+            writebacks: self.writebacks - earlier.writebacks,
+            alloc_no_fetch: self.alloc_no_fetch - earlier.alloc_no_fetch,
+            read_buffer_wait: self.read_buffer_wait - earlier.read_buffer_wait,
+            write_buffer_wait: self.write_buffer_wait - earlier.write_buffer_wait,
+            miss_latency: self.miss_latency - earlier.miss_latency,
+            misses_timed: self.misses_timed - earlier.misses_timed,
+        }
+    }
+
     /// Total memory block loads attributable to verification, i.e. loads
     /// beyond the demand data fetches (the Figure 5a numerator).
     pub fn extra_loads(&self) -> u64 {
@@ -226,7 +267,9 @@ struct SlotId(usize);
 impl BufferPool {
     fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer needs at least one entry");
-        BufferPool { slots: vec![0; capacity] }
+        BufferPool {
+            slots: vec![0; capacity],
+        }
     }
 
     /// Reserves the earliest-free slot for a request arriving at `now`;
@@ -240,7 +283,11 @@ impl BufferPool {
             .enumerate()
             .min_by_key(|(_, r)| *r)
             .expect("capacity >= 1");
-        assert_ne!(release, Cycle::MAX, "all buffer entries reserved by in-flight operations");
+        assert_ne!(
+            release,
+            Cycle::MAX,
+            "all buffer entries reserved by in-flight operations"
+        );
         self.slots[idx] = Cycle::MAX;
         (now.max(release), SlotId(idx))
     }
@@ -297,6 +344,10 @@ pub struct L2Controller {
     pending: Vec<(Cycle, Eviction)>,
     /// Optional event log (enabled by [`enable_probe`](Self::enable_probe)).
     probe: Option<Vec<CheckerEvent>>,
+    /// Telemetry: uncached tree levels walked per demand-miss check.
+    walk_depth: Histogram,
+    /// Telemetry: typed event stream (misses, walks, write-backs).
+    events: EventSink,
 }
 
 impl L2Controller {
@@ -322,7 +373,11 @@ impl L2Controller {
                 ),
                 Scheme::Base => unreachable!(),
             }
-            Some(TreeLayout::new(config.protected_bytes, config.chunk_bytes, line))
+            Some(TreeLayout::new(
+                config.protected_bytes,
+                config.chunk_bytes,
+                line,
+            ))
         } else {
             None
         };
@@ -336,9 +391,30 @@ impl L2Controller {
             stats: CheckerStats::default(),
             pending: Vec::new(),
             probe: None,
+            walk_depth: Histogram::disabled(),
+            events: EventSink::disabled(),
             config,
             layout,
         }
+    }
+
+    /// Attaches telemetry to every component the controller owns: L2
+    /// counters under `l2.*`, bus counters under `bus.*`, hash-unit
+    /// metrics under `hash_unit.*`, a `checker.walk_depth` histogram, and
+    /// typed events (L2 misses, tree walks, hash-queue activity,
+    /// write-backs) into `events`.
+    pub fn attach_observability(&mut self, registry: &Registry, events: EventSink) {
+        self.l2
+            .set_observer(CacheObserver::for_registry(registry, "l2"));
+        self.bus
+            .set_observer(BusObserver::for_registry(registry, "bus"));
+        self.engine.set_observer(HashUnitObserver::for_registry(
+            registry,
+            "hash_unit",
+            events.clone(),
+        ));
+        self.walk_depth = registry.histogram("checker.walk_depth");
+        self.events = events;
     }
 
     /// Starts recording [`CheckerEvent`]s (clears any previous log).
@@ -438,6 +514,14 @@ impl L2Controller {
         if self.l2.lookup(phys, LineKind::Data, write).is_hit() {
             return t0;
         }
+        self.events.record(
+            now,
+            SimEvent::L2Miss {
+                class: LineClass::Data,
+                write,
+                addr: phys,
+            },
+        );
         let ready = match self.config.scheme {
             Scheme::Base => self.miss_base(t0, phys, write, full_line),
             Scheme::Naive => self.miss_naive(t0, phys, write, full_line),
@@ -458,9 +542,17 @@ impl L2Controller {
     fn drain_writebacks(&mut self) {
         while let Some((t, ev)) = self.pending.pop() {
             self.stats.writebacks += 1;
+            self.events.record(
+                t,
+                SimEvent::WriteBack {
+                    class: line_class(ev.kind),
+                    addr: ev.addr,
+                },
+            );
             match self.config.scheme {
                 Scheme::Base => {
-                    self.bus.write(t, self.line_bytes(), class_for(ev.kind, false));
+                    self.bus
+                        .write(t, self.line_bytes(), class_for(ev.kind, false));
                 }
                 Scheme::Naive => self.writeback_naive(t, ev.addr),
                 _ => self.writeback_cached_tree(t, ev),
@@ -514,16 +606,22 @@ impl L2Controller {
         // full"), not the issue of the request.
         self.stats.data_fetches += 1;
         let data = self.bus.read(t0, self.line_bytes(), TrafficClass::DataRead);
-        self.emit(CheckerEvent::DemandFetch { addr: phys, arrives: data.complete });
+        self.emit(CheckerEvent::DemandFetch {
+            addr: phys,
+            arrives: data.complete,
+        });
         let (vstart, slot) = self.acquire_read_buf(data.complete);
 
         // Hash path: every ancestor chunk is loaded from memory and the
         // whole chain hashed — log_m(N) extra reads per miss.
+        self.events.record(vstart, SimEvent::WalkStart { chunk });
+        let mut depth = 0u32;
         let mut level_arrival = vstart;
         let mut verify_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
         self.stats.verifications += 1;
         for ancestor in layout.path_to_root(chunk) {
             let _ = ancestor;
+            depth += 1;
             self.stats.hash_fetches += self.blocks_per_chunk();
             let mut chunk_arrival = level_arrival;
             for _ in 0..self.blocks_per_chunk() {
@@ -535,6 +633,15 @@ impl L2Controller {
             verify_done = verify_done.max(h);
             level_arrival = chunk_arrival;
         }
+        self.walk_depth.record(depth as u64);
+        self.events.record(
+            verify_done,
+            SimEvent::WalkEnd {
+                chunk,
+                depth,
+                reached_root: true,
+            },
+        );
         self.read_buf.occupy(slot, verify_done);
         self.note_verification(verify_done);
 
@@ -554,7 +661,9 @@ impl L2Controller {
         let (start, slot) = self.acquire_write_buf(t);
         // New hash of the written chunk.
         let mut prev_hash_done = self.schedule_chunk_hash(start, layout.chunk_bytes());
-        let data_written = self.bus.write(start, self.line_bytes(), TrafficClass::DataWrite);
+        let data_written = self
+            .bus
+            .write(start, self.line_bytes(), TrafficClass::DataWrite);
         let mut done = data_written.complete.max(prev_hash_done);
         for _ancestor in layout.path_to_root(chunk) {
             // Fetch the ancestor, splice in the child's new hash, verify
@@ -562,13 +671,18 @@ impl L2Controller {
             self.stats.hash_fetches += self.blocks_per_chunk();
             let mut arrival = start;
             for _ in 0..self.blocks_per_chunk() {
-                let t = self.bus.read(start, self.line_bytes(), TrafficClass::HashRead);
+                let t = self
+                    .bus
+                    .read(start, self.line_bytes(), TrafficClass::HashRead);
                 arrival = arrival.max(t.complete);
             }
             self.stats.verifications += 1;
             let verified = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
-            let rehash = self.schedule_chunk_hash(verified.max(prev_hash_done), layout.chunk_bytes());
-            let wb = self.bus.write(rehash, self.line_bytes(), TrafficClass::HashWrite);
+            let rehash =
+                self.schedule_chunk_hash(verified.max(prev_hash_done), layout.chunk_bytes());
+            let wb = self
+                .bus
+                .write(rehash, self.line_bytes(), TrafficClass::HashWrite);
             prev_hash_done = rehash;
             done = done.max(wb.complete).max(rehash);
         }
@@ -626,7 +740,10 @@ impl L2Controller {
                 let t = self.bus.read(t0, self.line_bytes(), class);
                 if b == block {
                     demand_arrival = t.complete;
-                    self.emit(CheckerEvent::DemandFetch { addr: b, arrives: t.complete });
+                    self.emit(CheckerEvent::DemandFetch {
+                        addr: b,
+                        arrives: t.complete,
+                    });
                 }
                 chunk_arrival = chunk_arrival.max(t.complete);
             }
@@ -650,11 +767,27 @@ impl L2Controller {
         // entries, so the slot is released at hash completion.
         self.stats.verifications += 1;
         let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
-        self.emit(CheckerEvent::HashScheduled { chunk, done: hash_done });
+        self.emit(CheckerEvent::HashScheduled {
+            chunk,
+            done: hash_done,
+        });
         self.read_buf.occupy(slot, hash_done);
-        let parent_at = self.fetch_slot(vstart, chunk, false);
+        self.events.record(vstart, SimEvent::WalkStart { chunk });
+        let (parent_at, depth, reached_root) = self.fetch_slot(vstart, chunk, false);
         let verify_done = hash_done.max(parent_at);
-        self.emit(CheckerEvent::VerifyComplete { chunk, done: verify_done });
+        self.walk_depth.record(depth as u64);
+        self.events.record(
+            verify_done,
+            SimEvent::WalkEnd {
+                chunk,
+                depth,
+                reached_root,
+            },
+        );
+        self.emit(CheckerEvent::VerifyComplete {
+            chunk,
+            done: verify_done,
+        });
         self.note_verification(verify_done);
 
         if self.config.block_on_verify {
@@ -664,21 +797,30 @@ impl L2Controller {
         }
     }
 
-    /// Makes chunk `chunk`'s slot available, returning when it can be
-    /// compared: a root register read, an L2 hash-line hit, or a recursive
-    /// fetch of the parent chunk (which verifies in the background).
+    /// Makes chunk `chunk`'s slot available, returning `(ready, depth,
+    /// reached_root)`: the cycle it can be compared (a root register read,
+    /// an L2 hash-line hit, or a recursive fetch of the parent chunk,
+    /// which verifies in the background), the number of uncached tree
+    /// levels the walk fetched, and whether it climbed to the secure root.
     ///
     /// With `for_update` the slot line is dirtied (a write-back storing a
     /// new hash).
-    fn fetch_slot(&mut self, t: Cycle, chunk: u64, for_update: bool) -> Cycle {
+    fn fetch_slot(&mut self, t: Cycle, chunk: u64, for_update: bool) -> (Cycle, u32, bool) {
         let layout = *self.layout.as_ref().expect("scheme has a layout");
         match layout.parent(chunk) {
-            ParentRef::Secure { .. } => t, // root register: immediate
-            ParentRef::Chunk { chunk: parent, index } => {
+            ParentRef::Secure { .. } => (t, 0, true), // root register: immediate
+            ParentRef::Chunk {
+                chunk: parent,
+                index,
+            } => {
                 let slot_byte = layout.chunk_addr(parent) + layout.slot_offset(index) as u64;
                 let slot_block = self.block_addr(slot_byte);
-                if self.l2.lookup(slot_block, LineKind::Hash, for_update).is_hit() {
-                    return t + self.config.l2_latency;
+                if self
+                    .l2
+                    .lookup(slot_block, LineKind::Hash, for_update)
+                    .is_hit()
+                {
+                    return (t + self.config.l2_latency, 0, false);
                 }
                 // Miss: fetch the parent chunk's blocks from memory, fill
                 // them as hash lines, verify the parent in the background.
@@ -690,7 +832,10 @@ impl L2Controller {
                     if b == slot_block || !resident_clean {
                         self.stats.hash_fetches += 1;
                         let bt = self.bus.read(t, self.line_bytes(), TrafficClass::HashRead);
-                        self.emit(CheckerEvent::HashFetch { addr: b, arrives: bt.complete });
+                        self.emit(CheckerEvent::HashFetch {
+                            addr: b,
+                            arrives: bt.complete,
+                        });
                         if b == slot_block {
                             slot_arrival = bt.complete;
                         }
@@ -710,13 +855,19 @@ impl L2Controller {
                 // root until a cached node or the root register is found).
                 self.stats.verifications += 1;
                 let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
-                self.emit(CheckerEvent::HashScheduled { chunk: parent, done: hash_done });
+                self.emit(CheckerEvent::HashScheduled {
+                    chunk: parent,
+                    done: hash_done,
+                });
                 self.read_buf.occupy(slot, hash_done);
-                let grand = self.fetch_slot(vstart, parent, false);
+                let (grand, depth, reached_root) = self.fetch_slot(vstart, parent, false);
                 let verify_done = hash_done.max(grand);
-                self.emit(CheckerEvent::VerifyComplete { chunk: parent, done: verify_done });
+                self.emit(CheckerEvent::VerifyComplete {
+                    chunk: parent,
+                    done: verify_done,
+                });
                 self.note_verification(verify_done);
-                slot_ready
+                (slot_ready, depth + 1, reached_root)
             }
         }
     }
@@ -731,17 +882,24 @@ impl L2Controller {
             // §5.4: read the parent MAC (checked), read the old block
             // value (unchecked), two PRF computations + PRP update, write
             // the block, store the new MAC.
-            let slot_at = self.fetch_slot(start, chunk, true);
+            let (slot_at, _, _) = self.fetch_slot(start, chunk, true);
             self.stats.extra_data_fetches += 1;
-            let old = self.bus.read(start, self.line_bytes(), class_for(ev.kind, true));
+            let old = self
+                .bus
+                .read(start, self.line_bytes(), class_for(ev.kind, true));
             // h(old) and h(new): two block-sized hash computations.
             let upd = self
                 .engine
                 .schedule(old.complete.max(slot_at), 2 * self.line_bytes());
-            let wb = self.bus.write(upd, self.line_bytes(), class_for(ev.kind, false));
+            let wb = self
+                .bus
+                .write(upd, self.line_bytes(), class_for(ev.kind, false));
             let done = wb.complete.max(upd);
             self.write_buf.occupy(slot, done);
-            self.emit(CheckerEvent::WriteBack { addr: ev.addr, done });
+            self.emit(CheckerEvent::WriteBack {
+                addr: ev.addr,
+                done,
+            });
             self.note_verification(done);
             return;
         }
@@ -756,7 +914,9 @@ impl L2Controller {
             if b != ev.addr && !self.l2.contains(b) {
                 self.stats.extra_data_fetches += 1;
                 fetched += 1;
-                let bt = self.bus.read(start, self.line_bytes(), class_for(ev.kind, true));
+                let bt = self
+                    .bus
+                    .read(start, self.line_bytes(), class_for(ev.kind, true));
                 arrival = arrival.max(bt.complete);
             }
         }
@@ -764,7 +924,7 @@ impl L2Controller {
             // The gathered old image must itself be verified (§5.3).
             self.stats.verifications += 1;
             let h = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
-            let p = self.fetch_slot(arrival, chunk, false);
+            let (p, _, _) = self.fetch_slot(arrival, chunk, false);
             self.note_verification(h.max(p));
         }
 
@@ -773,11 +933,16 @@ impl L2Controller {
         // marks them clean, but the timing effect of grouping is minor and
         // per-block write-back keeps the cache model simple.
         let hash_done = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
-        let wb = self.bus.write(arrival, self.line_bytes(), class_for(ev.kind, false));
+        let wb = self
+            .bus
+            .write(arrival, self.line_bytes(), class_for(ev.kind, false));
         self.write_buf.occupy(slot, wb.complete.max(hash_done));
-        let slot_at = self.fetch_slot(hash_done, chunk, true);
+        let (slot_at, _, _) = self.fetch_slot(hash_done, chunk, true);
         let done = wb.complete.max(hash_done).max(slot_at);
-        self.emit(CheckerEvent::WriteBack { addr: ev.addr, done });
+        self.emit(CheckerEvent::WriteBack {
+            addr: ev.addr,
+            done,
+        });
         self.note_verification(done);
     }
 
@@ -838,6 +1003,13 @@ impl L2Controller {
     }
 }
 
+fn line_class(kind: LineKind) -> LineClass {
+    match kind {
+        LineKind::Data => LineClass::Data,
+        LineKind::Hash => LineClass::Hash,
+    }
+}
+
 fn class_for(kind: LineKind, read: bool) -> TrafficClass {
     match (kind, read) {
         (LineKind::Data, true) => TrafficClass::DataRead,
@@ -858,7 +1030,11 @@ mod tests {
             _ => line,
         };
         cfg.protected_bytes = 16 << 20; // keep trees small for tests
-        L2Controller::new(cfg, CacheConfig::l2(l2_kb << 10, line), MemoryBusConfig::default())
+        L2Controller::new(
+            cfg,
+            CacheConfig::l2(l2_kb << 10, line),
+            MemoryBusConfig::default(),
+        )
     }
 
     #[test]
@@ -974,8 +1150,11 @@ mod tests {
         let mut cfg = CheckerConfig::hpca03(Scheme::CHash);
         cfg.protected_bytes = 16 << 20;
         cfg.write_allocate_no_fetch = false;
-        let mut c2 =
-            L2Controller::new(cfg, CacheConfig::l2(256 << 10, 64), MemoryBusConfig::default());
+        let mut c2 = L2Controller::new(
+            cfg,
+            CacheConfig::l2(256 << 10, 64),
+            MemoryBusConfig::default(),
+        );
         let t2 = c2.access(0, 0, true, true);
         assert!(t2 > 100);
         assert_eq!(c2.stats().data_fetches, 1);
@@ -1000,7 +1179,10 @@ mod tests {
         c.access(0, 0, false, false);
         let s = c.stats();
         assert_eq!(s.data_fetches, 1);
-        assert_eq!(s.extra_data_fetches, 1, "sibling block fetched for the check");
+        assert_eq!(
+            s.extra_data_fetches, 1,
+            "sibling block fetched for the check"
+        );
         // The sibling is now cached: accessing it hits.
         let hit = c.access(1000, 64, false, false);
         assert_eq!(hit, 1010);
@@ -1037,7 +1219,10 @@ mod tests {
         };
         let (wb_m, extra_m) = run(Scheme::MHash);
         let (wb_i, extra_i) = run(Scheme::IHash);
-        assert!(wb_m > 100 && wb_i > 100, "write-backs occurred: {wb_m}, {wb_i}");
+        assert!(
+            wb_m > 100 && wb_i > 100,
+            "write-backs occurred: {wb_m}, {wb_i}"
+        );
         // Both schemes fetch 3 sibling blocks on the read path; the
         // difference is the write-back path, where ihash's single
         // unchecked read beats mhash's multi-block gather.
@@ -1118,7 +1303,11 @@ mod tests {
     fn chash_geometry_enforced() {
         let mut cfg = CheckerConfig::hpca03(Scheme::CHash);
         cfg.chunk_bytes = 128;
-        let _ = L2Controller::new(cfg, CacheConfig::l2(1 << 20, 64), MemoryBusConfig::default());
+        let _ = L2Controller::new(
+            cfg,
+            CacheConfig::l2(1 << 20, 64),
+            MemoryBusConfig::default(),
+        );
     }
 
     #[test]

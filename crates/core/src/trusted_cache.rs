@@ -147,10 +147,21 @@ impl TrustedCache {
     /// length.
     pub fn insert(&mut self, addr: u64, data: Vec<u8>, dirty: bool) {
         assert_eq!(data.len(), self.block_bytes, "block size mismatch");
-        assert!(!self.entries.contains_key(&addr), "block {addr:#x} already cached");
+        assert!(
+            !self.entries.contains_key(&addr),
+            "block {addr:#x} already cached"
+        );
         self.clock += 1;
         self.lru.insert(self.clock, addr);
-        self.entries.insert(addr, Entry { data, dirty, stamp: self.clock, pins: 0 });
+        self.entries.insert(
+            addr,
+            Entry {
+                data,
+                dirty,
+                stamp: self.clock,
+                pins: 0,
+            },
+        );
     }
 
     /// Marks a resident block clean. Returns `true` if present.

@@ -11,8 +11,8 @@
 //! `replay_attack` example can mount the paper's loop-counter replay and
 //! show that the hash-tree engine detects what XOM misses.
 
-use miv_hash::md5::Md5;
 use miv_hash::digest::{Digest, DIGEST_BYTES};
+use miv_hash::md5::Md5;
 
 use crate::error::IntegrityError;
 use crate::storage::{Adversary, UntrustedMemory};
@@ -115,7 +115,8 @@ impl XomMemory {
         let rec = self.record_addr(addr);
         let mac = self.mac(addr, data);
         self.mem.write(rec, data);
-        self.mem.write(rec + self.block_bytes as u64, mac.as_bytes());
+        self.mem
+            .write(rec + self.block_bytes as u64, mac.as_bytes());
     }
 
     /// Reads and verifies one block.
@@ -128,9 +129,15 @@ impl XomMemory {
     pub fn read_block(&mut self, addr: u64) -> Result<Vec<u8>, IntegrityError> {
         let rec = self.record_addr(addr);
         let data = self.mem.read_vec(rec, self.block_bytes);
-        let stored = self.mem.read_vec(rec + self.block_bytes as u64, DIGEST_BYTES);
+        let stored = self
+            .mem
+            .read_vec(rec + self.block_bytes as u64, DIGEST_BYTES);
         if self.mac(addr, &data).as_bytes()[..] != stored[..] {
-            return Err(IntegrityError::new(addr / self.block_bytes as u64, addr, "xom-mac"));
+            return Err(IntegrityError::new(
+                addr / self.block_bytes as u64,
+                addr,
+                "xom-mac",
+            ));
         }
         Ok(data)
     }
@@ -190,7 +197,10 @@ mod tests {
         let dst = m.raw_record_addr(0);
         let len = m.raw_record_len();
         m.adversary().tamper(dst, TamperKind::CopyFrom { src, len });
-        assert!(m.read_block(0).is_err(), "relocated record must fail the address-bound MAC");
+        assert!(
+            m.read_block(0).is_err(),
+            "relocated record must fail the address-bound MAC"
+        );
         assert!(m.read_block(64).is_ok());
     }
 

@@ -64,7 +64,9 @@ fn small_cache_forces_writeback_cascades() {
     // Deterministic pseudo-random write pattern.
     let mut state = 0x12345678u64;
     for i in 0..2000 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let addr = (state >> 16) % (64 * 1024 - 16);
         let val = [(state >> 40) as u8; 16];
         mem.write(addr, &val).unwrap();
@@ -106,7 +108,8 @@ fn detects_bit_flip_in_hash_chunk() {
     // Tamper with an interior hash chunk (chunk 1 exists for this size).
     assert!(mem.layout().hash_chunks() > 1);
     let hash_addr = mem.layout().chunk_addr(1) + 5;
-    mem.adversary().tamper(hash_addr, TamperKind::BitFlip { bit: 0 });
+    mem.adversary()
+        .tamper(hash_addr, TamperKind::BitFlip { bit: 0 });
     // A full audit must catch it even if a targeted read might not
     // traverse that chunk.
     assert!(mem.verify_all().is_err());
@@ -120,7 +123,8 @@ fn detects_relocation_between_chunks() {
     mem.clear_cache().unwrap();
     let a = mem.layout().data_phys_addr(0);
     let b = mem.layout().data_phys_addr(64);
-    mem.adversary().tamper(a, TamperKind::CopyFrom { src: b, len: 64 });
+    mem.adversary()
+        .tamper(a, TamperKind::CopyFrom { src: b, len: 64 });
     assert!(
         mem.read_vec(0, 64).is_err(),
         "copying an identical-format chunk to another address must fail"
@@ -261,7 +265,9 @@ fn mac_scheme_small_cache_stress() {
     let mut expected = vec![0u8; 32 * 1024];
     let mut state = 99u64;
     for _ in 0..1500 {
-        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        state = state
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let addr = (state >> 12) % (32 * 1024 - 8);
         let val = [(state >> 33) as u8; 8];
         mem.write(addr, &val).unwrap();
@@ -341,8 +347,12 @@ fn touch_initialization_repairs_scrambled_hash_tree() {
     // Scramble every hash chunk.
     for c in 0..mem.layout().hash_chunks() {
         let addr = mem.layout().chunk_addr(c);
-        mem.adversary()
-            .tamper(addr, TamperKind::Replace { data: vec![0xff; 64] });
+        mem.adversary().tamper(
+            addr,
+            TamperKind::Replace {
+                data: vec![0xff; 64],
+            },
+        );
     }
     // With exceptions on, reads fail. Run the init procedure instead.
     mem.initialize_via_touch().unwrap();

@@ -16,7 +16,9 @@ fn hash_scheme_invariant_holds_under_stress() {
     mem.audit_invariant().expect("initial tree consistent");
     let mut state = 0x12345678u64;
     for i in 0..400 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let addr = (state >> 16) % (8 * 1024 - 16);
         let val = [(state >> 40) as u8; 16];
         mem.write(addr, &val).unwrap();
@@ -42,7 +44,9 @@ fn mac_scheme_invariant_holds_under_stress() {
     mem.audit_invariant().expect("initial tree consistent");
     let mut state = 7u64;
     for i in 0..300 {
-        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        state = state
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let addr = (state >> 12) % (8 * 1024 - 32);
         let val = [(state >> 30) as u8; 32];
         mem.write(addr, &val).unwrap();
@@ -68,6 +72,7 @@ fn reads_preserve_invariant() {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         let addr = (state >> 16) % (8 * 1024 - 8);
         mem.read_vec(addr, 8).unwrap();
-        mem.audit_invariant().expect("reads must not disturb the tree");
+        mem.audit_invariant()
+            .expect("reads must not disturb the tree");
     }
 }

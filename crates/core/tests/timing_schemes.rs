@@ -10,7 +10,11 @@ fn controller(scheme: Scheme, l2_kb: u64, line: u32, chunk: u32) -> L2Controller
     let mut cfg = CheckerConfig::hpca03(scheme);
     cfg.chunk_bytes = chunk;
     cfg.protected_bytes = 16 << 20;
-    L2Controller::new(cfg, CacheConfig::l2(l2_kb << 10, line), MemoryBusConfig::default())
+    L2Controller::new(
+        cfg,
+        CacheConfig::l2(l2_kb << 10, line),
+        MemoryBusConfig::default(),
+    )
 }
 
 /// Drives a mixed read/write pattern and returns the controller.
@@ -51,7 +55,10 @@ fn verification_horizon_is_monotone() {
     for i in 0..2000u64 {
         now = ctl.access(now, (i * 64 * 131) % (8 << 20), i % 7 == 0, false);
         let h = ctl.verification_horizon();
-        assert!(h >= last_horizon, "horizon went backwards: {h} < {last_horizon}");
+        assert!(
+            h >= last_horizon,
+            "horizon went backwards: {h} < {last_horizon}"
+        );
         last_horizon = h;
     }
 }
@@ -61,8 +68,11 @@ fn data_ready_never_exceeds_verification_horizon_under_blocking() {
     let mut cfg = CheckerConfig::hpca03(Scheme::CHash);
     cfg.protected_bytes = 16 << 20;
     cfg.block_on_verify = true;
-    let mut ctl =
-        L2Controller::new(cfg, CacheConfig::l2(256 << 10, 64), MemoryBusConfig::default());
+    let mut ctl = L2Controller::new(
+        cfg,
+        CacheConfig::l2(256 << 10, 64),
+        MemoryBusConfig::default(),
+    );
     let mut now = 0;
     for i in 0..500u64 {
         let ready = ctl.access(now, (i * 64 * 61) % (8 << 20), false, false);
@@ -132,8 +142,11 @@ fn ihash_writeback_traffic_shape() {
     let mut cfg = CheckerConfig::hpca03(Scheme::IHash);
     cfg.chunk_bytes = 256; // 4 blocks per chunk
     cfg.protected_bytes = 16 << 20;
-    let mut ctl =
-        L2Controller::new(cfg, CacheConfig::l2(256 << 10, 64), MemoryBusConfig::default());
+    let mut ctl = L2Controller::new(
+        cfg,
+        CacheConfig::l2(256 << 10, 64),
+        MemoryBusConfig::default(),
+    );
     let mut now = 0;
     for i in 0..6000u64 {
         now = ctl.access(now, (i * 256 * 1021) % (8 << 20), true, true);
@@ -240,7 +253,9 @@ fn probe_records_writebacks() {
     }
     let events = ctl.take_probe();
     assert!(
-        events.iter().any(|e| matches!(e, CheckerEvent::WriteBack { .. })),
+        events
+            .iter()
+            .any(|e| matches!(e, CheckerEvent::WriteBack { .. })),
         "write-backs must be recorded"
     );
 }

@@ -23,7 +23,12 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { width: 4, ruu_size: 128, lsq_size: 64, mispredict_penalty: 7 }
+        CoreConfig {
+            width: 4,
+            ruu_size: 128,
+            lsq_size: 64,
+            mispredict_penalty: 7,
+        }
     }
 }
 
@@ -324,7 +329,11 @@ mod tests {
             TraceInst::crypto_barrier(),
             TraceInst::compute(),
         ]);
-        assert!(stats.cycles >= 50_000, "barrier must wait: {}", stats.cycles);
+        assert!(
+            stats.cycles >= 50_000,
+            "barrier must wait: {}",
+            stats.cycles
+        );
         assert_eq!(stats.barriers, 1);
     }
 
@@ -346,7 +355,11 @@ mod tests {
         // A tiny window cannot hide 100-cycle misses as well as a big one.
         let trace: Vec<_> = (0..2000).map(|i| TraceInst::load(i * 64)).collect();
         let small = {
-            let cfg = CoreConfig { ruu_size: 8, lsq_size: 4, ..Default::default() };
+            let cfg = CoreConfig {
+                ruu_size: 8,
+                lsq_size: 4,
+                ..Default::default()
+            };
             let mut core = Core::new(cfg, FixedLatencyPort::new(100));
             core.run(trace.clone())
         };
@@ -354,7 +367,12 @@ mod tests {
             let mut core = Core::new(CoreConfig::default(), FixedLatencyPort::new(100));
             core.run(trace)
         };
-        assert!(big.ipc() > 2.0 * small.ipc(), "{} vs {}", big.ipc(), small.ipc());
+        assert!(
+            big.ipc() > 2.0 * small.ipc(),
+            "{} vs {}",
+            big.ipc(),
+            small.ipc()
+        );
     }
 
     #[test]
@@ -408,7 +426,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "window smaller than width")]
     fn bad_config_rejected() {
-        let cfg = CoreConfig { width: 8, ruu_size: 4, lsq_size: 4, ..Default::default() };
+        let cfg = CoreConfig {
+            width: 8,
+            ruu_size: 4,
+            lsq_size: 4,
+            ..Default::default()
+        };
         let _ = Core::new(cfg, FixedLatencyPort::new(1));
     }
 }

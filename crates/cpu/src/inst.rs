@@ -75,7 +75,9 @@ pub struct TraceInst {
 impl TraceInst {
     /// A 1-cycle ALU instruction.
     pub fn compute() -> Self {
-        TraceInst { op: TraceOp::Compute { latency: 1 } }
+        TraceInst {
+            op: TraceOp::Compute { latency: 1 },
+        }
     }
 
     /// A compute instruction with the given latency.
@@ -85,42 +87,69 @@ impl TraceInst {
     /// Panics if `latency` is zero.
     pub fn compute_latency(latency: u8) -> Self {
         assert!(latency >= 1, "compute latency must be at least 1");
-        TraceInst { op: TraceOp::Compute { latency } }
+        TraceInst {
+            op: TraceOp::Compute { latency },
+        }
     }
 
     /// An independent load.
     pub fn load(addr: u64) -> Self {
-        TraceInst { op: TraceOp::Load { addr, dep: LoadDep::Independent } }
+        TraceInst {
+            op: TraceOp::Load {
+                addr,
+                dep: LoadDep::Independent,
+            },
+        }
     }
 
     /// A load with an explicit dependency on earlier loads.
     pub fn load_dep(addr: u64, dep: LoadDep) -> Self {
-        TraceInst { op: TraceOp::Load { addr, dep } }
+        TraceInst {
+            op: TraceOp::Load { addr, dep },
+        }
     }
 
     /// A store (not known to overwrite its whole line).
     pub fn store(addr: u64) -> Self {
-        TraceInst { op: TraceOp::Store { addr, full_line: false } }
+        TraceInst {
+            op: TraceOp::Store {
+                addr,
+                full_line: false,
+            },
+        }
     }
 
     /// A store that is part of a whole-line overwrite.
     pub fn store_full_line(addr: u64) -> Self {
-        TraceInst { op: TraceOp::Store { addr, full_line: true } }
+        TraceInst {
+            op: TraceOp::Store {
+                addr,
+                full_line: true,
+            },
+        }
     }
 
     /// A correctly predicted branch.
     pub fn branch() -> Self {
-        TraceInst { op: TraceOp::Branch { mispredicted: false } }
+        TraceInst {
+            op: TraceOp::Branch {
+                mispredicted: false,
+            },
+        }
     }
 
     /// A mispredicted branch (redirects fetch).
     pub fn branch_mispredicted() -> Self {
-        TraceInst { op: TraceOp::Branch { mispredicted: true } }
+        TraceInst {
+            op: TraceOp::Branch { mispredicted: true },
+        }
     }
 
     /// A crypto-barrier instruction.
     pub fn crypto_barrier() -> Self {
-        TraceInst { op: TraceOp::CryptoBarrier }
+        TraceInst {
+            op: TraceOp::CryptoBarrier,
+        }
     }
 
     /// Returns `true` for loads and stores.
@@ -147,7 +176,10 @@ mod tests {
         );
         assert_eq!(
             TraceInst::store_full_line(64).op,
-            TraceOp::Store { addr: 64, full_line: true }
+            TraceOp::Store {
+                addr: 64,
+                full_line: true
+            }
         );
         assert_eq!(LoadDep::default(), LoadDep::Independent);
     }

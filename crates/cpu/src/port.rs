@@ -54,7 +54,11 @@ pub struct FixedLatencyPort {
 impl FixedLatencyPort {
     /// Creates a port with the given load latency.
     pub fn new(latency: Cycle) -> Self {
-        FixedLatencyPort { latency, loads: 0, stores: 0 }
+        FixedLatencyPort {
+            latency,
+            loads: 0,
+            stores: 0,
+        }
     }
 
     /// Number of loads issued.

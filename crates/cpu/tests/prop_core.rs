@@ -1,85 +1,116 @@
-//! Property tests for the out-of-order core model.
+//! Randomized property tests for the out-of-order core model, driven by
+//! the workspace's deterministic PRNG (`miv_obs::rng`).
 
 use miv_cpu::{Core, CoreConfig, FixedLatencyPort, LoadDep, TraceInst};
-use proptest::prelude::*;
+use miv_obs::rng::Rng;
 
-fn inst_strategy() -> impl Strategy<Value = TraceInst> {
-    prop_oneof![
-        4 => Just(TraceInst::compute()),
-        1 => (1u8..12).prop_map(TraceInst::compute_latency),
-        3 => (0u64..1 << 20).prop_map(|a| TraceInst::load(a & !7)),
-        1 => (0u64..1 << 20, 1u8..4)
-            .prop_map(|(a, n)| TraceInst::load_dep(a & !7, LoadDep::OnLoadsAgo(n))),
-        2 => (0u64..1 << 20).prop_map(|a| TraceInst::store(a & !7)),
-    ]
+fn random_inst(rng: &mut Rng) -> TraceInst {
+    match rng.pick_weighted(&[4, 1, 3, 1, 2]) {
+        0 => TraceInst::compute(),
+        1 => TraceInst::compute_latency(rng.gen_range_u64(1, 12) as u8),
+        2 => TraceInst::load(rng.gen_range_u64(0, 1 << 20) & !7),
+        3 => TraceInst::load_dep(
+            rng.gen_range_u64(0, 1 << 20) & !7,
+            LoadDep::OnLoadsAgo(rng.gen_range_u64(1, 4) as u8),
+        ),
+        _ => TraceInst::store(rng.gen_range_u64(0, 1 << 20) & !7),
+    }
 }
 
-proptest! {
-    /// IPC never exceeds the commit width and every instruction commits.
-    #[test]
-    fn ipc_bounded_by_width(
-        trace in proptest::collection::vec(inst_strategy(), 1..2000),
-        latency in 0u64..300,
-    ) {
+fn random_trace(rng: &mut Rng, lo: usize, hi: usize) -> Vec<TraceInst> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| random_inst(rng)).collect()
+}
+
+/// IPC never exceeds the commit width and every instruction commits.
+#[test]
+fn ipc_bounded_by_width() {
+    let mut rng = Rng::seed_from_u64(0x1bc0);
+    for _case in 0..48 {
+        let trace = random_trace(&mut rng, 1, 2000);
+        let latency = rng.gen_range_u64(0, 300);
         let mut core = Core::new(CoreConfig::default(), FixedLatencyPort::new(latency));
         let n = trace.len() as u64;
         let stats = core.run(trace);
-        prop_assert_eq!(stats.instructions, n);
-        prop_assert!(stats.ipc() <= 4.0 + 1e-9, "ipc {}", stats.ipc());
+        assert_eq!(stats.instructions, n);
+        assert!(stats.ipc() <= 4.0 + 1e-9, "ipc {}", stats.ipc());
     }
+}
 
-    /// Slower memory never makes the program faster (monotonicity).
-    #[test]
-    fn slower_memory_is_never_faster(trace in proptest::collection::vec(inst_strategy(), 10..800)) {
+/// Slower memory never makes the program faster (monotonicity).
+#[test]
+fn slower_memory_is_never_faster() {
+    let mut rng = Rng::seed_from_u64(0x510e);
+    for _case in 0..32 {
+        let trace = random_trace(&mut rng, 10, 800);
         let cycles = |latency| {
             let mut core = Core::new(CoreConfig::default(), FixedLatencyPort::new(latency));
             core.run(trace.clone()).cycles
         };
         let fast = cycles(5);
         let slow = cycles(200);
-        prop_assert!(slow >= fast, "{slow} < {fast}");
+        assert!(slow >= fast, "{slow} < {fast}");
     }
+}
 
-    /// A bigger window never hurts (monotonicity in RUU size).
-    #[test]
-    fn bigger_window_never_hurts(trace in proptest::collection::vec(inst_strategy(), 10..800)) {
+/// A bigger window never hurts (monotonicity in RUU size).
+#[test]
+fn bigger_window_never_hurts() {
+    let mut rng = Rng::seed_from_u64(0xb166);
+    for _case in 0..32 {
+        let trace = random_trace(&mut rng, 10, 800);
         let cycles = |ruu: u32, lsq: u32| {
-            let cfg = CoreConfig { ruu_size: ruu, lsq_size: lsq, ..Default::default() };
+            let cfg = CoreConfig {
+                ruu_size: ruu,
+                lsq_size: lsq,
+                ..Default::default()
+            };
             let mut core = Core::new(cfg, FixedLatencyPort::new(120));
             core.run(trace.clone()).cycles
         };
-        prop_assert!(cycles(16, 8) >= cycles(128, 64));
+        assert!(cycles(16, 8) >= cycles(128, 64));
     }
+}
 
-    /// Splitting a trace across two `run` calls commits the same totals as
-    /// one call (segment accounting is exact).
-    #[test]
-    fn segmented_runs_commit_everything(
-        trace in proptest::collection::vec(inst_strategy(), 2..600),
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let cut = ((trace.len() as f64) * cut_frac) as usize;
+/// Splitting a trace across two `run` calls commits the same totals as
+/// one call (segment accounting is exact).
+#[test]
+fn segmented_runs_commit_everything() {
+    let mut rng = Rng::seed_from_u64(0x5e63);
+    for _case in 0..48 {
+        let trace = random_trace(&mut rng, 2, 600);
+        let cut = rng.gen_range_usize(0, trace.len() + 1);
         let mut whole = Core::new(CoreConfig::default(), FixedLatencyPort::new(50));
         let w = whole.run(trace.clone());
 
         let mut split = Core::new(CoreConfig::default(), FixedLatencyPort::new(50));
         let a = split.run(trace[..cut].to_vec());
         let b = split.run(trace[cut..].to_vec());
-        prop_assert_eq!(a.instructions + b.instructions, w.instructions);
-        prop_assert_eq!(a.loads + b.loads, w.loads);
-        prop_assert_eq!(a.stores + b.stores, w.stores);
+        assert_eq!(a.instructions + b.instructions, w.instructions);
+        assert_eq!(a.loads + b.loads, w.loads);
+        assert_eq!(a.stores + b.stores, w.stores);
         // The final clock must agree (scheduling state carries over).
-        prop_assert_eq!(split.now(), whole.now());
+        assert_eq!(split.now(), whole.now());
     }
+}
 
-    /// The port sees exactly the trace's loads and stores.
-    #[test]
-    fn port_sees_all_memory_ops(trace in proptest::collection::vec(inst_strategy(), 1..600)) {
-        let loads = trace.iter().filter(|i| matches!(i.op, miv_cpu::TraceOp::Load { .. })).count();
-        let stores = trace.iter().filter(|i| matches!(i.op, miv_cpu::TraceOp::Store { .. })).count();
+/// The port sees exactly the trace's loads and stores.
+#[test]
+fn port_sees_all_memory_ops() {
+    let mut rng = Rng::seed_from_u64(0x9027);
+    for _case in 0..48 {
+        let trace = random_trace(&mut rng, 1, 600);
+        let loads = trace
+            .iter()
+            .filter(|i| matches!(i.op, miv_cpu::TraceOp::Load { .. }))
+            .count();
+        let stores = trace
+            .iter()
+            .filter(|i| matches!(i.op, miv_cpu::TraceOp::Store { .. }))
+            .count();
         let mut core = Core::new(CoreConfig::default(), FixedLatencyPort::new(10));
         core.run(trace);
-        prop_assert_eq!(core.port().loads(), loads as u64);
-        prop_assert_eq!(core.port().stores(), stores as u64);
+        assert_eq!(core.port().loads(), loads as u64);
+        assert_eq!(core.port().stores(), stores as u64);
     }
 }

@@ -42,7 +42,9 @@ pub struct Throughput {
 
 impl Throughput {
     /// Table 1 default: 3.2 GB/s (one 64-byte block every 20 cycles).
-    pub const TABLE1: Throughput = Throughput { cycles_per_block: 20 };
+    pub const TABLE1: Throughput = Throughput {
+        cycles_per_block: 20,
+    };
 
     /// Creates a throughput from GB/s at the 1 GHz core clock.
     ///
@@ -53,8 +55,13 @@ impl Throughput {
     pub fn gbps(gbps: f64) -> Self {
         assert!(gbps > 0.0, "throughput must be positive");
         let cycles = (PIPELINE_BLOCK_BYTES as f64 / (gbps / CORE_CLOCK_GHZ)).round() as u64;
-        assert!(cycles >= 1, "throughput too high to model (interval rounds to 0)");
-        Throughput { cycles_per_block: cycles }
+        assert!(
+            cycles >= 1,
+            "throughput too high to model (interval rounds to 0)"
+        );
+        Throughput {
+            cycles_per_block: cycles,
+        }
     }
 
     /// Creates a throughput directly from the per-64-byte issue interval.
@@ -64,7 +71,9 @@ impl Throughput {
     /// Panics if `cycles` is zero.
     pub fn from_cycles_per_block(cycles: u64) -> Self {
         assert!(cycles >= 1, "interval must be at least one cycle");
-        Throughput { cycles_per_block: cycles }
+        Throughput {
+            cycles_per_block: cycles,
+        }
     }
 
     /// Cycles between successive 64-byte pipeline issues.
@@ -96,7 +105,10 @@ pub struct HashEngineConfig {
 impl Default for HashEngineConfig {
     /// Table 1 parameters: 160-cycle latency, 3.2 GB/s.
     fn default() -> Self {
-        HashEngineConfig { latency: 160, throughput: Throughput::TABLE1 }
+        HashEngineConfig {
+            latency: 160,
+            throughput: Throughput::TABLE1,
+        }
     }
 }
 

@@ -68,7 +68,12 @@ impl Default for Md5 {
 impl Md5 {
     /// Creates a fresh MD5 context.
     pub fn new() -> Self {
-        Md5 { state: INIT, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Md5 {
+            state: INIT,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data` into the digest state.
@@ -142,10 +147,7 @@ impl Md5 {
             let tmp = d;
             d = c;
             c = b;
-            let sum = a
-                .wrapping_add(f)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
             b = b.wrapping_add(sum.rotate_left(S[i]));
             a = tmp;
         }
@@ -183,7 +185,10 @@ mod tests {
             (b"a", "0cc175b9c0f1b6a831c399e269772661"),
             (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
             (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
-            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
             (
                 b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
                 "d174ab98d277d9f5a5611c2c9f419d9f",

@@ -60,7 +60,9 @@ impl Prp120 {
             }
             Xtea::new(k)
         };
-        Prp120 { rounds: [make(1), make(2), make(3), make(4)] }
+        Prp120 {
+            rounds: [make(1), make(2), make(3), make(4)],
+        }
     }
 
     /// The 60-bit round PRF.
@@ -153,7 +155,10 @@ impl XorMac120 {
         for (i, b) in prp_key.iter_mut().enumerate() {
             *b ^= 0xa7u8.rotate_left((i % 8) as u32);
         }
-        XorMac120 { key, prp: Prp120::new(prp_key) }
+        XorMac120 {
+            key,
+            prp: Prp120::new(prp_key),
+        }
     }
 
     /// The keyed PRF `h_k(index, block, timestamp)`, 120 bits wide.
@@ -184,7 +189,13 @@ impl XorMac120 {
 
     /// Applies a single-block change to an existing MAC in O(1).
     #[must_use]
-    pub fn update(&self, mac: Mac120, index: u64, old: (&[u8], bool), new: (&[u8], bool)) -> Mac120 {
+    pub fn update(
+        &self,
+        mac: Mac120,
+        index: u64,
+        old: (&[u8], bool),
+        new: (&[u8], bool),
+    ) -> Mac120 {
         let mut inner = self.prp.decrypt(mac);
         xor_into(&mut inner, &self.block_prf(index, old.0, old.1));
         xor_into(&mut inner, &self.block_prf(index, new.0, new.1));
@@ -243,7 +254,11 @@ mod tests {
         let mut flipped = [0u8; 15];
         flipped[0] = 1;
         let b = prp.encrypt(flipped);
-        let bits: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let bits: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
         assert!(bits >= 30, "only {bits} bits differ");
     }
 

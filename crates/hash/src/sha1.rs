@@ -45,7 +45,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Creates a fresh SHA-1 context.
     pub fn new() -> Self {
-        Sha1 { state: INIT, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Sha1 {
+            state: INIT,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data` into the digest state.
@@ -165,8 +170,10 @@ mod tests {
                 b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
                 "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
             ),
-            (b"The quick brown fox jumps over the lazy dog",
-                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
         ];
         for (input, want) in cases {
             assert_eq!(Sha1::to_hex(&sha1(input)), *want, "sha1({:?})", input);

@@ -72,14 +72,20 @@ impl XorMac<Prp128> {
     /// The same key is used (with domain separation) for the per-block PRF
     /// and for the outer permutation.
     pub fn new(key: [u8; 16]) -> Self {
-        XorMac { key, prp: Prp128::new(prp_key_of(key)) }
+        XorMac {
+            key,
+            prp: Prp128::new(prp_key_of(key)),
+        }
     }
 }
 
 impl XorMac<crate::aes::Aes128> {
     /// Creates a MAC instance whose outer permutation is AES-128.
     pub fn with_aes(key: [u8; 16]) -> Self {
-        XorMac { key, prp: crate::aes::Aes128::new(prp_key_of(key)) }
+        XorMac {
+            key,
+            prp: crate::aes::Aes128::new(prp_key_of(key)),
+        }
     }
 }
 
@@ -178,7 +184,10 @@ impl Timestamps {
     /// Panics if `len > 64`.
     pub fn new(len: usize) -> Self {
         assert!(len <= 64, "at most 64 blocks per chunk supported");
-        Timestamps { bits: 0, len: len as u8 }
+        Timestamps {
+            bits: 0,
+            len: len as u8,
+        }
     }
 
     /// Number of timestamp bits.
@@ -318,7 +327,10 @@ mod tests {
         assert_eq!(upd, want);
         // ...and it differs from the XTEA variant's tags.
         let xtea = XorMac::new([0x31u8; 16]);
-        assert_ne!(tag, xtea.mac_blocks(data.iter().map(|b| b.as_slice()).zip([false, false, false])));
+        assert_ne!(
+            tag,
+            xtea.mac_blocks(data.iter().map(|b| b.as_slice()).zip([false, false, false]))
+        );
     }
 
     #[test]

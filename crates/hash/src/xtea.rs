@@ -118,12 +118,16 @@ impl Prp128 {
         let make = |round: u8| {
             let mut k = key;
             for (i, byte) in k.iter_mut().enumerate() {
-                *byte = byte.wrapping_add(round.wrapping_mul(0x9d)).rotate_left((i % 8) as u32)
+                *byte = byte
+                    .wrapping_add(round.wrapping_mul(0x9d))
+                    .rotate_left((i % 8) as u32)
                     ^ round;
             }
             Xtea::new(k)
         };
-        Prp128 { rounds: [make(1), make(2), make(3), make(4)] }
+        Prp128 {
+            rounds: [make(1), make(2), make(3), make(4)],
+        }
     }
 
     /// Encrypts a 128-bit value.
@@ -157,9 +161,7 @@ fn round_prf(cipher: &Xtea, half: [u32; 2], round: u32) -> [u32; 2] {
 }
 
 fn split(block: [u8; 16]) -> ([u32; 2], [u32; 2]) {
-    let w = |i: usize| {
-        u32::from_be_bytes([block[i], block[i + 1], block[i + 2], block[i + 3]])
-    };
+    let w = |i: usize| u32::from_be_bytes([block[i], block[i + 1], block[i + 2], block[i + 3]]);
     ([w(0), w(4)], [w(8), w(12)])
 }
 
@@ -194,7 +196,13 @@ mod tests {
     #[test]
     fn xtea_zero_key_roundtrip() {
         let cipher = Xtea::new([0u8; 16]);
-        for v in [[0u32, 0], [1, 0], [0, 1], [u32::MAX, u32::MAX], [0xdead, 0xbeef]] {
+        for v in [
+            [0u32, 0],
+            [1, 0],
+            [0, 1],
+            [u32::MAX, u32::MAX],
+            [0xdead, 0xbeef],
+        ] {
             assert_eq!(cipher.decrypt_block(cipher.encrypt_block(v)), v);
         }
     }

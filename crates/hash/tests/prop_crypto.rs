@@ -1,118 +1,148 @@
-//! Property tests for the cryptographic primitives.
+//! Randomized property tests for the cryptographic primitives, driven
+//! by the workspace's deterministic PRNG (`miv_obs::rng`).
 
 use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher};
 use miv_hash::md5::Md5;
 use miv_hash::narrow::{Prp120, XorMac120};
 use miv_hash::xtea::{Prp128, Xtea};
 use miv_hash::XorMac;
-use proptest::prelude::*;
+use miv_obs::rng::Rng;
 
-proptest! {
-    /// Streaming MD5 equals one-shot MD5 regardless of how the input is
-    /// chopped.
-    #[test]
-    fn md5_streaming_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..600),
-        cuts in proptest::collection::vec(any::<u16>(), 0..8),
-    ) {
+fn random_bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+fn random_key(rng: &mut Rng) -> [u8; 16] {
+    let mut key = [0u8; 16];
+    rng.fill_bytes(&mut key);
+    key
+}
+
+/// Streaming MD5 equals one-shot MD5 regardless of how the input is
+/// chopped.
+#[test]
+fn md5_streaming_equals_oneshot() {
+    let mut rng = Rng::seed_from_u64(0x3d50);
+    for _case in 0..64 {
+        let len = rng.gen_range_usize(0, 600);
+        let data = random_bytes(&mut rng, len);
         let want = {
             let mut ctx = Md5::new();
             ctx.update(&data);
             ctx.finalize()
         };
         let mut ctx = Md5::new();
-        let mut offsets: Vec<usize> =
-            cuts.iter().map(|&c| c as usize % (data.len() + 1)).collect();
+        let mut offsets: Vec<usize> = (0..rng.gen_range_usize(0, 8))
+            .map(|_| rng.gen_range_usize(0, data.len() + 1))
+            .collect();
         offsets.push(0);
         offsets.push(data.len());
         offsets.sort_unstable();
         for pair in offsets.windows(2) {
             ctx.update(&data[pair[0]..pair[1]]);
         }
-        prop_assert_eq!(ctx.finalize(), want);
+        assert_eq!(ctx.finalize(), want);
     }
+}
 
-    /// Different inputs (almost surely) hash differently, and a hasher is
-    /// deterministic.
-    #[test]
-    fn hashers_deterministic_and_sensitive(
-        a in proptest::collection::vec(any::<u8>(), 1..128),
-        flip in any::<u8>(),
-    ) {
+/// Different inputs (almost surely) hash differently, and a hasher is
+/// deterministic.
+#[test]
+fn hashers_deterministic_and_sensitive() {
+    let mut rng = Rng::seed_from_u64(0xd1f5);
+    for _case in 0..64 {
+        let len = rng.gen_range_usize(1, 128);
+        let a = random_bytes(&mut rng, len);
         let mut b = a.clone();
-        let idx = flip as usize % b.len();
+        let idx = rng.gen_range_usize(0, b.len());
         b[idx] ^= 0x01;
         for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher] {
-            prop_assert_eq!(hasher.digest(&a), hasher.digest(&a));
-            prop_assert_ne!(hasher.digest(&a), hasher.digest(&b));
+            assert_eq!(hasher.digest(&a), hasher.digest(&a));
+            assert_ne!(hasher.digest(&a), hasher.digest(&b));
         }
     }
+}
 
-    /// XTEA and both PRPs are bijective (decrypt ∘ encrypt = id).
-    #[test]
-    fn ciphers_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>(), half in any::<[u32; 2]>()) {
+/// XTEA and both PRPs are bijective (decrypt ∘ encrypt = id).
+#[test]
+fn ciphers_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc195);
+    for _case in 0..64 {
+        let key = random_key(&mut rng);
+        let block = random_key(&mut rng);
+        let half = [rng.next_u32(), rng.next_u32()];
         let xtea = Xtea::new(key);
-        prop_assert_eq!(xtea.decrypt_block(xtea.encrypt_block(half)), half);
+        assert_eq!(xtea.decrypt_block(xtea.encrypt_block(half)), half);
         let prp = Prp128::new(key);
-        prop_assert_eq!(prp.decrypt(prp.encrypt(block)), block);
+        assert_eq!(prp.decrypt(prp.encrypt(block)), block);
         let mut b15 = [0u8; 15];
         b15.copy_from_slice(&block[..15]);
         let prp120 = Prp120::new(key);
-        prop_assert_eq!(prp120.decrypt(prp120.encrypt(b15)), b15);
+        assert_eq!(prp120.decrypt(prp120.encrypt(b15)), b15);
     }
+}
 
-    /// Any sequence of incremental XOR-MAC updates equals recomputation
-    /// from scratch (both widths).
-    #[test]
-    fn xormac_update_sequences_equal_recompute(
-        key in any::<[u8; 16]>(),
-        initial in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 32..33), 2..5),
-        updates in proptest::collection::vec((any::<u16>(), proptest::collection::vec(any::<u8>(), 32..33)), 0..8),
-    ) {
-        let n = initial.len();
+/// Any sequence of incremental XOR-MAC updates equals recomputation
+/// from scratch (both widths).
+#[test]
+fn xormac_update_sequences_equal_recompute() {
+    let mut rng = Rng::seed_from_u64(0x3ac5);
+    for _case in 0..64 {
+        let key = random_key(&mut rng);
+        let n = rng.gen_range_usize(2, 5);
+        let mut blocks: Vec<Vec<u8>> = (0..n).map(|_| random_bytes(&mut rng, 32)).collect();
         let mac = XorMac::new(key);
         let mac120 = XorMac120::new(key);
-        let mut blocks = initial.clone();
         let mut ts = vec![false; n];
         let mut tag = mac.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
         let mut tag120 =
             mac120.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
-        for (which, new_block) in &updates {
-            let i = *which as usize % n;
+        for _ in 0..rng.gen_range_usize(0, 8) {
+            let i = rng.gen_range_usize(0, n);
+            let new_block = random_bytes(&mut rng, 32);
             let old_ts = ts[i];
             ts[i] = !old_ts;
-            tag = mac.update(tag, i as u64, (&blocks[i], old_ts), (new_block, ts[i]));
-            tag120 = mac120.update(tag120, i as u64, (&blocks[i], old_ts), (new_block, ts[i]));
-            blocks[i] = new_block.clone();
+            tag = mac.update(tag, i as u64, (&blocks[i], old_ts), (&new_block, ts[i]));
+            tag120 = mac120.update(tag120, i as u64, (&blocks[i], old_ts), (&new_block, ts[i]));
+            blocks[i] = new_block;
         }
         let want = mac.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
         let want120 =
             mac120.mac_blocks(blocks.iter().map(|b| b.as_slice()).zip(ts.iter().copied()));
-        prop_assert_eq!(tag, want);
-        prop_assert_eq!(tag120, want120);
+        assert_eq!(tag, want);
+        assert_eq!(tag120, want120);
     }
+}
 
-    /// Verification rejects any single-block substitution.
-    #[test]
-    fn xormac_rejects_substitution(
-        key in any::<[u8; 16]>(),
-        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 16..17), 2..5),
-        which in any::<u16>(),
-        replacement in proptest::collection::vec(any::<u8>(), 16..17),
-    ) {
+/// Verification rejects any single-block substitution.
+#[test]
+fn xormac_rejects_substitution() {
+    let mut rng = Rng::seed_from_u64(0x5b57);
+    for _case in 0..64 {
+        let key = random_key(&mut rng);
+        let n = rng.gen_range_usize(2, 5);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|_| random_bytes(&mut rng, 16)).collect();
         let mac = XorMac::new(key);
         let tag = mac.mac_blocks(blocks.iter().map(|b| (b.as_slice(), false)));
-        let i = which as usize % blocks.len();
-        prop_assume!(replacement != blocks[i]);
+        let i = rng.gen_range_usize(0, n);
+        let replacement = random_bytes(&mut rng, 16);
+        if replacement == blocks[i] {
+            continue; // astronomically unlikely; skip rather than fail
+        }
         let mut tampered = blocks.clone();
         tampered[i] = replacement;
-        prop_assert!(!mac.verify(tag, tampered.iter().map(|b| (b.as_slice(), false))));
+        assert!(!mac.verify(tag, tampered.iter().map(|b| (b.as_slice(), false))));
     }
+}
 
-    /// Digest hex round-trips.
-    #[test]
-    fn digest_hex_roundtrip(bytes in any::<[u8; 16]>()) {
-        let d = Digest::from_bytes(bytes);
-        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+/// Digest hex round-trips.
+#[test]
+fn digest_hex_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xd16e);
+    for _case in 0..64 {
+        let d = Digest::from_bytes(random_key(&mut rng));
+        assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
     }
 }

@@ -1,5 +1,6 @@
 //! The shared memory bus + DRAM timing resource.
 
+use crate::observe::BusObserver;
 use crate::schedule::IntervalSchedule;
 use crate::stats::{BusStats, TrafficClass};
 use crate::Cycle;
@@ -17,7 +18,11 @@ pub struct MemoryBusConfig {
 
 impl Default for MemoryBusConfig {
     fn default() -> Self {
-        MemoryBusConfig { cycles_per_beat: 5, beat_bytes: 8, dram_latency: 80 }
+        MemoryBusConfig {
+            cycles_per_beat: 5,
+            beat_bytes: 8,
+            dram_latency: 80,
+        }
     }
 }
 
@@ -74,12 +79,24 @@ pub struct MemoryBus {
     config: MemoryBusConfig,
     schedule: IntervalSchedule,
     stats: BusStats,
+    obs: BusObserver,
 }
 
 impl MemoryBus {
     /// Creates an idle memory system.
     pub fn new(config: MemoryBusConfig) -> Self {
-        MemoryBus { config, schedule: IntervalSchedule::new(), stats: BusStats::default() }
+        MemoryBus {
+            config,
+            schedule: IntervalSchedule::new(),
+            stats: BusStats::default(),
+            obs: BusObserver::disabled(),
+        }
+    }
+
+    /// Attaches telemetry handles; pass [`BusObserver::disabled`] to
+    /// detach.
+    pub fn set_observer(&mut self, obs: BusObserver) {
+        self.obs = obs;
     }
 
     /// The configuration.
@@ -126,6 +143,7 @@ impl MemoryBus {
         let transfer = self.config.transfer_cycles(bytes);
         let start = self.schedule.book(ready, transfer);
         self.stats.record(class, bytes, transfer, start - ready);
+        self.obs.record(class, bytes, transfer, start - ready);
         BusTiming {
             start,
             first_data: start + self.config.cycles_per_beat,

@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod observe;
 pub mod schedule;
 mod stats;
 
 pub use bus::{BusTiming, MemoryBus, MemoryBusConfig};
+pub use observe::BusObserver;
 pub use schedule::IntervalSchedule;
 pub use stats::{BusStats, TrafficClass};
 

@@ -1,0 +1,87 @@
+//! Telemetry hooks: bus occupancy counters and an arbitration-wait
+//! histogram recorded into a `miv-obs` [`Registry`].
+//!
+//! Like the cache observer, the bundle holds pre-registered handles so
+//! the bus hot path never performs a name lookup, and a
+//! default-constructed observer is disabled (one branch per recording).
+
+use miv_obs::{Counter, Histogram, Registry};
+
+use crate::stats::TrafficClass;
+
+/// Bus telemetry handles. Attach with
+/// [`MemoryBus::set_observer`](crate::MemoryBus::set_observer).
+#[derive(Debug, Clone, Default)]
+pub struct BusObserver {
+    /// Transactions granted, indexed by [`TrafficClass`].
+    transactions: [Counter; 4],
+    /// Bytes transferred, indexed by [`TrafficClass`].
+    bytes: [Counter; 4],
+    /// Cycles the data bus spent transferring (occupancy numerator).
+    pub busy_cycles: Counter,
+    /// Per-transaction arbitration wait (cycles queued behind other
+    /// traffic before the transfer started).
+    pub wait: Histogram,
+}
+
+impl BusObserver {
+    /// A no-op observer (the default).
+    pub fn disabled() -> Self {
+        BusObserver::default()
+    }
+
+    /// Registers metrics named `{prefix}.{class}.{transactions|bytes}`,
+    /// `{prefix}.busy_cycles`, and a `{prefix}.wait_cycles` histogram
+    /// (e.g. `bus.hash-read.bytes`) and returns the live handles.
+    pub fn for_registry(registry: &Registry, prefix: &str) -> Self {
+        let mut transactions: [Counter; 4] = Default::default();
+        let mut bytes: [Counter; 4] = Default::default();
+        for class in TrafficClass::ALL {
+            transactions[class as usize] =
+                registry.counter(&format!("{prefix}.{class}.transactions"));
+            bytes[class as usize] = registry.counter(&format!("{prefix}.{class}.bytes"));
+        }
+        BusObserver {
+            transactions,
+            bytes,
+            busy_cycles: registry.counter(&format!("{prefix}.busy_cycles")),
+            wait: registry.histogram(&format!("{prefix}.wait_cycles")),
+        }
+    }
+
+    /// Records one granted transaction.
+    #[inline]
+    pub fn record(&self, class: TrafficClass, bytes: u64, busy: u64, wait: u64) {
+        self.transactions[class as usize].inc();
+        self.bytes[class as usize].add(bytes);
+        self.busy_cycles.add(busy);
+        self.wait.record(wait);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_under_prefix() {
+        let reg = Registry::new();
+        let obs = BusObserver::for_registry(&reg, "bus");
+        obs.record(TrafficClass::HashRead, 64, 40, 3);
+        obs.record(TrafficClass::DataWrite, 32, 20, 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["bus.hash-read.transactions"], 1);
+        assert_eq!(snap.counters["bus.hash-read.bytes"], 64);
+        assert_eq!(snap.counters["bus.data-write.bytes"], 32);
+        assert_eq!(snap.counters["bus.busy_cycles"], 60);
+        assert_eq!(snap.histograms["bus.wait_cycles"].count, 2);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = BusObserver::default();
+        obs.record(TrafficClass::DataRead, 64, 40, 0);
+        assert!(!obs.busy_cycles.is_enabled());
+        assert_eq!(obs.busy_cycles.get(), 0);
+    }
+}

@@ -45,7 +45,11 @@ impl Default for IntervalSchedule {
 impl IntervalSchedule {
     /// Creates an empty (fully idle) schedule.
     pub fn new() -> Self {
-        IntervalSchedule { busy: BTreeMap::new(), low_water: 0, prune_at: 4096 }
+        IntervalSchedule {
+            busy: BTreeMap::new(),
+            low_water: 0,
+            prune_at: 4096,
+        }
     }
 
     /// Books `duration` cycles at the earliest gap starting at or after

@@ -105,6 +105,29 @@ impl BusStats {
         self.bytes_for(TrafficClass::DataRead) + self.bytes_for(TrafficClass::DataWrite)
     }
 
+    /// Accumulates `other` into `self`, component-wise.
+    pub fn merge(&mut self, other: &BusStats) {
+        for i in 0..4 {
+            self.transactions[i] += other.transactions[i];
+            self.bytes[i] += other.bytes[i];
+        }
+        self.busy_cycles += other.busy_cycles;
+        self.wait_cycles += other.wait_cycles;
+    }
+
+    /// The component-wise difference `self - earlier`, for interval
+    /// sampling over cumulative counters.
+    pub fn delta(&self, earlier: &BusStats) -> BusStats {
+        let mut d = BusStats::default();
+        for i in 0..4 {
+            d.transactions[i] = self.transactions[i] - earlier.transactions[i];
+            d.bytes[i] = self.bytes[i] - earlier.bytes[i];
+        }
+        d.busy_cycles = self.busy_cycles - earlier.busy_cycles;
+        d.wait_cycles = self.wait_cycles - earlier.wait_cycles;
+        d
+    }
+
     /// Fraction of `elapsed` cycles the data bus was busy.
     pub fn utilization(&self, elapsed: Cycle) -> f64 {
         if elapsed == 0 {

@@ -1,7 +1,9 @@
-//! Property tests for the gap-filling interval scheduler and the bus.
+//! Randomized property tests for the gap-filling interval scheduler and
+//! the bus, driven by the workspace's deterministic PRNG
+//! (`miv_obs::rng`).
 
-use miv_mem::{IntervalSchedule, MemoryBus, MemoryBusConfig, TrafficClass};
-use proptest::prelude::*;
+use miv_mem::{BusStats, IntervalSchedule, MemoryBus, MemoryBusConfig, TrafficClass};
+use miv_obs::rng::Rng;
 
 /// Reference model: a plain sorted list of busy intervals with the same
 /// earliest-gap placement, no coalescing, no pruning.
@@ -28,69 +30,123 @@ impl RefSchedule {
     }
 }
 
-proptest! {
-    /// The production scheduler places every booking exactly where the
-    /// straightforward reference model does.
-    #[test]
-    fn matches_reference(reqs in proptest::collection::vec((0u64..2000, 1u64..100), 1..200)) {
+/// The production scheduler places every booking exactly where the
+/// straightforward reference model does.
+#[test]
+fn matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x5c4e);
+    for _case in 0..64 {
         let mut sut = IntervalSchedule::new();
         let mut reference = RefSchedule::default();
-        for &(ready, dur) in &reqs {
-            prop_assert_eq!(sut.book(ready, dur), reference.book(ready, dur));
+        let n = rng.gen_range_usize(1, 200);
+        for _ in 0..n {
+            let ready = rng.gen_range_u64(0, 2000);
+            let dur = rng.gen_range_u64(1, 100);
+            assert_eq!(sut.book(ready, dur), reference.book(ready, dur));
         }
     }
+}
 
-    /// Bookings never overlap: replaying the grant times against their
-    /// durations yields pairwise-disjoint intervals.
-    #[test]
-    fn grants_never_overlap(reqs in proptest::collection::vec((0u64..5000, 1u64..200), 1..300)) {
+/// Bookings never overlap: replaying the grant times against their
+/// durations yields pairwise-disjoint intervals.
+#[test]
+fn grants_never_overlap() {
+    let mut rng = Rng::seed_from_u64(0x9a41);
+    for _case in 0..32 {
         let mut sut = IntervalSchedule::new();
         let mut placed: Vec<(u64, u64)> = Vec::new();
-        for &(ready, dur) in &reqs {
+        let n = rng.gen_range_usize(1, 300);
+        for _ in 0..n {
+            let ready = rng.gen_range_u64(0, 5000);
+            let dur = rng.gen_range_u64(1, 200);
             let start = sut.book(ready, dur);
-            prop_assert!(start >= ready);
+            assert!(start >= ready);
             for &(s, e) in &placed {
-                prop_assert!(start >= e || start + dur <= s, "overlap: [{start},{}) vs [{s},{e})", start+dur);
+                assert!(
+                    start >= e || start + dur <= s,
+                    "overlap: [{start},{}) vs [{s},{e})",
+                    start + dur
+                );
             }
             placed.push((start, start + dur));
         }
     }
+}
 
-    /// Bus reads never start their transfer before the DRAM latency has
-    /// elapsed, and total busy time equals the sum of transfer times.
-    #[test]
-    fn bus_conservation(reqs in proptest::collection::vec((0u64..10_000, any::<bool>()), 1..200)) {
+/// Bus reads never start their transfer before the DRAM latency has
+/// elapsed, and total busy time equals the sum of transfer times.
+#[test]
+fn bus_conservation() {
+    let mut rng = Rng::seed_from_u64(0xb05c);
+    for _case in 0..64 {
         let cfg = MemoryBusConfig::default();
         let mut bus = MemoryBus::new(cfg);
         let mut expected_busy = 0;
-        for &(now, is_read) in &reqs {
+        let n = rng.gen_range_usize(1, 200);
+        for _ in 0..n {
+            let now = rng.gen_range_u64(0, 10_000);
+            let is_read = rng.gen_bool(0.5);
             let t = if is_read {
                 bus.read(now, 64, TrafficClass::DataRead)
             } else {
                 bus.write(now, 64, TrafficClass::DataWrite)
             };
             let min_start = if is_read { now + cfg.dram_latency } else { now };
-            prop_assert!(t.start >= min_start);
-            prop_assert_eq!(t.complete - t.start, cfg.transfer_cycles(64));
+            assert!(t.start >= min_start);
+            assert_eq!(t.complete - t.start, cfg.transfer_cycles(64));
             expected_busy += cfg.transfer_cycles(64);
         }
-        prop_assert_eq!(bus.stats().busy_cycles, expected_busy);
-        prop_assert_eq!(bus.stats().total_bytes(), reqs.len() as u64 * 64);
+        assert_eq!(bus.stats().busy_cycles, expected_busy);
+        assert_eq!(bus.stats().total_bytes(), n as u64 * 64);
     }
+}
 
-    /// Low-water pruning never changes grant times for monotone request
-    /// streams (the simulator's actual usage pattern).
-    #[test]
-    fn pruning_is_transparent_for_monotone_streams(
-        gaps in proptest::collection::vec(0u64..120, 1..400),
-    ) {
+/// Low-water pruning never changes grant times for monotone request
+/// streams (the simulator's actual usage pattern).
+#[test]
+fn pruning_is_transparent_for_monotone_streams() {
+    let mut rng = Rng::seed_from_u64(0x10b4);
+    for _case in 0..32 {
         let mut pruned = IntervalSchedule::new();
         let mut unpruned = IntervalSchedule::new();
         let mut now = 0;
-        for &gap in &gaps {
-            now += gap;
+        let n = rng.gen_range_usize(1, 400);
+        for _ in 0..n {
+            now += rng.gen_range_u64(0, 120);
             pruned.advance_low_water(now);
-            prop_assert_eq!(pruned.book(now, 40), unpruned.book(now, 40));
+            assert_eq!(pruned.book(now, 40), unpruned.book(now, 40));
         }
+    }
+}
+
+/// `BusStats::merge` accumulates and `delta` inverts it, so
+/// interval-sampled segments sum back to the whole run.
+#[test]
+fn bus_stats_segments_sum_to_whole() {
+    let mut rng = Rng::seed_from_u64(0x5e65);
+    for _case in 0..32 {
+        let mut bus = MemoryBus::new(MemoryBusConfig::default());
+        let n = rng.gen_range_usize(4, 100);
+        let cut = rng.gen_range_usize(1, n);
+        let mut merged = BusStats::default();
+        let mut before_cut = BusStats::default();
+        let mut now = 0;
+        for i in 0..n {
+            if i == cut {
+                before_cut = *bus.stats();
+                merged.merge(&before_cut);
+            }
+            now += rng.gen_range_u64(0, 200);
+            let class = TrafficClass::ALL[rng.gen_range_usize(0, 4)];
+            let bytes = 64 * rng.gen_range_u64(1, 3);
+            if class.is_read() {
+                bus.read(now, bytes, class);
+            } else {
+                bus.write(now, bytes, class);
+            }
+        }
+        let whole = *bus.stats();
+        merged.merge(&whole.delta(&before_cut));
+        assert_eq!(merged, whole);
     }
 }

@@ -1,0 +1,319 @@
+//! Structured event tracing: a bounded ring buffer of typed simulation
+//! events with a cheap, enum-gated recording handle.
+//!
+//! Producers hold an [`EventSink`]; the owner (the simulator harness)
+//! holds the [`EventTrace`] and drains it to JSONL at the end of a run.
+//! When the ring fills, the oldest events are dropped and counted, so a
+//! long run keeps its tail — the part that explains steady-state
+//! behaviour — without unbounded memory.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::json::JsonValue;
+
+/// Which kind of line an event concerns (mirrors `miv-cache`'s
+/// `LineKind` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineClass {
+    /// Ordinary program data.
+    Data,
+    /// Hash-tree (or MAC) metadata.
+    Hash,
+}
+
+impl LineClass {
+    /// Stable lowercase label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineClass::Data => "data",
+            LineClass::Hash => "hash",
+        }
+    }
+}
+
+/// A typed simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// The L2 missed on `addr`.
+    L2Miss {
+        /// Line kind that missed.
+        class: LineClass,
+        /// Whether the access was a store.
+        write: bool,
+        /// Byte address of the access.
+        addr: u64,
+    },
+    /// A hash-tree walk began for `chunk`.
+    WalkStart {
+        /// Chunk index whose ancestors are being fetched.
+        chunk: u64,
+    },
+    /// A hash-tree walk terminated.
+    WalkEnd {
+        /// Chunk index the walk was for.
+        chunk: u64,
+        /// Number of tree levels actually fetched from memory.
+        depth: u32,
+        /// `true` if the walk climbed all the way to the secure root;
+        /// `false` if it terminated early at a cached ancestor.
+        reached_root: bool,
+    },
+    /// Work entered the hash-unit queue.
+    HashEnqueue {
+        /// Bytes to digest.
+        bytes: u32,
+    },
+    /// Work left the hash-unit queue and started digesting.
+    HashDequeue {
+        /// Cycles spent waiting in the queue.
+        wait: u64,
+    },
+    /// A dirty line was written back to memory.
+    WriteBack {
+        /// Line kind written back.
+        class: LineClass,
+        /// Byte address of the line.
+        addr: u64,
+    },
+    /// The checker detected tampering.
+    IntegrityViolation {
+        /// Byte address implicated by the failed check.
+        addr: u64,
+    },
+}
+
+impl SimEvent {
+    /// Stable snake_case type tag used in JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::L2Miss { .. } => "l2_miss",
+            SimEvent::WalkStart { .. } => "walk_start",
+            SimEvent::WalkEnd { .. } => "walk_end",
+            SimEvent::HashEnqueue { .. } => "hash_enqueue",
+            SimEvent::HashDequeue { .. } => "hash_dequeue",
+            SimEvent::WriteBack { .. } => "write_back",
+            SimEvent::IntegrityViolation { .. } => "integrity_violation",
+        }
+    }
+}
+
+/// One recorded event with its timestamp (cycle for timing models,
+/// operation index for the functional engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// When the event happened.
+    pub cycle: u64,
+    /// What happened.
+    pub event: SimEvent,
+}
+
+impl EventRecord {
+    /// One-line JSON object (JSONL row).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj();
+        o.push("cycle", self.cycle);
+        o.push("type", self.event.kind());
+        match self.event {
+            SimEvent::L2Miss { class, write, addr } => {
+                o.push("class", class.label());
+                o.push("write", write);
+                o.push("addr", addr);
+            }
+            SimEvent::WalkStart { chunk } => {
+                o.push("chunk", chunk);
+            }
+            SimEvent::WalkEnd {
+                chunk,
+                depth,
+                reached_root,
+            } => {
+                o.push("chunk", chunk);
+                o.push("depth", depth);
+                o.push("reached_root", reached_root);
+            }
+            SimEvent::HashEnqueue { bytes } => {
+                o.push("bytes", bytes);
+            }
+            SimEvent::HashDequeue { wait } => {
+                o.push("wait", wait);
+            }
+            SimEvent::WriteBack { class, addr } => {
+                o.push("class", class.label());
+                o.push("addr", addr);
+            }
+            SimEvent::IntegrityViolation { addr } => {
+                o.push("addr", addr);
+            }
+        }
+        o
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    buf: VecDeque<EventRecord>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// Owner handle over a bounded event ring.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    ring: Rc<RefCell<Ring>>,
+}
+
+impl EventTrace {
+    /// A ring holding at most `capacity` events (oldest dropped first).
+    pub fn bounded(capacity: usize) -> Self {
+        EventTrace {
+            ring: Rc::new(RefCell::new(Ring {
+                capacity: capacity.max(1),
+                buf: VecDeque::new(),
+                recorded: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A recording handle for producers.
+    pub fn sink(&self) -> EventSink {
+        EventSink(Some(Rc::clone(&self.ring)))
+    }
+
+    /// Events currently buffered (oldest first).
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.ring.borrow().buf.iter().copied().collect()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.borrow().recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.borrow().dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.borrow().capacity
+    }
+
+    /// Clears the buffer and zeroes the recorded/dropped counts.
+    pub fn reset(&self) {
+        let mut ring = self.ring.borrow_mut();
+        ring.buf.clear();
+        ring.recorded = 0;
+        ring.dropped = 0;
+    }
+
+    /// Renders every buffered event as one JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.ring.borrow().buf.iter() {
+            out.push_str(&record.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Producer handle. `Default` is disabled: recording is a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct EventSink(Option<Rc<RefCell<Ring>>>);
+
+impl EventSink {
+    /// A no-op sink.
+    pub const fn disabled() -> Self {
+        EventSink(None)
+    }
+
+    /// Whether events are actually being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records an event at `cycle`.
+    #[inline]
+    pub fn record(&self, cycle: u64, event: SimEvent) {
+        if let Some(ring) = &self.0 {
+            let mut ring = ring.borrow_mut();
+            ring.recorded += 1;
+            if ring.buf.len() == ring.capacity {
+                ring.buf.pop_front();
+                ring.dropped += 1;
+            }
+            ring.buf.push_back(EventRecord { cycle, event });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = EventSink::disabled();
+        sink.record(1, SimEvent::WalkStart { chunk: 0 });
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let trace = EventTrace::bounded(2);
+        let sink = trace.sink();
+        for i in 0..5 {
+            sink.record(i, SimEvent::HashDequeue { wait: i });
+        }
+        assert_eq!(trace.recorded(), 5);
+        assert_eq!(trace.dropped(), 3);
+        let records: Vec<u64> = trace.records().iter().map(|r| r.cycle).collect();
+        assert_eq!(records, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_rows_parse() {
+        let trace = EventTrace::bounded(16);
+        let sink = trace.sink();
+        sink.record(
+            7,
+            SimEvent::L2Miss {
+                class: LineClass::Hash,
+                write: true,
+                addr: 0x40,
+            },
+        );
+        sink.record(
+            9,
+            SimEvent::WalkEnd {
+                chunk: 3,
+                depth: 2,
+                reached_root: false,
+            },
+        );
+        let jsonl = trace.to_jsonl();
+        let rows: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(rows.len(), 2);
+        let first = JsonValue::parse(rows[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("l2_miss"));
+        assert_eq!(first.get("class").unwrap().as_str(), Some("hash"));
+        assert_eq!(first.get("cycle").unwrap().as_u64(), Some(7));
+        let second = JsonValue::parse(rows[1]).unwrap();
+        assert_eq!(second.get("depth").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let trace = EventTrace::bounded(4);
+        trace.sink().record(1, SimEvent::WalkStart { chunk: 1 });
+        trace.reset();
+        assert_eq!(trace.recorded(), 0);
+        assert!(trace.records().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! `miv-obs` — the unified observability layer for the memory integrity
+//! verification workspace.
+//!
+//! Every other crate in the workspace measures *something* — cache hits,
+//! bus bytes, hash-unit occupancy — but before this crate each subsystem
+//! kept its own ad-hoc counter struct with no common export path. This
+//! crate provides the shared vocabulary:
+//!
+//! * [`metrics`] — a [`Registry`] of named monotonic [`Counter`]s,
+//!   [`Gauge`]s and log2-bucketed [`Histogram`]s (with p50/p90/p99
+//!   estimation). Handles are enum-gated: a disabled handle is a `None`
+//!   and every operation on it is a single branch, so instrumented hot
+//!   paths cost nothing when telemetry is off.
+//! * [`events`] — a bounded ring buffer of typed simulation events
+//!   ([`SimEvent`]): L2 misses, tree-walk start/termination with the
+//!   depth reached, hash-unit enqueue/dequeue with queue latency,
+//!   write-backs and integrity violations.
+//! * [`json`] — a hand-rolled JSON value type, emitter and parser so the
+//!   workspace stays buildable offline with zero external dependencies.
+//! * [`rng`] — a small deterministic xoshiro256++ PRNG used by the trace
+//!   generators and the randomized property tests.
+//!
+//! The crate deliberately depends on nothing (not even other `miv-*`
+//! crates) so every layer of the stack can use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod rng;
+
+pub use events::{EventRecord, EventSink, EventTrace, LineClass, SimEvent};
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use rng::Rng;

@@ -1,0 +1,178 @@
+//! A small deterministic PRNG (xoshiro256++ seeded via splitmix64).
+//!
+//! Used by the synthetic trace generators and the randomized property
+//! tests so the workspace needs no external `rand` dependency. Not
+//! cryptographic — the security primitives live in `miv-hash`.
+
+/// xoshiro256++ generator. Identical seeds yield identical streams on
+/// every platform.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed, expanding it with
+    /// splitmix64 so similar seeds give unrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[lo, hi)`. Panics when the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the retry loop is entered
+        // with negligible probability for the spans the simulator uses.
+        loop {
+            let x = self.next_u64();
+            let (hi128, lo128) = {
+                let wide = (x as u128) * (span as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo128 >= span || lo128 >= span.wrapping_neg() % span {
+                return lo + hi128;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A random byte.
+    pub fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Picks an index in `[0, weights.len())` with probability
+    /// proportional to its weight. Panics if all weights are zero.
+    pub fn pick_weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut roll = self.gen_range_u64(0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w as u64 {
+                return i;
+            }
+            roll -= w as u64;
+        }
+        unreachable!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range_u64(10, 17);
+            assert!((10..17).contains(&v));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range_usize(0, 8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = Rng::seed_from_u64(99);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn weighted_pick_tracks_weights() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..90_000 {
+            counts[rng.pick_weighted(&[1, 2, 6])] += 1;
+        }
+        assert!((8_000..12_000).contains(&counts[0]), "{counts:?}");
+        assert!((18_000..22_000).contains(&counts[1]), "{counts:?}");
+        assert!((58_000..62_000).contains(&counts[2]), "{counts:?}");
+    }
+}

@@ -17,8 +17,18 @@ fn main() {
     let warmup = measure / 5;
     println!(
         "{:<8} {:>5} | {:>6} {:>8} {:>6} | {:>6} {:>8} {:>6} {:>7} {:>6} | {:>6} {:>6}",
-        "bench", "L2", "bIPC", "bMPKI", "bUtil", "cIPC", "cMPKI", "cUtil", "hashhit", "x/miss",
-        "c/b", "n/b"
+        "bench",
+        "L2",
+        "bIPC",
+        "bMPKI",
+        "bUtil",
+        "cIPC",
+        "cMPKI",
+        "cUtil",
+        "hashhit",
+        "x/miss",
+        "c/b",
+        "n/b"
     );
     for bench in Benchmark::ALL {
         for (l2_kb, line) in [(256u64, 64u32), (1024, 64), (4096, 64)] {

@@ -6,30 +6,42 @@
 //! cargo run -p miv-sim --release --bin figures -- --quick fig3
 //! cargo run -p miv-sim --release --bin figures -- --measure 2000000 fig6
 //! cargo run -p miv-sim --release --bin figures -- --json data.json export
+//! cargo run -p miv-sim --release --bin figures -- --metrics-out m.json --quick fig4
 //! ```
 
 use std::process::ExitCode;
 
 use miv_sim::experiments::{self, ExperimentConfig, Figure};
+use miv_sim::Telemetry;
 
 const USAGE: &str = "usage: figures [--quick] [--warmup N] [--measure N] [--seed N] \
-[--json PATH] <artifact>...\n  artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 claims all export\n  export writes the raw measured rows of every figure as JSON (--json PATH, default stdout)";
+[--json PATH] [--metrics-out PATH] [--trace-events PATH] <artifact>...\n  \
+artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 claims all export\n  \
+export writes the raw measured rows of every figure as JSON (--json PATH, default stdout)\n  \
+--metrics-out aggregates every run's telemetry into one miv-metrics-v1 JSON file;\n  \
+--trace-events writes the tail of the simulation event stream as JSONL";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut xp = ExperimentConfig::default();
     let mut targets: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_events: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => xp = ExperimentConfig::quick(),
-            "--json" => {
+            "--json" | "--metrics-out" | "--trace-events" => {
                 let Some(v) = it.next() else {
-                    eprintln!("--json needs a path\n{USAGE}");
+                    eprintln!("{arg} needs a path\n{USAGE}");
                     return ExitCode::FAILURE;
                 };
-                json_path = Some(v.clone());
+                match arg.as_str() {
+                    "--json" => json_path = Some(v.clone()),
+                    "--metrics-out" => metrics_out = Some(v.clone()),
+                    _ => trace_events = Some(v.clone()),
+                }
             }
             "--warmup" | "--measure" | "--seed" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
@@ -62,41 +74,67 @@ fn main() -> ExitCode {
         "# warmup {} + measure {} instructions per run, seed {}",
         xp.warmup, xp.measure, xp.seed
     );
-    for target in targets {
-        let figures: Vec<Figure> = match target.as_str() {
-            "table1" => vec![experiments::table1()],
-            "fig1" => vec![experiments::fig1()],
-            "fig2" => vec![experiments::fig2()],
-            "fig3" => vec![experiments::fig3(&xp)],
-            "fig4" => vec![experiments::fig4(&xp)],
-            "fig5" => vec![experiments::fig5(&xp)],
-            "fig6" => vec![experiments::fig6(&xp)],
-            "fig7" => vec![experiments::fig7(&xp)],
-            "fig8" => vec![experiments::fig8(&xp)],
-            "claims" => vec![experiments::claims(&xp)],
-            "all" => experiments::all(&xp),
-            "export" => {
-                let data = experiments::export_data(&xp);
-                let json = serde_json::to_string_pretty(&data).expect("serializable");
-                match &json_path {
-                    Some(path) => {
-                        if let Err(e) = std::fs::write(path, &json) {
-                            eprintln!("{path}: {e}");
-                            return ExitCode::FAILURE;
+    let telemetry = (metrics_out.is_some() || trace_events.is_some()).then(Telemetry::new);
+    let run_all = || -> Result<(), String> {
+        for target in &targets {
+            let figures: Vec<Figure> = match target.as_str() {
+                "table1" => vec![experiments::table1()],
+                "fig1" => vec![experiments::fig1()],
+                "fig2" => vec![experiments::fig2()],
+                "fig3" => vec![experiments::fig3(&xp)],
+                "fig4" => vec![experiments::fig4(&xp)],
+                "fig5" => vec![experiments::fig5(&xp)],
+                "fig6" => vec![experiments::fig6(&xp)],
+                "fig7" => vec![experiments::fig7(&xp)],
+                "fig8" => vec![experiments::fig8(&xp)],
+                "claims" => vec![experiments::claims(&xp)],
+                "all" => experiments::all(&xp),
+                "export" => {
+                    let json = experiments::export_data(&xp).to_json().render_pretty();
+                    match &json_path {
+                        Some(path) => {
+                            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                            eprintln!("wrote {path}");
                         }
-                        eprintln!("wrote {path}");
+                        None => println!("{json}"),
                     }
-                    None => println!("{json}"),
+                    continue;
                 }
-                continue;
+                other => return Err(format!("unknown artifact {other}\n{USAGE}")),
+            };
+            for figure in figures {
+                println!("{figure}");
             }
-            other => {
-                eprintln!("unknown artifact {other}\n{USAGE}");
+        }
+        Ok(())
+    };
+    let outcome = match &telemetry {
+        Some(t) => experiments::with_telemetry(t, run_all),
+        None => run_all(),
+    };
+    if let Err(msg) = outcome {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(t) = &telemetry {
+        if let Some(path) = &metrics_out {
+            let doc = t.aggregate_document().render_pretty();
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("{path}: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        for figure in figures {
-            println!("{figure}");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &trace_events {
+            if let Err(e) = std::fs::write(path, t.events_jsonl()) {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {path} ({} events, {} dropped)",
+                t.events().records().len(),
+                t.events().dropped()
+            );
         }
     }
     ExitCode::SUCCESS

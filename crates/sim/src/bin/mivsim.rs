@@ -1,9 +1,14 @@
 //! General-purpose simulator front end: run any scheme/machine/workload
-//! combination, record traces, replay trace files, export JSON.
+//! combination, record traces, replay trace files, export JSON metrics
+//! and event traces.
 //!
 //! ```text
 //! # one run, text output
 //! mivsim run --scheme chash --l2 1M --bench swim --measure 500000
+//!
+//! # the command defaults to `run` (and the workload to gzip), so a
+//! # telemetry-capturing run is just:
+//! mivsim --scheme chash --metrics-out m.json --trace-events e.jsonl
 //!
 //! # sweep all schemes over one workload, JSON to stdout
 //! mivsim sweep --bench mcf --l2 256K --json
@@ -19,22 +24,24 @@ use std::process::ExitCode;
 
 use miv_core::timing::Scheme;
 use miv_hash::Throughput;
+use miv_obs::JsonValue;
 use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
 use miv_sim::report::{f2, f3, pct, Table};
-use miv_sim::{RunResult, System, SystemConfig};
+use miv_sim::telemetry::Sample;
+use miv_sim::{RunResult, System, SystemConfig, Telemetry};
 use miv_trace::{Benchmark, Profile};
 
 const USAGE: &str = "\
-usage: mivsim <command> [options]
+usage: mivsim [command] [options]
 
-commands:
+commands (default: run):
   run      simulate one configuration
   sweep    simulate every scheme on one configuration
   record   write a synthetic benchmark trace to a file
 
 options:
   --scheme base|naive|chash|mhash|ihash   (run; default chash)
-  --bench gcc|gzip|mcf|twolf|vortex|vpr|applu|art|swim
+  --bench gcc|gzip|mcf|twolf|vortex|vpr|applu|art|swim  (default gzip)
   --custom SPEC           synthetic workload, e.g. ws=8M,hot=64K,mem=0.4,run=512
   --trace FILE            replay a recorded trace instead of --bench
   --working-set BYTES     protected footprint for --trace runs (e.g. 8M)
@@ -48,7 +55,12 @@ options:
   --block-on-verify       disable speculative use of unverified data
   --no-write-alloc-opt    disable the whole-line overwrite optimization
   --count N / --out FILE  (record)
-  --json                  emit results as JSON instead of a table";
+  --json                  emit results as JSON instead of a table
+  --metrics-out PATH      write a miv-metrics-v1 JSON summary (registry
+                          counters, histograms with quantiles, samples)
+  --trace-events PATH     write the simulation event stream as JSONL
+  --sample-interval N     instructions per time-series sample
+                          (default 50000; 0 = one sample for the run)";
 
 #[derive(Debug)]
 struct Options {
@@ -72,12 +84,22 @@ struct Options {
     count: u64,
     out: Option<String>,
     json: bool,
+    metrics_out: Option<String>,
+    trace_events: Option<String>,
+    sample_interval: u64,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
+        let first = args.first().ok_or(USAGE.to_string())?;
+        // `mivsim --scheme chash ...` means `mivsim run --scheme chash ...`.
+        let (command, rest) = if first.starts_with('-') {
+            ("run".to_string(), args)
+        } else {
+            (first.clone(), &args[1..])
+        };
         let mut o = Options {
-            command: args.first().cloned().ok_or(USAGE.to_string())?,
+            command,
             scheme: Scheme::CHash,
             bench: None,
             custom: None,
@@ -97,11 +119,16 @@ impl Options {
             count: 1_000_000,
             out: None,
             json: false,
+            metrics_out: None,
+            trace_events: None,
+            sample_interval: 50_000,
         };
-        let mut it = args[1..].iter();
+        let mut it = rest.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| {
-                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
             };
             match arg.as_str() {
                 "--scheme" => {
@@ -110,7 +137,8 @@ impl Options {
                 }
                 "--bench" => {
                     let v = value("--bench")?;
-                    o.bench = Some(parse_bench(&v).ok_or_else(|| format!("unknown benchmark {v}"))?);
+                    o.bench =
+                        Some(parse_bench(&v).ok_or_else(|| format!("unknown benchmark {v}"))?);
                 }
                 "--custom" => {
                     let v = value("--custom")?;
@@ -127,12 +155,18 @@ impl Options {
                 }
                 "--line" => o.line = value("--line")?.parse().map_err(|_| "bad --line")?,
                 "--warmup" => o.warmup = value("--warmup")?.parse().map_err(|_| "bad --warmup")?,
-                "--measure" => o.measure = value("--measure")?.parse().map_err(|_| "bad --measure")?,
+                "--measure" => {
+                    o.measure = value("--measure")?.parse().map_err(|_| "bad --measure")?
+                }
                 "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
                 "--hash-gbps" => {
-                    o.hash_gbps = value("--hash-gbps")?.parse().map_err(|_| "bad --hash-gbps")?
+                    o.hash_gbps = value("--hash-gbps")?
+                        .parse()
+                        .map_err(|_| "bad --hash-gbps")?
                 }
-                "--buffers" => o.buffers = value("--buffers")?.parse().map_err(|_| "bad --buffers")?,
+                "--buffers" => {
+                    o.buffers = value("--buffers")?.parse().map_err(|_| "bad --buffers")?
+                }
                 "--policy" => {
                     let v = value("--policy")?;
                     o.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy {v}"))?;
@@ -146,9 +180,25 @@ impl Options {
                 "--count" => o.count = value("--count")?.parse().map_err(|_| "bad --count")?,
                 "--out" => o.out = Some(value("--out")?),
                 "--json" => o.json = true,
+                "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
+                "--trace-events" => o.trace_events = Some(value("--trace-events")?),
+                "--sample-interval" => {
+                    o.sample_interval = value("--sample-interval")?
+                        .parse()
+                        .map_err(|_| "bad --sample-interval")?
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown option {other}\n{USAGE}")),
             }
+        }
+        // `run`/`sweep` default to the gzip benchmark so that a bare
+        // `mivsim --metrics-out m.json` works out of the box.
+        if matches!(o.command.as_str(), "run" | "sweep")
+            && o.bench.is_none()
+            && o.custom.is_none()
+            && o.trace.is_none()
+        {
+            o.bench = Some(Benchmark::Gzip);
         }
         Ok(o)
     }
@@ -164,8 +214,13 @@ impl Options {
         cfg
     }
 
-    /// Runs one scheme on the selected workload.
-    fn run_one(&self, scheme: Scheme) -> Result<RunResult, String> {
+    /// Runs one scheme on the selected workload, recording into
+    /// `telemetry` when provided.
+    fn run_one(
+        &self,
+        scheme: Scheme,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<(RunResult, Vec<Sample>), String> {
         if let Some(path) = &self.trace {
             let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
             let reader = miv_trace::file::read_trace(BufReader::new(file))
@@ -174,9 +229,12 @@ impl Options {
             let insts = insts.map_err(|e| format!("{path}: {e}"))?;
             // Replay through a custom profile-free system: reuse System by
             // constructing a profile wrapper is not possible for raw
-            // traces, so drive the core directly.
+            // traces, so drive the core directly (one sample for the run).
             let cfg = self.system_config(scheme);
-            let hierarchy = miv_sim::Hierarchy::new(&cfg);
+            let mut hierarchy = miv_sim::Hierarchy::new(&cfg);
+            if let Some(t) = telemetry {
+                hierarchy.attach_observability(t.registry(), t.events().sink());
+            }
             let mut core = miv_cpu::Core::new(cfg.core, hierarchy);
             let warm = (self.warmup as usize).min(insts.len());
             core.run(insts[..warm].iter().copied());
@@ -185,7 +243,12 @@ impl Options {
             let l2 = core.port().l2().l2_stats();
             let bus = core.port().l2().bus_stats();
             let checker = core.port().l2().stats();
-            Ok(RunResult {
+            let hash_hit_rate = if l2.hash.accesses() == 0 {
+                1.0
+            } else {
+                l2.hash.hits() as f64 / l2.hash.accesses() as f64
+            };
+            let result = RunResult {
                 scheme: scheme.label().into(),
                 benchmark: path.clone(),
                 instructions: stats.instructions,
@@ -193,11 +256,7 @@ impl Options {
                 ipc: stats.ipc(),
                 l2_data_miss_rate: l2.data.miss_rate(),
                 l2_data_misses: l2.data.misses(),
-                hash_hit_rate: if l2.hash.accesses() == 0 {
-                    1.0
-                } else {
-                    l2.hash.hits() as f64 / l2.hash.accesses() as f64
-                },
+                hash_hit_rate,
                 extra_loads_per_miss: if l2.data.misses() == 0 {
                     0.0
                 } else {
@@ -212,21 +271,69 @@ impl Options {
                 },
                 l2_hash_occupancy: 0.0,
                 read_buffer_wait: checker.read_buffer_wait,
-            })
-        } else if let Some(profile) = self.custom {
-            let mut sys = System::new(self.system_config(scheme), profile, self.seed);
-            Ok(sys.run(self.warmup, self.measure))
+            };
+            let samples = vec![Sample {
+                instructions: stats.instructions,
+                cycles: stats.cycles,
+                ipc: stats.ipc(),
+                l2_data_hit_rate: 1.0 - l2.data.miss_rate(),
+                l2_hash_hit_rate: hash_hit_rate,
+                bus_utilization: if stats.cycles == 0 {
+                    0.0
+                } else {
+                    bus.busy_cycles as f64 / stats.cycles as f64
+                },
+            }];
+            Ok((result, samples))
         } else {
-            let bench = self.bench.ok_or("need --bench, --custom or --trace")?;
-            let mut sys = System::for_benchmark(self.system_config(scheme), bench, self.seed);
-            Ok(sys.run(self.warmup, self.measure))
+            let mut sys = if let Some(profile) = self.custom {
+                System::new(self.system_config(scheme), profile, self.seed)
+            } else {
+                let bench = self.bench.ok_or("need --bench, --custom or --trace")?;
+                System::for_benchmark(self.system_config(scheme), bench, self.seed)
+            };
+            if let Some(t) = telemetry {
+                sys.attach_telemetry(t);
+            }
+            Ok(sys.run_sampled(self.warmup, self.measure, self.sample_interval))
         }
+    }
+
+    /// Writes the metrics summary and/or event trace files, if requested.
+    fn write_telemetry(
+        &self,
+        telemetry: &Telemetry,
+        run: Option<&RunResult>,
+        samples: &[Sample],
+    ) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            let doc = match run {
+                Some(r) => telemetry.metrics_document(r, samples),
+                None => telemetry.aggregate_document(),
+            };
+            std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &self.trace_events {
+            std::fs::write(path, telemetry.events_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {path} ({} events, {} dropped)",
+                telemetry.events().records().len(),
+                telemetry.events().dropped()
+            );
+        }
+        Ok(())
+    }
+
+    fn wants_telemetry(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_events.is_some()
     }
 }
 
 fn print_results(results: &[RunResult], json: bool) {
     if json {
-        println!("{}", serde_json::to_string_pretty(results).expect("serializable"));
+        let doc = JsonValue::Array(results.iter().map(RunResult::to_json).collect());
+        println!("{}", doc.render_pretty());
         return;
     }
     let mut t = Table::new(vec![
@@ -264,21 +371,32 @@ fn main() -> ExitCode {
         }
     };
     let outcome = match opts.command.as_str() {
-        "run" => opts.run_one(opts.scheme).map(|r| print_results(&[r], opts.json)),
-        "sweep" => {
+        "run" => {
+            let telemetry = opts.wants_telemetry().then(Telemetry::new);
+            opts.run_one(opts.scheme, telemetry.as_ref())
+                .and_then(|(r, samples)| {
+                    print_results(std::slice::from_ref(&r), opts.json);
+                    match &telemetry {
+                        Some(t) => opts.write_telemetry(t, Some(&r), &samples),
+                        None => Ok(()),
+                    }
+                })
+        }
+        "sweep" => (|| {
+            // One registry across the five schemes: counters aggregate,
+            // so the summary document carries no single-run section.
+            let telemetry = opts.wants_telemetry().then(Telemetry::new);
             let mut results = Vec::new();
             for scheme in Scheme::ALL {
-                match opts.run_one(scheme) {
-                    Ok(r) => results.push(r),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let (r, _) = opts.run_one(scheme, telemetry.as_ref())?;
+                results.push(r);
             }
             print_results(&results, opts.json);
-            Ok(())
-        }
+            match &telemetry {
+                Some(t) => opts.write_telemetry(t, None, &[]),
+                None => Ok(()),
+            }
+        })(),
         "record" => (|| {
             let bench = opts.bench.ok_or("record needs --bench")?;
             let path = opts.out.clone().ok_or("record needs --out FILE")?;

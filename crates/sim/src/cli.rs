@@ -129,8 +129,14 @@ mod tests {
         assert_eq!(p.pointer_chase, 0.3);
         assert!(parse_custom_profile("nope=1").is_err());
         assert!(parse_custom_profile("ws").is_err());
-        assert!(parse_custom_profile("ws=2K").is_err(), "tiny working set rejected");
-        assert!(parse_custom_profile("mem=2.0").is_err(), "out-of-range rejected");
+        assert!(
+            parse_custom_profile("ws=2K").is_err(),
+            "tiny working set rejected"
+        );
+        assert!(
+            parse_custom_profile("mem=2.0").is_err(),
+            "out-of-range rejected"
+        );
         // Region auto-nesting.
         let p = parse_custom_profile("ws=1M").unwrap();
         assert!(p.hot_set <= p.mid_set && p.mid_set <= p.working_set);

@@ -57,7 +57,10 @@ impl SystemConfig {
 
     /// Overrides the hash-unit throughput (Figure 6 sweep).
     pub fn with_hash_throughput(mut self, throughput: Throughput) -> Self {
-        self.checker.hash = HashEngineConfig { throughput, ..self.checker.hash };
+        self.checker.hash = HashEngineConfig {
+            throughput,
+            ..self.checker.hash
+        };
         self
     }
 
@@ -94,7 +97,10 @@ impl SystemConfig {
         );
         row("L1 latency", format!("{} cycles", self.l1_latency));
         row("L2 latency", format!("{} cycles", self.checker.l2_latency));
-        row("Memory latency (first chunk)", format!("{} cycles", self.bus.dram_latency));
+        row(
+            "Memory latency (first chunk)",
+            format!("{} cycles", self.bus.dram_latency),
+        );
         row(
             "Memory bus",
             format!(
@@ -109,15 +115,27 @@ impl SystemConfig {
             format!("{0} / {0} per cycle", self.core.width),
         );
         row("Load/store queue size", format!("{}", self.core.lsq_size));
-        row("Register update unit size", format!("{}", self.core.ruu_size));
-        row("Hash latency", format!("{} cycles", self.checker.hash.latency));
+        row(
+            "Register update unit size",
+            format!("{}", self.core.ruu_size),
+        );
+        row(
+            "Hash latency",
+            format!("{} cycles", self.checker.hash.latency),
+        );
         row(
             "Hash throughput",
             format!("{:.1} GB/s", self.checker.hash.throughput.as_gbps()),
         );
-        row("Hash read/write buffer", format!("{} entries each", self.checker.buffer_entries));
+        row(
+            "Hash read/write buffer",
+            format!("{} entries each", self.checker.buffer_entries),
+        );
         row("Hash length", "128 bits".into());
-        row("Protected segment", format!("{} MB", self.checker.protected_bytes >> 20));
+        row(
+            "Protected segment",
+            format!("{} MB", self.checker.protected_bytes >> 20),
+        );
         row("Scheme", self.checker.scheme.to_string());
         out
     }

@@ -8,18 +8,21 @@
 //! explicitly. See `EXPERIMENTS.md` at the repository root for the
 //! recorded paper-vs-measured comparison.
 
+use std::cell::RefCell;
+
 use miv_core::layout::{render_tree, TreeLayout};
 use miv_core::timing::Scheme;
 use miv_hash::Throughput;
+use miv_obs::JsonValue;
 use miv_trace::Benchmark;
-use serde::Serialize;
 
 use crate::config::SystemConfig;
 use crate::report::{f2, f3, pct, Table};
 use crate::system::{RunResult, System};
+use crate::telemetry::Telemetry;
 
 /// Shared experiment parameters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
     /// Warm-up instructions per run (statistics discarded).
     pub warmup: u64,
@@ -32,19 +35,27 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { warmup: 200_000, measure: 1_000_000, seed: 42 }
+        ExperimentConfig {
+            warmup: 200_000,
+            measure: 1_000_000,
+            seed: 42,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        ExperimentConfig { warmup: 10_000, measure: 60_000, seed: 42 }
+        ExperimentConfig {
+            warmup: 10_000,
+            measure: 60_000,
+            seed: 42,
+        }
     }
 }
 
 /// One rendered experiment artifact.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Artifact id (`table1`, `fig3`, …).
     pub id: String,
@@ -56,7 +67,11 @@ pub struct Figure {
 
 impl Figure {
     fn new(id: &str, title: &str, body: String) -> Self {
-        Figure { id: id.into(), title: title.into(), body }
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            body,
+        }
     }
 }
 
@@ -67,8 +82,32 @@ impl std::fmt::Display for Figure {
     }
 }
 
+thread_local! {
+    /// Telemetry attached to every system the harness builds while a
+    /// [`with_telemetry`] scope is active.
+    static ACTIVE_TELEMETRY: RefCell<Option<Telemetry>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `telemetry` attached to every machine the experiment
+/// harness builds inside it, aggregating metrics and events across all
+/// runs of a sweep (counters sum; histograms merge; the event ring keeps
+/// the tail). Used by the `figures` binary's `--metrics-out` /
+/// `--trace-events` flags.
+pub fn with_telemetry<T>(telemetry: &Telemetry, f: impl FnOnce() -> T) -> T {
+    ACTIVE_TELEMETRY.with(|slot| *slot.borrow_mut() = Some(telemetry.clone()));
+    let result = f();
+    ACTIVE_TELEMETRY.with(|slot| *slot.borrow_mut() = None);
+    result
+}
+
 fn run_one(cfg: SystemConfig, bench: Benchmark, xp: &ExperimentConfig) -> RunResult {
-    System::for_benchmark(cfg, bench, xp.seed).run(xp.warmup, xp.measure)
+    let mut sys = System::for_benchmark(cfg, bench, xp.seed);
+    ACTIVE_TELEMETRY.with(|slot| {
+        if let Some(telemetry) = slot.borrow().as_ref() {
+            sys.attach_telemetry(telemetry);
+        }
+    });
+    sys.run(xp.warmup, xp.measure)
 }
 
 // ---------------------------------------------------------------------
@@ -78,7 +117,11 @@ fn run_one(cfg: SystemConfig, bench: Benchmark, xp: &ExperimentConfig) -> RunRes
 /// Table 1: architectural parameters used in simulations.
 pub fn table1() -> Figure {
     let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
-    Figure::new("table1", "Architectural parameters used in simulations", cfg.table1())
+    Figure::new(
+        "table1",
+        "Architectural parameters used in simulations",
+        cfg.table1(),
+    )
 }
 
 /// Figure 1: the hash-tree layout (rendered for a small example, plus the
@@ -156,7 +199,7 @@ pub fn fig2() -> Figure {
 // ---------------------------------------------------------------------
 
 /// One (cache config, benchmark) measurement triple for Figure 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Row {
     /// L2 capacity in KB.
     pub l2_kb: u64,
@@ -175,12 +218,30 @@ pub struct Fig3Row {
 /// Runs the Figure 3 sweep and returns the raw rows.
 pub fn fig3_data(xp: &ExperimentConfig) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
-    for &(l2_kb, line) in &[(256u64, 64u32), (1024, 64), (4096, 64), (256, 128), (1024, 128), (4096, 128)]
-    {
+    for &(l2_kb, line) in &[
+        (256u64, 64u32),
+        (1024, 64),
+        (4096, 64),
+        (256, 128),
+        (1024, 128),
+        (4096, 128),
+    ] {
         for bench in Benchmark::ALL {
-            let base = run_one(SystemConfig::hpca03(Scheme::Base, l2_kb << 10, line), bench, xp);
-            let chash = run_one(SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, line), bench, xp);
-            let naive = run_one(SystemConfig::hpca03(Scheme::Naive, l2_kb << 10, line), bench, xp);
+            let base = run_one(
+                SystemConfig::hpca03(Scheme::Base, l2_kb << 10, line),
+                bench,
+                xp,
+            );
+            let chash = run_one(
+                SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, line),
+                bench,
+                xp,
+            );
+            let naive = run_one(
+                SystemConfig::hpca03(Scheme::Naive, l2_kb << 10, line),
+                bench,
+                xp,
+            );
             rows.push(Fig3Row {
                 l2_kb,
                 line,
@@ -198,8 +259,14 @@ pub fn fig3_data(xp: &ExperimentConfig) -> Vec<Fig3Row> {
 pub fn fig3(xp: &ExperimentConfig) -> Figure {
     let rows = fig3_data(xp);
     let mut body = String::new();
-    for &(l2_kb, line) in &[(256u64, 64u32), (1024, 64), (4096, 64), (256, 128), (1024, 128), (4096, 128)]
-    {
+    for &(l2_kb, line) in &[
+        (256u64, 64u32),
+        (1024, 64),
+        (4096, 64),
+        (256, 128),
+        (1024, 128),
+        (4096, 128),
+    ] {
         let mut t = Table::new(vec![
             "bench".into(),
             "base IPC".into(),
@@ -218,7 +285,12 @@ pub fn fig3(xp: &ExperimentConfig) -> Figure {
                 f3(r.naive / r.base),
             ]);
         }
-        body.push_str(&format!("({} KB L2, {} B lines)\n{}\n", l2_kb, line, t.render()));
+        body.push_str(&format!(
+            "({} KB L2, {} B lines)\n{}\n",
+            l2_kb,
+            line,
+            t.render()
+        ));
     }
     Figure::new(
         "fig3",
@@ -232,7 +304,7 @@ pub fn fig3(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 4 measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// L2 capacity in KB.
     pub l2_kb: u64,
@@ -249,8 +321,16 @@ pub fn fig4_data(xp: &ExperimentConfig) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     for &l2_kb in &[256u64, 4096] {
         for bench in Benchmark::ALL {
-            let base = run_one(SystemConfig::hpca03(Scheme::Base, l2_kb << 10, 64), bench, xp);
-            let chash = run_one(SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, 64), bench, xp);
+            let base = run_one(
+                SystemConfig::hpca03(Scheme::Base, l2_kb << 10, 64),
+                bench,
+                xp,
+            );
+            let chash = run_one(
+                SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, 64),
+                bench,
+                xp,
+            );
             rows.push(Fig4Row {
                 l2_kb,
                 bench: bench.name().into(),
@@ -300,7 +380,7 @@ pub fn fig4(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 5 measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Row {
     /// Benchmark name.
     pub bench: String,
@@ -372,7 +452,11 @@ pub fn fig5(xp: &ExperimentConfig) -> Figure {
         a.render(),
         b.render()
     );
-    Figure::new("fig5", "Memory bandwidth: hash caching removes the log-depth traffic", body)
+    Figure::new(
+        "fig5",
+        "Memory bandwidth: hash caching removes the log-depth traffic",
+        body,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -380,7 +464,7 @@ pub fn fig5(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 6 series point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Benchmark name.
     pub bench: String,
@@ -404,7 +488,10 @@ pub fn fig6_data(xp: &ExperimentConfig) -> Vec<Fig6Row> {
                     run_one(cfg, bench, xp).ipc
                 })
                 .collect();
-            Fig6Row { bench: bench.name().into(), ipc }
+            Fig6Row {
+                bench: bench.name().into(),
+                ipc,
+            }
         })
         .collect()
 }
@@ -436,7 +523,7 @@ pub fn fig6(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 7 series point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub bench: String,
@@ -460,7 +547,10 @@ pub fn fig7_data(xp: &ExperimentConfig) -> Vec<Fig7Row> {
                     run_one(cfg, bench, xp).ipc
                 })
                 .collect();
-            Fig7Row { bench: bench.name().into(), ipc }
+            Fig7Row {
+                bench: bench.name().into(),
+                ipc,
+            }
         })
         .collect()
 }
@@ -492,7 +582,7 @@ pub fn fig7(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 8 measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Benchmark name.
     pub bench: String,
@@ -541,7 +631,13 @@ pub fn fig8(xp: &ExperimentConfig) -> Figure {
         "i-64B".into(),
     ]);
     for r in &rows {
-        t.row(vec![r.bench.clone(), f3(r.c64), f3(r.c128), f3(r.m64), f3(r.i64)]);
+        t.row(vec![
+            r.bench.clone(),
+            f3(r.c64),
+            f3(r.c128),
+            f3(r.m64),
+            f3(r.i64),
+        ]);
     }
     let overhead64 = TreeLayout::new(256 << 20, 64, 64).overhead();
     let overhead128 = TreeLayout::new(256 << 20, 128, 64).overhead();
@@ -551,7 +647,11 @@ pub fn fig8(xp: &ExperimentConfig) -> Figure {
         pct(overhead64),
         pct(overhead128),
     );
-    Figure::new("fig8", "IPC of the schemes with reduced hash memory overhead (1 MB L2)", body)
+    Figure::new(
+        "fig8",
+        "IPC of the schemes with reduced hash memory overhead (1 MB L2)",
+        body,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -559,7 +659,7 @@ pub fn fig8(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// The paper's headline numbers, computed from the Figure 3 data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Claims {
     /// Worst chash overhead across benchmarks at 256 KB / 64 B.
     pub worst_chash_overhead_small: f64,
@@ -580,7 +680,9 @@ pub fn claims_from(rows: &[Fig3Row]) -> Claims {
         .iter()
         .filter(|r| r.l2_kb == 256 && r.line == 64)
         .max_by(|a, b| {
-            overhead(a, a.chash).partial_cmp(&overhead(b, b.chash)).expect("finite")
+            overhead(a, a.chash)
+                .partial_cmp(&overhead(b, b.chash))
+                .expect("finite")
         })
         .expect("rows present");
     let big = rows
@@ -591,7 +693,9 @@ pub fn claims_from(rows: &[Fig3Row]) -> Claims {
     let naive = rows
         .iter()
         .max_by(|a, b| {
-            (a.base / a.naive).partial_cmp(&(b.base / b.naive)).expect("finite")
+            (a.base / a.naive)
+                .partial_cmp(&(b.base / b.naive))
+                .expect("finite")
         })
         .expect("rows present");
     Claims {
@@ -625,7 +729,7 @@ pub fn claims(xp: &ExperimentConfig) -> Figure {
 
 /// The raw measured rows of every quantitative artifact, for JSON export
 /// (plotting pipelines consume this instead of re-parsing text tables).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DataExport {
     /// The experiment parameters that produced the data.
     pub config: ExperimentConfig,
@@ -643,6 +747,107 @@ pub struct DataExport {
     pub fig8: Vec<Fig8Row>,
     /// Headline claims derived from the Figure 3 rows.
     pub claims: Claims,
+}
+
+impl DataExport {
+    /// JSON form consumed by plotting pipelines (replaces the former
+    /// `serde_json` path; the workspace carries no external deps).
+    pub fn to_json(&self) -> JsonValue {
+        let rows = |items: &[JsonValue]| JsonValue::Array(items.to_vec());
+        let mut config = JsonValue::obj();
+        config.push("warmup", self.config.warmup);
+        config.push("measure", self.config.measure);
+        config.push("seed", self.config.seed);
+
+        let fig3: Vec<JsonValue> = self
+            .fig3
+            .iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("l2_kb", r.l2_kb);
+                o.push("line", r.line);
+                o.push("bench", r.bench.as_str());
+                o.push("base", r.base);
+                o.push("chash", r.chash);
+                o.push("naive", r.naive);
+                o
+            })
+            .collect();
+        let fig4: Vec<JsonValue> = self
+            .fig4
+            .iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("l2_kb", r.l2_kb);
+                o.push("bench", r.bench.as_str());
+                o.push("base", r.base);
+                o.push("chash", r.chash);
+                o
+            })
+            .collect();
+        let fig5: Vec<JsonValue> = self
+            .fig5
+            .iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("bench", r.bench.as_str());
+                o.push("chash_extra", r.chash_extra);
+                o.push("naive_extra", r.naive_extra);
+                o.push("base_bytes", r.base_bytes);
+                o.push("chash_bytes", r.chash_bytes);
+                o.push("naive_bytes", r.naive_bytes);
+                o
+            })
+            .collect();
+        let series = |bench: &str, ipc: &[f64]| {
+            let mut o = JsonValue::obj();
+            o.push("bench", bench);
+            o.push(
+                "ipc",
+                ipc.iter().map(|&x| JsonValue::Float(x)).collect::<Vec<_>>(),
+            );
+            o
+        };
+        let fig6: Vec<JsonValue> = self.fig6.iter().map(|r| series(&r.bench, &r.ipc)).collect();
+        let fig7: Vec<JsonValue> = self.fig7.iter().map(|r| series(&r.bench, &r.ipc)).collect();
+        let fig8: Vec<JsonValue> = self
+            .fig8
+            .iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("bench", r.bench.as_str());
+                o.push("base64", r.base64);
+                o.push("c64", r.c64);
+                o.push("c128", r.c128);
+                o.push("m64", r.m64);
+                o.push("i64", r.i64);
+                o
+            })
+            .collect();
+        let mut claims = JsonValue::obj();
+        claims.push(
+            "worst_chash_overhead_small",
+            self.claims.worst_chash_overhead_small,
+        );
+        claims.push("worst_bench_small", self.claims.worst_bench_small.as_str());
+        claims.push(
+            "worst_chash_overhead_4mb",
+            self.claims.worst_chash_overhead_4mb,
+        );
+        claims.push("worst_naive_slowdown", self.claims.worst_naive_slowdown);
+        claims.push("worst_naive_bench", self.claims.worst_naive_bench.as_str());
+
+        let mut doc = JsonValue::obj();
+        doc.push("config", config);
+        doc.push("fig3", rows(&fig3));
+        doc.push("fig4", rows(&fig4));
+        doc.push("fig5", rows(&fig5));
+        doc.push("fig6", rows(&fig6));
+        doc.push("fig7", rows(&fig7));
+        doc.push("fig8", rows(&fig8));
+        doc.push("claims", claims);
+        doc
+    }
 }
 
 /// Runs every quantitative sweep and gathers the raw rows.
@@ -695,7 +900,11 @@ mod tests {
     fn quick_fig4_shows_pollution_shrinking_with_cache_size() {
         // The quick window is too noisy for per-benchmark claims; use a
         // medium window and compare the averaged relative inflation.
-        let xp = ExperimentConfig { warmup: 50_000, measure: 250_000, seed: 42 };
+        let xp = ExperimentConfig {
+            warmup: 50_000,
+            measure: 250_000,
+            seed: 42,
+        };
         let rows = fig4_data(&xp);
         assert_eq!(rows.len(), 18);
         // Relative pollution (chash / base miss rate) averaged over the
@@ -749,10 +958,38 @@ mod tests {
     #[test]
     fn claims_math() {
         let rows = vec![
-            Fig3Row { l2_kb: 256, line: 64, bench: "a".into(), base: 1.0, chash: 0.8, naive: 0.2 },
-            Fig3Row { l2_kb: 4096, line: 64, bench: "a".into(), base: 1.0, chash: 0.99, naive: 0.2 },
-            Fig3Row { l2_kb: 256, line: 64, bench: "b".into(), base: 2.0, chash: 1.9, naive: 0.25 },
-            Fig3Row { l2_kb: 4096, line: 64, bench: "b".into(), base: 2.0, chash: 1.96, naive: 0.3 },
+            Fig3Row {
+                l2_kb: 256,
+                line: 64,
+                bench: "a".into(),
+                base: 1.0,
+                chash: 0.8,
+                naive: 0.2,
+            },
+            Fig3Row {
+                l2_kb: 4096,
+                line: 64,
+                bench: "a".into(),
+                base: 1.0,
+                chash: 0.99,
+                naive: 0.2,
+            },
+            Fig3Row {
+                l2_kb: 256,
+                line: 64,
+                bench: "b".into(),
+                base: 2.0,
+                chash: 1.9,
+                naive: 0.25,
+            },
+            Fig3Row {
+                l2_kb: 4096,
+                line: 64,
+                bench: "b".into(),
+                base: 2.0,
+                chash: 1.96,
+                naive: 0.3,
+            },
         ];
         let c = claims_from(&rows);
         assert_eq!(c.worst_bench_small, "a");

@@ -1,9 +1,10 @@
 //! The L1 + L2/checker memory hierarchy behind the core's
 //! [`MemoryPort`].
 
-use miv_cache::{Cache, LineKind};
+use miv_cache::{Cache, CacheObserver, LineKind};
 use miv_core::timing::L2Controller;
 use miv_cpu::{Cycle, MemoryPort};
+use miv_obs::{EventSink, Registry};
 
 use crate::config::SystemConfig;
 
@@ -32,6 +33,15 @@ impl Hierarchy {
             l2: L2Controller::new(config.checker, config.l2, config.bus),
             l1_writebacks: 0,
         }
+    }
+
+    /// Wires the whole hierarchy into a metrics registry and event
+    /// stream: L1 counters under `l1.*`, and the L2 controller's caches,
+    /// bus, hash unit and walk-depth histogram under their own prefixes.
+    pub fn attach_observability(&mut self, registry: &Registry, events: EventSink) {
+        self.l1
+            .set_observer(CacheObserver::for_registry(registry, "l1"));
+        self.l2.attach_observability(registry, events);
     }
 
     /// The L1 data cache (for statistics).
@@ -71,7 +81,9 @@ impl Hierarchy {
         // Table 1 geometry (32 B L1 / 64 B L2) a streaming run still
         // overwrites the L2 line in two L1 allocations, so we forward the
         // hint as-is and let the controller decide.
-        let ready = self.l2.access(now + self.l1_latency, addr, write, full_line);
+        let ready = self
+            .l2
+            .access(now + self.l1_latency, addr, write, full_line);
         if let Some(ev) = self.l1.fill(addr, LineKind::Data, write) {
             if ev.dirty {
                 // L1 victim write-back: an L2 write access.
@@ -135,7 +147,12 @@ mod tests {
         // half: a data chunk whose ancestor hash chunks land in its own
         // L2 set can be conflict-evicted by its own verification walk.)
         let diff = l2.read_hits.abs_diff(l2.read_misses);
-        assert!(diff <= 16, "hits {} vs misses {}", l2.read_hits, l2.read_misses);
+        assert!(
+            diff <= 16,
+            "hits {} vs misses {}",
+            l2.read_hits,
+            l2.read_misses
+        );
     }
 
     #[test]

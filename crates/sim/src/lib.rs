@@ -29,7 +29,9 @@ pub mod experiments;
 pub mod hierarchy;
 pub mod report;
 pub mod system;
+pub mod telemetry;
 
 pub use config::SystemConfig;
 pub use hierarchy::Hierarchy;
 pub use system::{RunResult, System};
+pub use telemetry::{Sample, Telemetry};

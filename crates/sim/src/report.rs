@@ -22,7 +22,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -45,9 +48,13 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders the table with aligned columns.
+    /// Renders the table with aligned columns. A table with no columns
+    /// renders as the empty string.
     pub fn render(&self) -> String {
         let cols = self.header.len();
+        if cols == 0 {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
@@ -73,7 +80,7 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&self.header, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&format!("{}\n", "-".repeat(total)));
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -113,6 +120,16 @@ mod tests {
         assert!(lines[1].starts_with("---"));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        // Regression: `2 * (cols - 1)` underflowed for a header-less
+        // table; it must render as the empty string instead of panicking.
+        let t = Table::new(vec![]);
+        assert_eq!(t.render(), "");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! The assembled machine and measurement runs.
 
 use miv_cpu::Core;
+use miv_obs::JsonValue;
 use miv_trace::{Profile, TraceGenerator};
-use serde::Serialize;
 
 use crate::config::SystemConfig;
 use crate::hierarchy::Hierarchy;
+use crate::telemetry::{Sample, Telemetry};
 
 /// Measured results of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Scheme label (`base`, `naive`, `chash`, `mhash`, `ihash`).
     pub scheme: String,
@@ -59,6 +60,26 @@ impl RunResult {
         } else {
             self.ipc / base_ipc
         }
+    }
+
+    /// JSON form with one field per metric, in declaration order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj();
+        o.push("scheme", self.scheme.as_str());
+        o.push("benchmark", self.benchmark.as_str());
+        o.push("instructions", self.instructions);
+        o.push("cycles", self.cycles);
+        o.push("ipc", self.ipc);
+        o.push("l2_data_miss_rate", self.l2_data_miss_rate);
+        o.push("l2_data_misses", self.l2_data_misses);
+        o.push("hash_hit_rate", self.hash_hit_rate);
+        o.push("extra_loads_per_miss", self.extra_loads_per_miss);
+        o.push("bus_bytes", self.bus_bytes);
+        o.push("hash_bytes", self.hash_bytes);
+        o.push("bandwidth_gbps", self.bandwidth_gbps);
+        o.push("l2_hash_occupancy", self.l2_hash_occupancy);
+        o.push("read_buffer_wait", self.read_buffer_wait);
+        o
     }
 }
 
@@ -131,17 +152,37 @@ impl System {
     }
 
     /// Builds a machine running one of the paper's benchmarks.
-    pub fn for_benchmark(
-        config: SystemConfig,
-        benchmark: miv_trace::Benchmark,
-        seed: u64,
-    ) -> Self {
+    pub fn for_benchmark(config: SystemConfig, benchmark: miv_trace::Benchmark, seed: u64) -> Self {
         Self::new(config, benchmark.profile(), seed)
+    }
+
+    /// Attaches a metrics registry and event stream to every level of
+    /// the machine (L1, L2, bus, hash unit, checker). Observation is
+    /// behaviour-neutral: timing and the built-in statistics do not
+    /// change when telemetry is attached.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.core
+            .port_mut()
+            .attach_observability(telemetry.registry(), telemetry.events().sink());
     }
 
     /// Runs `warmup` instructions (statistics discarded), then `measure`
     /// instructions, returning the measured results.
     pub fn run(&mut self, warmup: u64, measure: u64) -> RunResult {
+        self.run_sampled(warmup, measure, measure).0
+    }
+
+    /// Like [`run`](Self::run), but additionally snapshots the machine
+    /// every `interval` committed instructions, returning the
+    /// per-interval time series (IPC, L2 data/hash hit rates, bus
+    /// utilization) alongside the run totals. An `interval` of zero is
+    /// treated as `measure` (a single sample covering the whole window).
+    pub fn run_sampled(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        interval: u64,
+    ) -> (RunResult, Vec<Sample>) {
         if !self.prewarmed {
             self.prewarm();
             self.prewarmed = true;
@@ -151,9 +192,53 @@ impl System {
             self.core.run(trace.take(warmup as usize));
         }
         self.core.port_mut().reset_stats();
-        let trace = &mut self.trace;
-        let stats = self.core.run(trace.take(measure as usize));
+        let interval = if interval == 0 { measure } else { interval };
+        let mut samples = Vec::new();
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let mut prev_l2 = *self.core.port().l2().l2_stats();
+        let mut prev_bus = *self.core.port().l2().bus_stats();
+        while instructions < measure {
+            let step = interval.min(measure - instructions);
+            let trace = &mut self.trace;
+            let stats = self.core.run(trace.take(step as usize));
+            instructions += stats.instructions;
+            cycles += stats.cycles;
+            let l2 = *self.core.port().l2().l2_stats();
+            let bus = *self.core.port().l2().bus_stats();
+            let dl2 = l2.delta(&prev_l2);
+            let dbus = bus.delta(&prev_bus);
+            let hit_rate = |k: miv_cache::KindStats| {
+                if k.accesses() == 0 {
+                    1.0
+                } else {
+                    k.hits() as f64 / k.accesses() as f64
+                }
+            };
+            samples.push(Sample {
+                instructions,
+                cycles,
+                ipc: stats.ipc(),
+                l2_data_hit_rate: hit_rate(dl2.data),
+                l2_hash_hit_rate: hit_rate(dl2.hash),
+                // Capped at 1: the arbiter books background verification
+                // transfers ahead of core time, so an interval's busy
+                // cycles can exceed the cycles the core itself elapsed.
+                bus_utilization: if stats.cycles == 0 {
+                    0.0
+                } else {
+                    (dbus.busy_cycles as f64 / stats.cycles as f64).min(1.0)
+                },
+            });
+            prev_l2 = l2;
+            prev_bus = bus;
+        }
+        (self.result(instructions, cycles), samples)
+    }
 
+    /// Assembles the run totals from the hierarchy's cumulative
+    /// statistics (since the post-warm-up reset).
+    fn result(&self, instructions: u64, cycles: u64) -> RunResult {
         let hierarchy = self.core.port();
         let l2 = hierarchy.l2().l2_stats();
         let checker = hierarchy.l2().stats();
@@ -165,9 +250,13 @@ impl System {
         RunResult {
             scheme: self.scheme.clone(),
             benchmark: self.benchmark.clone(),
-            instructions: stats.instructions,
-            cycles: stats.cycles,
-            ipc: stats.ipc(),
+            instructions,
+            cycles,
+            ipc: if cycles == 0 {
+                0.0
+            } else {
+                instructions as f64 / cycles as f64
+            },
             l2_data_miss_rate: l2.data.miss_rate(),
             l2_data_misses: data_misses,
             hash_hit_rate: if l2.hash.accesses() == 0 {
@@ -182,10 +271,10 @@ impl System {
             },
             bus_bytes: bus.total_bytes(),
             hash_bytes: bus.hash_bytes(),
-            bandwidth_gbps: if stats.cycles == 0 {
+            bandwidth_gbps: if cycles == 0 {
                 0.0
             } else {
-                bus.total_bytes() as f64 / stats.cycles as f64
+                bus.total_bytes() as f64 / cycles as f64
             },
             l2_hash_occupancy: if occ_data + occ_hash == 0 {
                 0.0
@@ -230,7 +319,12 @@ mod tests {
         let base = quick(Scheme::Base, Benchmark::Swim);
         let chash = quick(Scheme::CHash, Benchmark::Swim);
         let naive = quick(Scheme::Naive, Benchmark::Swim);
-        assert!(chash.ipc <= base.ipc * 1.02, "{} vs {}", chash.ipc, base.ipc);
+        assert!(
+            chash.ipc <= base.ipc * 1.02,
+            "{} vs {}",
+            chash.ipc,
+            base.ipc
+        );
         assert!(naive.ipc < chash.ipc, "{} vs {}", naive.ipc, chash.ipc);
         assert!(
             naive.extra_loads_per_miss > chash.extra_loads_per_miss,
@@ -253,6 +347,97 @@ mod tests {
         let r = quick(Scheme::Base, Benchmark::Gcc);
         assert!((r.normalized_ipc(r.ipc) - 1.0).abs() < 1e-12);
         assert!((r.slowdown_vs(r.ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_run_matches_totals_and_yields_series() {
+        let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+        cfg.checker.protected_bytes = 128 << 20;
+        let mut sys = System::for_benchmark(cfg, Benchmark::Swim, 7);
+        let (r, samples) = sys.run_sampled(5_000, 40_000, 10_000);
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.last().unwrap().instructions, r.instructions);
+        assert_eq!(samples.last().unwrap().cycles, r.cycles);
+        for pair in samples.windows(2) {
+            assert!(pair[1].instructions > pair[0].instructions);
+            assert!(pair[1].cycles > pair[0].cycles);
+        }
+        for s in &samples {
+            assert!(s.ipc > 0.0 && s.ipc <= 4.0);
+            assert!((0.0..=1.0).contains(&s.l2_data_hit_rate));
+            assert!((0.0..=1.0).contains(&s.l2_hash_hit_rate));
+            assert!((0.0..=1.0).contains(&s.bus_utilization));
+        }
+        // Identical machine, single-chunk run: totals must agree exactly
+        // (sampling is observation, not perturbation).
+        let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+        cfg.checker.protected_bytes = 128 << 20;
+        let whole = System::for_benchmark(cfg, Benchmark::Swim, 7).run(5_000, 40_000);
+        assert_eq!(whole.instructions, r.instructions);
+        assert_eq!(whole.cycles, r.cycles);
+        assert_eq!(whole.bus_bytes, r.bus_bytes);
+    }
+
+    #[test]
+    fn telemetry_is_behaviour_neutral_and_mirrors_l1() {
+        let build = || {
+            let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+            cfg.checker.protected_bytes = 128 << 20;
+            System::for_benchmark(cfg, Benchmark::Gcc, 3)
+        };
+        // Same call sequence on both machines (warm-up as its own call,
+        // then the measurement window) so only telemetry differs.
+        let plain = {
+            let mut s = build();
+            s.run(2_000, 0);
+            s.run(0, 20_000)
+        };
+        let mut observed = build();
+        let telemetry = crate::Telemetry::new();
+        observed.attach_telemetry(&telemetry);
+        observed.run(2_000, 0);
+        // Mirror the warm-up stats reset so the registry covers exactly
+        // the measurement window.
+        telemetry.registry().reset();
+        let r = observed.run(0, 20_000);
+        assert_eq!(r.cycles, plain.cycles);
+        assert_eq!(r.bus_bytes, plain.bus_bytes);
+        let snap = telemetry.registry().snapshot();
+        let l1 = observed.hierarchy().l1().stats().data;
+        assert_eq!(snap.counters["l1.data.read_hits"], l1.read_hits);
+        assert_eq!(snap.counters["l1.data.read_misses"], l1.read_misses);
+        assert_eq!(snap.counters["l1.data.write_hits"], l1.write_hits);
+        assert!(
+            telemetry.events().recorded() > 0,
+            "l2 misses must produce events"
+        );
+    }
+
+    #[test]
+    fn registry_snapshot_and_reset_sum_to_uninterrupted_run() {
+        let build = || {
+            let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+            cfg.checker.protected_bytes = 128 << 20;
+            let mut sys = System::for_benchmark(cfg, Benchmark::Twolf, 11);
+            let telemetry = crate::Telemetry::new();
+            sys.attach_telemetry(&telemetry);
+            (sys, telemetry)
+        };
+        // Both machines execute the identical two-segment call sequence
+        // (a mid-run `reset_stats` drains the bus pipeline, so segment
+        // boundaries must match); only the registry handling differs.
+        let (mut sys, telemetry) = build();
+        sys.run(2_000, 12_000);
+        sys.run(0, 18_000);
+        let whole = telemetry.registry().snapshot();
+        // Interrupted: snapshot + reset between the segments, then merge.
+        let (mut sys, telemetry) = build();
+        sys.run(2_000, 12_000);
+        let mut merged = telemetry.registry().snapshot();
+        telemetry.registry().reset();
+        sys.run(0, 18_000);
+        merged.merge(&telemetry.registry().snapshot());
+        assert_eq!(merged, whole);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Telemetry plumbing for full-system runs: a bundled metrics
+//! [`Registry`] + bounded [`EventTrace`], interval [`Sample`]s taken
+//! during [`System::run_sampled`](crate::System::run_sampled), and the
+//! `miv-metrics-v1` JSON document written by `--metrics-out`.
+
+use miv_obs::{EventTrace, JsonValue, Registry};
+
+use crate::system::RunResult;
+
+/// Default event-ring capacity: enough for the tail of a long run
+/// without unbounded memory.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+/// A metrics registry and event ring that travel together through a
+/// simulated machine. Clones share the same underlying stores, so the
+/// harness can keep one handle while the hierarchy records into another.
+///
+/// # Examples
+///
+/// ```
+/// use miv_core::Scheme;
+/// use miv_sim::{System, SystemConfig, Telemetry};
+/// use miv_trace::Benchmark;
+///
+/// let mut cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
+/// cfg.checker.protected_bytes = 128 << 20;
+/// let mut sys = System::for_benchmark(cfg, Benchmark::Gzip, 1);
+/// let telemetry = Telemetry::new();
+/// sys.attach_telemetry(&telemetry);
+/// let (result, samples) = sys.run_sampled(2_000, 20_000, 5_000);
+/// assert!(samples.len() >= 2);
+/// let doc = telemetry.metrics_document(&result, &samples);
+/// assert_eq!(doc.get("schema").unwrap().as_str(), Some("miv-metrics-v1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    registry: Registry,
+    events: EventTrace,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry and an event ring of [`DEFAULT_EVENT_CAPACITY`].
+    pub fn new() -> Self {
+        Telemetry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh registry and an event ring holding `capacity` events
+    /// (oldest dropped first once full).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry {
+            registry: Registry::new(),
+            events: EventTrace::bounded(capacity),
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared event ring.
+    pub fn events(&self) -> &EventTrace {
+        &self.events
+    }
+
+    /// Renders the buffered events as JSONL (one object per line), the
+    /// format `--trace-events` writes.
+    pub fn events_jsonl(&self) -> String {
+        self.events.to_jsonl()
+    }
+
+    /// Builds the `miv-metrics-v1` summary document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "miv-metrics-v1",
+    ///   "run": { "scheme": "...", "ipc": ..., ... },
+    ///   "l2": { "data": {"accesses", "hits", "hit_rate"}, "hash": {...} },
+    ///   "counters": { "name": value, ... },
+    ///   "gauges": { "name": value, ... },
+    ///   "histograms": { "name": {"count", "sum", "min", "max", "mean",
+    ///                            "p50", "p90", "p99", "buckets"}, ... },
+    ///   "events": { "recorded", "dropped", "capacity" },
+    ///   "samples": [ {"instructions", "cycles", "ipc",
+    ///                 "l2_data_hit_rate", "l2_hash_hit_rate",
+    ///                 "bus_utilization"}, ... ]
+    /// }
+    /// ```
+    pub fn metrics_document(&self, run: &RunResult, samples: &[Sample]) -> JsonValue {
+        self.document(Some(run), samples)
+    }
+
+    /// The same document with `"run": null` and no samples — used when
+    /// one registry aggregates many runs (the `figures` sweeps).
+    pub fn aggregate_document(&self) -> JsonValue {
+        self.document(None, &[])
+    }
+
+    fn document(&self, run: Option<&RunResult>, samples: &[Sample]) -> JsonValue {
+        let snap = self.registry.snapshot();
+        let mut doc = JsonValue::obj();
+        doc.push("schema", "miv-metrics-v1");
+        doc.push("run", run.map_or(JsonValue::Null, RunResult::to_json));
+        doc.push("l2", l2_summary(&snap));
+        let metrics = snap.to_json();
+        for section in ["counters", "gauges", "histograms"] {
+            doc.push(
+                section,
+                metrics.get(section).cloned().unwrap_or_else(JsonValue::obj),
+            );
+        }
+        let mut events = JsonValue::obj();
+        events.push("recorded", self.events.recorded());
+        events.push("dropped", self.events.dropped());
+        events.push("capacity", self.events.capacity());
+        doc.push("events", events);
+        doc.push(
+            "samples",
+            samples.iter().map(Sample::to_json).collect::<Vec<_>>(),
+        );
+        doc
+    }
+}
+
+/// Derives per-line-kind L2 hit rates from the registry's `l2.*`
+/// counters (all zero when no observer was attached).
+fn l2_summary(snap: &miv_obs::MetricsSnapshot) -> JsonValue {
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let mut l2 = JsonValue::obj();
+    for kind in ["data", "hash"] {
+        let hits =
+            counter(&format!("l2.{kind}.read_hits")) + counter(&format!("l2.{kind}.write_hits"));
+        let misses = counter(&format!("l2.{kind}.read_misses"))
+            + counter(&format!("l2.{kind}.write_misses"));
+        let accesses = hits + misses;
+        let mut o = JsonValue::obj();
+        o.push("accesses", accesses);
+        o.push("hits", hits);
+        o.push("misses", misses);
+        o.push(
+            "hit_rate",
+            if accesses == 0 {
+                1.0
+            } else {
+                hits as f64 / accesses as f64
+            },
+        );
+        o.push("evictions", counter(&format!("l2.{kind}.evictions")));
+        l2.push(kind, o);
+    }
+    l2
+}
+
+/// One interval sample of the time series collected by
+/// [`System::run_sampled`](crate::System::run_sampled). Rates are over
+/// the interval ending at this sample, not cumulative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cumulative instructions committed in the measurement window at
+    /// the end of this interval.
+    pub instructions: u64,
+    /// Cumulative cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Instructions per cycle over this interval.
+    pub ipc: f64,
+    /// L2 hit rate for program data over this interval (1.0 when the
+    /// interval had no L2 data accesses).
+    pub l2_data_hit_rate: f64,
+    /// L2 hit rate for hash lines over this interval (1.0 when the
+    /// interval had no hash accesses — e.g. the base scheme).
+    pub l2_hash_hit_rate: f64,
+    /// Fraction of the interval's cycles the memory bus spent busy.
+    pub bus_utilization: f64,
+}
+
+impl Sample {
+    /// One JSON object per sample, in `samples` order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj();
+        o.push("instructions", self.instructions);
+        o.push("cycles", self.cycles);
+        o.push("ipc", self.ipc);
+        o.push("l2_data_hit_rate", self.l2_data_hit_rate);
+        o.push("l2_hash_hit_rate", self.l2_hash_hit_rate);
+        o.push("bus_utilization", self.bus_utilization);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_has_schema_and_sections() {
+        let t = Telemetry::with_event_capacity(4);
+        let run = RunResult {
+            scheme: "base".into(),
+            benchmark: "none".into(),
+            instructions: 0,
+            cycles: 0,
+            ipc: 0.0,
+            l2_data_miss_rate: 0.0,
+            l2_data_misses: 0,
+            hash_hit_rate: 1.0,
+            extra_loads_per_miss: 0.0,
+            bus_bytes: 0,
+            hash_bytes: 0,
+            bandwidth_gbps: 0.0,
+            l2_hash_occupancy: 0.0,
+            read_buffer_wait: 0,
+        };
+        let doc = t.metrics_document(&run, &[]);
+        let text = doc.render_pretty();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back.get("schema").unwrap().as_str(), Some("miv-metrics-v1"));
+        for section in [
+            "run",
+            "l2",
+            "counters",
+            "gauges",
+            "histograms",
+            "events",
+            "samples",
+        ] {
+            assert!(back.get(section).is_some(), "missing {section}");
+        }
+        assert_eq!(
+            back.get("events")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_u64(),
+            Some(4)
+        );
+        // With no observer attached the derived hit rates default to 1.
+        let data = back.get("l2").unwrap().get("data").unwrap();
+        assert_eq!(data.get("accesses").unwrap().as_u64(), Some(0));
+        assert_eq!(data.get("hit_rate").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn sample_json_fields() {
+        let s = Sample {
+            instructions: 1000,
+            cycles: 2000,
+            ipc: 0.5,
+            l2_data_hit_rate: 0.9,
+            l2_hash_hit_rate: 1.0,
+            bus_utilization: 0.25,
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("instructions").unwrap().as_u64(), Some(1000));
+        assert_eq!(j.get("ipc").unwrap().as_f64(), Some(0.5));
+        assert_eq!(j.get("bus_utilization").unwrap().as_f64(), Some(0.25));
+    }
+}

@@ -37,12 +37,131 @@ fn figures_rejects_unknown_artifact() {
 }
 
 #[test]
-fn figures_quick_fig4_runs() {
-    let (ok, stdout, _) =
-        run(env!("CARGO_BIN_EXE_figures"), &["--warmup", "2000", "--measure", "8000", "fig4"]);
+fn figures_quick_fig4_runs_and_aggregates_metrics() {
+    let dir = std::env::temp_dir().join("miv_bin_smoke_figures");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("figures.json");
+    let (ok, stdout, _) = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &[
+            "--warmup",
+            "2000",
+            "--measure",
+            "8000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "fig4",
+        ],
+    );
     assert!(ok);
     assert!(stdout.contains("chash-256K"));
     assert!(stdout.contains("mcf"));
+    // The aggregate document spans every run of the sweep: no single-run
+    // section, but counters from all schemes and L2 sizes.
+    let doc = miv_obs::JsonValue::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("miv-metrics-v1"));
+    assert!(matches!(doc.get("run"), Some(miv_obs::JsonValue::Null)));
+    assert!(
+        doc.get("counters")
+            .unwrap()
+            .get("l2.data.read_misses")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn mivsim_metrics_and_trace_events_export() {
+    let exe = env!("CARGO_BIN_EXE_mivsim");
+    let dir = std::env::temp_dir().join("miv_bin_smoke_metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("m.json");
+    let events = dir.join("e.jsonl");
+
+    // Flag-first invocation: the command defaults to `run` and the
+    // workload to gzip, as in the documented
+    // `mivsim --scheme chash --metrics-out m.json --trace-events e.jsonl`.
+    let (ok, _, stderr) = run(
+        exe,
+        &[
+            "--scheme",
+            "chash",
+            "--l2",
+            "256K",
+            "--warmup",
+            "2000",
+            "--measure",
+            "20000",
+            "--sample-interval",
+            "5000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-events",
+            events.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "{stderr}");
+
+    let doc = miv_obs::JsonValue::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("miv-metrics-v1"));
+    assert_eq!(
+        doc.get("run").unwrap().get("scheme").unwrap().as_str(),
+        Some("chash")
+    );
+    // Per-line-kind L2 hit rates.
+    for kind in ["data", "hash"] {
+        let k = doc.get("l2").unwrap().get(kind).unwrap();
+        assert!(
+            k.get("accesses").unwrap().as_u64().unwrap() > 0,
+            "no {kind} accesses"
+        );
+        let rate = k.get("hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+    // Tree-walk-depth and hash-queue-latency histograms with quantiles.
+    let hists = doc.get("histograms").unwrap();
+    for name in [
+        "checker.walk_depth",
+        "hash_unit.queue_wait",
+        "bus.wait_cycles",
+    ] {
+        let h = hists
+            .get(name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(
+            h.get("count").unwrap().as_u64().unwrap() > 0,
+            "{name} empty"
+        );
+        for q in ["p50", "p90", "p99", "mean"] {
+            assert!(h.get(q).is_some(), "{name} missing {q}");
+        }
+    }
+    // Interval time series: 20k instructions at 5k per sample.
+    let samples = doc.get("samples").unwrap().as_array().unwrap();
+    assert!(
+        samples.len() >= 2,
+        "want >=2 samples, got {}",
+        samples.len()
+    );
+    assert!(samples[0]
+        .get("l2_hash_hit_rate")
+        .unwrap()
+        .as_f64()
+        .is_some());
+
+    // Event stream: JSONL, one object with a type tag per line.
+    let jsonl = std::fs::read_to_string(&events).unwrap();
+    assert!(!jsonl.trim().is_empty(), "no events recorded");
+    for line in jsonl.lines().take(50) {
+        let ev = miv_obs::JsonValue::parse(line).unwrap();
+        assert!(ev.get("type").unwrap().as_str().is_some());
+        assert!(ev.get("cycle").unwrap().as_u64().is_some());
+    }
+    std::fs::remove_file(metrics).ok();
+    std::fs::remove_file(events).ok();
 }
 
 #[test]
@@ -50,8 +169,19 @@ fn mivsim_run_and_sweep() {
     let exe = env!("CARGO_BIN_EXE_mivsim");
     let (ok, stdout, _) = run(
         exe,
-        &["run", "--scheme", "chash", "--bench", "gzip", "--l2", "256K", "--warmup", "2000",
-          "--measure", "10000"],
+        &[
+            "run",
+            "--scheme",
+            "chash",
+            "--bench",
+            "gzip",
+            "--l2",
+            "256K",
+            "--warmup",
+            "2000",
+            "--measure",
+            "10000",
+        ],
     );
     assert!(ok, "{stdout}");
     assert!(stdout.contains("chash"));
@@ -59,10 +189,22 @@ fn mivsim_run_and_sweep() {
 
     let (ok, stdout, _) = run(
         exe,
-        &["run", "--bench", "gzip", "--warmup", "1000", "--measure", "5000", "--json"],
+        &[
+            "run",
+            "--bench",
+            "gzip",
+            "--warmup",
+            "1000",
+            "--measure",
+            "5000",
+            "--json",
+        ],
     );
     assert!(ok);
-    assert!(stdout.trim_start().starts_with('['), "JSON output: {stdout}");
+    assert!(
+        stdout.trim_start().starts_with('['),
+        "JSON output: {stdout}"
+    );
     assert!(stdout.contains("\"ipc\""));
 }
 
@@ -72,9 +214,9 @@ fn mivsim_rejects_bad_args() {
     let (ok, _, stderr) = run(exe, &["run", "--scheme", "bogus"]);
     assert!(!ok);
     assert!(stderr.contains("unknown scheme"));
-    let (ok, _, stderr) = run(exe, &["run"]);
+    let (ok, _, stderr) = run(exe, &["run", "--no-such-flag"]);
     assert!(!ok);
-    assert!(stderr.contains("need --bench, --custom or --trace"));
+    assert!(stderr.contains("unknown option"));
     let (ok, _, _) = run(exe, &[]);
     assert!(!ok);
 }
@@ -89,14 +231,18 @@ fn mivsim_record_and_replay() {
 
     let (ok, _, stderr) = run(
         exe,
-        &["record", "--bench", "vpr", "--count", "30000", "--seed", "9", "--out", trc_str],
+        &[
+            "record", "--bench", "vpr", "--count", "30000", "--seed", "9", "--out", trc_str,
+        ],
     );
     assert!(ok, "{stderr}");
     assert!(stderr.contains("wrote 30000 records"));
 
     let (ok, stdout, stderr) = run(
         exe,
-        &["run", "--scheme", "naive", "--trace", trc_str, "--warmup", "5000"],
+        &[
+            "run", "--scheme", "naive", "--trace", trc_str, "--warmup", "5000",
+        ],
     );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("naive"));

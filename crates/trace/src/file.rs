@@ -199,11 +199,17 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<TraceFileReader<R>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a miv trace file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a miv trace file",
+        ));
     }
     let mut count = [0u8; 8];
     r.read_exact(&mut count)?;
-    Ok(TraceFileReader { reader: r, remaining: u64::from_le_bytes(count) })
+    Ok(TraceFileReader {
+        reader: r,
+        remaining: u64::from_le_bytes(count),
+    })
 }
 
 #[cfg(test)]

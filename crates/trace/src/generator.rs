@@ -1,8 +1,7 @@
 //! The stochastic trace generator.
 
 use miv_cpu::{LoadDep, TraceInst};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use miv_obs::rng::Rng;
 
 use crate::profile::Profile;
 
@@ -34,7 +33,7 @@ const LINE: u64 = 64;
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: Profile,
-    rng: SmallRng,
+    rng: Rng,
     /// Current sequential cursor (absolute address).
     cursor: u64,
     /// Words remaining in the current sequential run.
@@ -51,10 +50,15 @@ impl TraceGenerator {
     /// Panics if the profile is invalid (see [`Profile::validate`]).
     pub fn new(profile: Profile, seed: u64) -> Self {
         profile.validate();
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d69_765f_7472 /* "miv_tr" */);
-        let cursor = rng.gen_range(0..profile.working_set) & !(WORD - 1);
-        let mut gen =
-            TraceGenerator { profile, rng, cursor, run_left: 0, store_run: false };
+        let mut rng = Rng::seed_from_u64(seed ^ 0x6d69_765f_7472 /* "miv_tr" */);
+        let cursor = rng.gen_range_u64(0, profile.working_set) & !(WORD - 1);
+        let mut gen = TraceGenerator {
+            profile,
+            rng,
+            cursor,
+            run_left: 0,
+            store_run: false,
+        };
         gen.start_run(false);
         gen
     }
@@ -69,7 +73,7 @@ impl TraceGenerator {
         let p = self.profile;
         // Region pick: far (long reuse distance), hot (tight reuse), or
         // the capacity-interesting mid region.
-        let r: f64 = self.rng.gen_range(0.0..1.0);
+        let r: f64 = self.rng.gen_f64();
         let region = if r < p.far_fraction {
             p.working_set
         } else if r < p.far_fraction + p.hot_fraction && p.hot_set >= 4096 {
@@ -77,10 +81,10 @@ impl TraceGenerator {
         } else {
             p.mid_set
         };
-        self.cursor = self.rng.gen_range(0..region) & !(WORD - 1);
+        self.cursor = self.rng.gen_range_u64(0, region) & !(WORD - 1);
         // Geometric-ish run length with the configured mean (at least 1).
         let mean = p.run_words.max(1) as f64;
-        let u: f64 = self.rng.gen_range(0.0..1.0f64);
+        let u: f64 = self.rng.gen_f64();
         self.run_left = ((-mean * (1.0 - u).ln()).ceil() as u32).clamp(1, 1 << 20);
         self.store_run = streaming_store;
         if streaming_store {
@@ -137,7 +141,9 @@ impl Iterator for TraceGenerator {
         // streaming share, keeping the overall store fraction near
         // `write_fraction` while streaming profiles emit most of their
         // stores as whole-line runs.
-        let is_store = self.rng.gen_bool(p.write_fraction * (1.0 - p.streaming_stores));
+        let is_store = self
+            .rng
+            .gen_bool(p.write_fraction * (1.0 - p.streaming_stores));
         let addr = self.step();
         if is_store {
             Some(TraceInst::store(addr))
@@ -184,10 +190,16 @@ mod tests {
         let p = Profile::cache_friendly("t", 1 << 20);
         let (l, s, _c, _) = count_kinds(p, 100_000);
         let mem_frac = (l + s) as f64 / 100_000.0;
-        assert!((mem_frac - p.mem_fraction).abs() < 0.02, "mem_frac = {mem_frac}");
+        assert!(
+            (mem_frac - p.mem_fraction).abs() < 0.02,
+            "mem_frac = {mem_frac}"
+        );
         let wr_frac = s as f64 / (l + s) as f64;
         // Streaming runs perturb the store share somewhat.
-        assert!((wr_frac - p.write_fraction).abs() < 0.15, "wr_frac = {wr_frac}");
+        assert!(
+            (wr_frac - p.write_fraction).abs() < 0.15,
+            "wr_frac = {wr_frac}"
+        );
     }
 
     #[test]
@@ -228,7 +240,10 @@ mod tests {
     fn streaming_profile_emits_full_line_stores() {
         // Shorter runs than the applu/swim profiles so the sample holds
         // enough runs for the full/partial ratio to be stable.
-        let p = Profile { run_words: 256, ..Profile::streaming_scan("t", 8 << 20) };
+        let p = Profile {
+            run_words: 256,
+            ..Profile::streaming_scan("t", 8 << 20)
+        };
         let mut full = 0;
         let mut partial = 0;
         for inst in TraceGenerator::new(p, 5).take(300_000) {
@@ -240,7 +255,10 @@ mod tests {
                 }
             }
         }
-        assert!(full > partial, "streaming scan: {full} full vs {partial} partial");
+        assert!(
+            full > partial,
+            "streaming scan: {full} full vs {partial} partial"
+        );
         // Cache-friendly code writes mostly partial lines.
         let p2 = Profile::cache_friendly("t2", 1 << 20);
         let mut full2 = 0;
@@ -266,7 +284,11 @@ mod tests {
         let mut run: Vec<u64> = Vec::new();
         let mut saw_complete_run = false;
         for inst in insts {
-            if let TraceOp::Store { addr, full_line: true } = inst.op {
+            if let TraceOp::Store {
+                addr,
+                full_line: true,
+            } = inst.op
+            {
                 if let Some(&last) = run.last() {
                     if addr == last + WORD {
                         run.push(addr);
@@ -289,8 +311,14 @@ mod tests {
     fn long_runs_reuse_lines() {
         // With a long mean run, consecutive memory accesses land on the
         // same 64-B line most of the time (spatial locality).
-        let long = Profile { run_words: 1024, ..Profile::cache_friendly("l", 8 << 20) };
-        let short = Profile { run_words: 2, ..Profile::cache_friendly("s", 8 << 20) };
+        let long = Profile {
+            run_words: 1024,
+            ..Profile::cache_friendly("l", 8 << 20)
+        };
+        let short = Profile {
+            run_words: 2,
+            ..Profile::cache_friendly("s", 8 << 20)
+        };
         let same_line_frac = |p: Profile| {
             let mut prev: Option<u64> = None;
             let mut same = 0u32;

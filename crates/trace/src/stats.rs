@@ -123,8 +123,10 @@ mod tests {
     #[test]
     fn big_benchmarks_have_big_footprints() {
         // Streaming benchmarks keep touching new lines; vpr's footprint
-        // saturates at its ~1 MB working set.
-        let n = 1_000_000;
+        // saturates at its capacity-interesting mid region. The window
+        // must be long enough for swim's linear growth to clear vpr's
+        // plateau.
+        let n = 3_000_000;
         let swim = TraceSummary::from_trace(Benchmark::Swim.trace(2).take(n));
         let vpr = TraceSummary::from_trace(Benchmark::Vpr.trace(2).take(n));
         assert!(

@@ -53,11 +53,7 @@ impl SecureProcessor {
 
     /// Runs Alice's program in a fresh verified memory. `sabotage` lets
     /// Bob attack the memory bus mid-run.
-    fn execute(
-        &self,
-        program: &str,
-        sabotage: bool,
-    ) -> Result<Certificate, IntegrityError> {
+    fn execute(&self, program: &str, sabotage: bool) -> Result<Certificate, IntegrityError> {
         let mut mem = MemoryBuilder::new()
             .data_bytes(256 * 1024)
             .cache_blocks(256)
@@ -77,8 +73,12 @@ impl SecureProcessor {
             // Bob nudges one table entry on the memory bus, hoping to
             // change the result while the certificate still validates.
             let phys = mem.layout().data_phys_addr(1000 * 8);
-            mem.adversary()
-                .tamper(phys, TamperKind::Replace { data: vec![0xff; 8] });
+            mem.adversary().tamper(
+                phys,
+                TamperKind::Replace {
+                    data: vec![0xff; 8],
+                },
+            );
         }
 
         // Phase 2: the program folds the table into a result.
@@ -92,7 +92,10 @@ impl SecureProcessor {
         // functional engine every read above was already checked, and a
         // final audit stands in for the barrier draining the buffers.
         mem.verify_all()?;
-        Ok(Certificate { result: acc, signature: self.sign(program, acc) })
+        Ok(Certificate {
+            result: acc,
+            signature: self.sign(program, acc),
+        })
     }
 
     fn sign(&self, program: &str, result: u64) -> [u8; 16] {
@@ -130,20 +133,26 @@ impl Manufacturer {
 
 fn main() {
     let bob_secret = *b"fab-fused-secret";
-    let manufacturer =
-        Manufacturer { registered: vec![(bob_secret, "bob-cpu-0")] };
+    let manufacturer = Manufacturer {
+        registered: vec![(bob_secret, "bob-cpu-0")],
+    };
     let processor = SecureProcessor::new(bob_secret);
     let program = "alice: fold(i*i+17, rotate-xor)";
 
     // Honest run.
-    let cert = processor.execute(program, false).expect("honest run verifies");
+    let cert = processor
+        .execute(program, false)
+        .expect("honest run verifies");
     println!("honest run: result = {:#018x}", cert.result);
     assert!(manufacturer.verify("bob-cpu-0", program, &cert));
     println!("manufacturer validates Bob's certificate: Alice trusts the result.\n");
 
     // Bob forges a result without running the program: the signature
     // cannot be produced without the processor secret.
-    let forged = Certificate { result: 0xdead_beef, signature: [0u8; 16] };
+    let forged = Certificate {
+        result: 0xdead_beef,
+        signature: [0u8; 16],
+    };
     assert!(!manufacturer.verify("bob-cpu-0", program, &forged));
     println!("forged certificate rejected (no processor secret, no signature).");
 

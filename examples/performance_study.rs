@@ -11,7 +11,7 @@
 
 use miv::core::Scheme;
 use miv::sim::report::{f2, f3, pct, Table};
-use miv::sim::{System, SystemConfig};
+use miv::sim::{System, SystemConfig, Telemetry};
 use miv::trace::Benchmark;
 
 fn main() {
@@ -56,4 +56,34 @@ fn main() {
         "note: chash tracks base closely; naive pays the full log-depth walk\n\
          on every miss and its bandwidth never recovers with cache size."
     );
+
+    // One instrumented run: attach the telemetry layer, sample every 50k
+    // instructions, and print the miv-metrics-v1 document the `mivsim`
+    // binary writes with `--metrics-out`.
+    println!("\n== telemetry: chash on swim, sampled every 50k instructions ==");
+    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
+    let mut sys = System::for_benchmark(cfg, Benchmark::Swim, 42);
+    let telemetry = Telemetry::new();
+    sys.attach_telemetry(&telemetry);
+    let (result, samples) = sys.run_sampled(warmup, measure, 50_000);
+    let doc = telemetry.metrics_document(&result, &samples);
+
+    let hist = |name: &str| doc.get("histograms").and_then(|h| h.get(name));
+    if let Some(walk) = hist("checker.walk_depth") {
+        println!(
+            "tree walk depth:  p50 {} p90 {} p99 {} over {} misses",
+            walk.get("p50").unwrap().render(),
+            walk.get("p90").unwrap().render(),
+            walk.get("p99").unwrap().render(),
+            walk.get("count").unwrap().render(),
+        );
+    }
+    if let Some(wait) = hist("hash_unit.queue_wait") {
+        println!(
+            "hash queue wait:  mean {} cycles over {} ops",
+            wait.get("mean").unwrap().render(),
+            wait.get("count").unwrap().render(),
+        );
+    }
+    println!("full document:\n{}", doc.render_pretty());
 }

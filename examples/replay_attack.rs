@@ -88,7 +88,10 @@ fn main() {
     );
 
     println!("\n--- hash tree (this paper) ---");
-    let mut mem = MemoryBuilder::new().data_bytes(4096).cache_blocks(64).build();
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(4096)
+        .cache_blocks(64)
+        .build();
     // i lives at address 0; iteration 1 writes i = 1 and it reaches RAM.
     mem.write(0, &1u64.to_le_bytes()).unwrap();
     mem.flush().unwrap();

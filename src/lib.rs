@@ -16,6 +16,9 @@
 //!   engine and the adversary model.
 //! * [`sim`] — the full-system simulator and the experiment harness that
 //!   regenerates every table and figure.
+//! * [`obs`] — the dependency-free telemetry layer: metrics registry,
+//!   typed simulation events, and the hand-rolled JSON emitter behind
+//!   `--metrics-out` / `--trace-events`.
 //!
 //! # Quick start
 //!
@@ -41,5 +44,6 @@ pub use miv_core as core;
 pub use miv_cpu as cpu;
 pub use miv_hash as hash;
 pub use miv_mem as mem;
+pub use miv_obs as obs;
 pub use miv_sim as sim;
 pub use miv_trace as trace;

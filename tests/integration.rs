@@ -16,7 +16,11 @@ fn every_scheme_runs_every_benchmark() {
             let cfg = SystemConfig::hpca03(scheme, 256 << 10, 64);
             let r = System::for_benchmark(cfg, bench, 1).run(2_000, 20_000);
             assert_eq!(r.instructions, 20_000, "{scheme}/{bench}");
-            assert!(r.ipc > 0.0 && r.ipc <= 4.0, "{scheme}/{bench}: ipc {}", r.ipc);
+            assert!(
+                r.ipc > 0.0 && r.ipc <= 4.0,
+                "{scheme}/{bench}: ipc {}",
+                r.ipc
+            );
             assert!(r.l2_data_miss_rate <= 1.0);
             if scheme == Scheme::Base {
                 assert_eq!(r.hash_bytes, 0, "{bench}");
@@ -31,13 +35,18 @@ fn every_scheme_runs_every_benchmark() {
 fn scheme_ordering_holds() {
     let run = |scheme| {
         let cfg = SystemConfig::hpca03(scheme, 1 << 20, 64);
-        System::for_benchmark(cfg, Benchmark::Swim, 7).run(20_000, 150_000).ipc
+        System::for_benchmark(cfg, Benchmark::Swim, 7)
+            .run(20_000, 150_000)
+            .ipc
     };
     let base = run(Scheme::Base);
     let chash = run(Scheme::CHash);
     let naive = run(Scheme::Naive);
     assert!(base >= chash, "base {base} >= chash {chash}");
-    assert!(chash > 2.0 * naive, "chash {chash} should dwarf naive {naive}");
+    assert!(
+        chash > 2.0 * naive,
+        "chash {chash} should dwarf naive {naive}"
+    );
 }
 
 /// Identical seeds give bit-identical simulation results (the whole stack
@@ -117,10 +126,7 @@ fn crypto_barrier_waits_for_hierarchy_checks() {
     let cfg = SystemConfig::hpca03(Scheme::CHash, 256 << 10, 64);
     let hierarchy = miv::sim::Hierarchy::new(&cfg);
     let mut core = Core::new(CoreConfig::default(), hierarchy);
-    let stats = core.run(vec![
-        TraceInst::load(0x100),
-        TraceInst::crypto_barrier(),
-    ]);
+    let stats = core.run(vec![TraceInst::load(0x100), TraceInst::crypto_barrier()]);
     assert_eq!(stats.barriers, 1);
     // The barrier cannot commit before the load's background check ends.
     let horizon = core.port().l2().verification_horizon();
@@ -132,7 +138,10 @@ fn crypto_barrier_waits_for_hierarchy_checks() {
 /// story, condensed).
 #[test]
 fn tampering_blocks_certification() {
-    let mut mem = MemoryBuilder::new().data_bytes(32 * 1024).cache_blocks(128).build();
+    let mut mem = MemoryBuilder::new()
+        .data_bytes(32 * 1024)
+        .cache_blocks(128)
+        .build();
     for i in 0..512u64 {
         mem.write(i * 8, &(i * i).to_le_bytes()).unwrap();
     }
