@@ -220,6 +220,57 @@ impl EventTrace {
         }
         out
     }
+
+    /// Copies out the ring's state as an owned, `Send` value that can
+    /// cross a thread boundary (the ring itself is `Rc`-shared and
+    /// cannot).
+    pub fn snapshot(&self) -> EventTraceSnapshot {
+        let ring = self.ring.borrow();
+        EventTraceSnapshot {
+            records: ring.buf.iter().copied().collect(),
+            recorded: ring.recorded,
+            dropped: ring.dropped,
+        }
+    }
+
+    /// Appends another ring's events to this one, oldest first, evicting
+    /// this ring's oldest events once full and accumulating the
+    /// recorded/dropped totals.
+    ///
+    /// This is the merge path for parallel sweeps: each worker records
+    /// into its own cheap `Rc` ring, snapshots it, and the aggregator
+    /// absorbs the snapshots *in run order*. Because an event evicted
+    /// from a per-run ring of capacity `C` is more than `C` events from
+    /// the end of that run's stream — and therefore could never survive
+    /// in a shared ring of the same capacity either — absorbing
+    /// equal-capacity per-run rings in run order reproduces, byte for
+    /// byte, the ring a single sequential run sharing one `EventTrace`
+    /// would have produced.
+    pub fn absorb(&self, snap: &EventTraceSnapshot) {
+        let mut ring = self.ring.borrow_mut();
+        ring.recorded += snap.recorded;
+        ring.dropped += snap.dropped;
+        for &record in &snap.records {
+            if ring.buf.len() == ring.capacity {
+                ring.buf.pop_front();
+                ring.dropped += 1;
+            }
+            ring.buf.push_back(record);
+        }
+    }
+}
+
+/// An owned, thread-transferable copy of an [`EventTrace`]'s state,
+/// produced by [`EventTrace::snapshot`] and consumed by
+/// [`EventTrace::absorb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTraceSnapshot {
+    /// Buffered events, oldest first.
+    pub records: Vec<EventRecord>,
+    /// Total events ever recorded into the source ring.
+    pub recorded: u64,
+    /// Events the source ring evicted because it was full.
+    pub dropped: u64,
 }
 
 /// Producer handle. `Default` is disabled: recording is a single branch.
@@ -306,6 +357,53 @@ mod tests {
         assert_eq!(first.get("cycle").unwrap().as_u64(), Some(7));
         let second = JsonValue::parse(rows[1]).unwrap();
         assert_eq!(second.get("depth").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn absorb_in_order_matches_shared_ring() {
+        // Three "runs" of very different lengths, recorded (a) into one
+        // shared ring sequentially and (b) into per-run rings that are
+        // then absorbed in run order. Same capacity everywhere — the
+        // final ring contents and counts must match exactly.
+        let runs: [&[u64]; 3] = [&[1, 2, 3, 4, 5, 6, 7, 8, 9], &[10], &[11, 12]];
+        let shared = EventTrace::bounded(4);
+        for run in runs {
+            let sink = shared.sink();
+            for &c in run {
+                sink.record(c, SimEvent::WalkStart { chunk: c });
+            }
+        }
+        let merged = EventTrace::bounded(4);
+        for run in runs {
+            let per_run = EventTrace::bounded(4);
+            let sink = per_run.sink();
+            for &c in run {
+                sink.record(c, SimEvent::WalkStart { chunk: c });
+            }
+            merged.absorb(&per_run.snapshot());
+        }
+        assert_eq!(merged.records(), shared.records());
+        assert_eq!(merged.recorded(), shared.recorded());
+        assert_eq!(merged.dropped(), shared.dropped());
+        assert_eq!(merged.to_jsonl(), shared.to_jsonl());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let trace = EventTrace::bounded(2);
+        let sink = trace.sink();
+        for i in 0..3 {
+            sink.record(i, SimEvent::HashEnqueue { bytes: 64 });
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.recorded, 3);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.records.len(), 2);
+        let copy = EventTrace::bounded(2);
+        copy.absorb(&snap);
+        assert_eq!(copy.records(), trace.records());
+        assert_eq!(copy.recorded(), 3);
+        assert_eq!(copy.dropped(), 1);
     }
 
     #[test]

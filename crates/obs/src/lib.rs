@@ -15,6 +15,15 @@
 //!   ([`SimEvent`]): L2 misses, tree-walk start/termination with the
 //!   depth reached, hash-unit enqueue/dequeue with queue latency,
 //!   write-backs and integrity violations.
+//!
+//! Handles are deliberately `Rc`-based — recording is a cell write with
+//! no atomics — so a registry or event ring never crosses a thread
+//! boundary. Parallel aggregation instead goes through the snapshot
+//! types ([`MetricsSnapshot`], [`EventTraceSnapshot`]), which are plain
+//! owned data: each worker snapshots its recorders, sends the snapshots
+//! back, and the aggregator folds them in with [`Registry::absorb`] /
+//! [`EventTrace::absorb`]. Absorbing in a fixed order makes the merged
+//! result deterministic at any worker count.
 //! * [`json`] — a hand-rolled JSON value type, emitter and parser so the
 //!   workspace stays buildable offline with zero external dependencies.
 //! * [`rng`] — a small deterministic xoshiro256++ PRNG used by the trace
@@ -31,7 +40,7 @@ pub mod json;
 pub mod metrics;
 pub mod rng;
 
-pub use events::{EventRecord, EventSink, EventTrace, LineClass, SimEvent};
+pub use events::{EventRecord, EventSink, EventTrace, EventTraceSnapshot, LineClass, SimEvent};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use rng::Rng;

@@ -103,6 +103,20 @@ impl HistInner {
         self.max = self.max.max(v);
         self.buckets[bucket_index(v)] += 1;
     }
+
+    /// Folds a snapshot's distribution into this live histogram.
+    fn absorb(&mut self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        self.count += snap.count;
+        self.sum = self.sum.saturating_add(snap.sum);
+        self.min = self.min.min(snap.min);
+        self.max = self.max.max(snap.max);
+        for &(i, n) in &snap.buckets {
+            self.buckets[i as usize] += n;
+        }
+    }
 }
 
 #[inline]
@@ -141,6 +155,14 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         if let Some(inner) = &self.0 {
             inner.borrow_mut().record(v);
+        }
+    }
+
+    /// Folds a snapshot's distribution into this histogram (no-op when
+    /// disabled).
+    fn absorb(&self, snap: &HistogramSnapshot) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().absorb(snap);
         }
     }
 
@@ -322,6 +344,30 @@ impl Registry {
         }
     }
 
+    /// Accumulates a snapshot into this registry's live metrics:
+    /// counters add, gauges take the snapshot's (latest-wins) value, and
+    /// histograms merge bucket-wise. Missing metrics are created;
+    /// outstanding handles stay valid.
+    ///
+    /// This is the merge path for parallel sweeps: each worker records
+    /// into its own cheap `Rc`-shared registry, snapshots it (a
+    /// [`MetricsSnapshot`] is plain owned data and crosses threads
+    /// freely), and the aggregator absorbs the snapshots in run order.
+    /// Counter and histogram aggregation are order-independent; gauges
+    /// are latest-wins, so absorbing in a fixed (request) order keeps
+    /// the merged document deterministic at any worker count.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name).absorb(h);
+        }
+    }
+
     /// Zeroes every metric without invalidating outstanding handles.
     pub fn reset(&self) {
         let inner = self.inner.borrow();
@@ -482,6 +528,37 @@ mod tests {
         let mut merged = run(&all[..3]);
         merged.merge(&run(&all[3..]));
         assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn absorb_matches_recording_directly() {
+        // Recording into two registries and absorbing the second's
+        // snapshot must be indistinguishable from recording everything
+        // into one registry.
+        let record = |reg: &Registry, vals: &[u64], gauge: f64| {
+            let c = reg.counter("ops");
+            let h = reg.histogram("lat");
+            for &v in vals {
+                c.inc();
+                h.record(v);
+            }
+            reg.gauge("level").set(gauge);
+        };
+        let whole = Registry::new();
+        record(&whole, &[3, 0, 1024, 9], 0.25);
+        record(&whole, &[7, 7, 2], 0.75);
+
+        let main = Registry::new();
+        record(&main, &[3, 0, 1024, 9], 0.25);
+        let worker = Registry::new();
+        record(&worker, &[7, 7, 2], 0.75);
+        main.absorb(&worker.snapshot());
+        assert_eq!(main.snapshot(), whole.snapshot());
+        // Absorb creates missing metrics without touching live handles.
+        let other = Registry::new();
+        other.counter("extra").add(2);
+        main.absorb(&other.snapshot());
+        assert_eq!(main.snapshot().counters["extra"], 2);
     }
 
     #[test]

@@ -3,21 +3,25 @@
 //! ```text
 //! cargo run -p miv-sim --release --bin figures -- all
 //! cargo run -p miv-sim --release --bin figures -- fig3 fig5
-//! cargo run -p miv-sim --release --bin figures -- --quick fig3
+//! cargo run -p miv-sim --release --bin figures -- --quick --only fig3
 //! cargo run -p miv-sim --release --bin figures -- --measure 2000000 fig6
+//! cargo run -p miv-sim --release --bin figures -- --jobs 8 all
 //! cargo run -p miv-sim --release --bin figures -- --json data.json export
 //! cargo run -p miv-sim --release --bin figures -- --metrics-out m.json --quick fig4
 //! ```
 
 use std::process::ExitCode;
 
-use miv_sim::experiments::{self, ExperimentConfig, Figure};
-use miv_sim::Telemetry;
+use miv_sim::experiments::{self, ExperimentConfig, RunCtx};
+use miv_sim::{SweepRunner, Telemetry};
 
-const USAGE: &str = "usage: figures [--quick] [--warmup N] [--measure N] [--seed N] \
-[--json PATH] [--metrics-out PATH] [--trace-events PATH] <artifact>...\n  \
+const USAGE: &str = "usage: figures [--quick] [--jobs N] [--warmup N] [--measure N] [--seed N] \
+[--json PATH] [--metrics-out PATH] [--trace-events PATH] [--only ID] <artifact>...\n  \
 artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 claims all export\n  \
 export writes the raw measured rows of every figure as JSON (--json PATH, default stdout)\n  \
+--jobs runs sweeps on N worker threads (0 or omitted: one per core); the\n  \
+rendered output is byte-identical at any thread count\n  \
+--only ID selects one artifact (equivalent to naming it positionally)\n  \
 --metrics-out aggregates every run's telemetry into one miv-metrics-v1 JSON file;\n  \
 --trace-events writes the tail of the simulation event stream as JSONL";
 
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut xp = ExperimentConfig::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut jobs: usize = 0;
     let mut json_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_events: Option<String> = None;
@@ -32,18 +37,19 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => xp = ExperimentConfig::quick(),
-            "--json" | "--metrics-out" | "--trace-events" => {
+            "--json" | "--metrics-out" | "--trace-events" | "--only" => {
                 let Some(v) = it.next() else {
-                    eprintln!("{arg} needs a path\n{USAGE}");
+                    eprintln!("{arg} needs a value\n{USAGE}");
                     return ExitCode::FAILURE;
                 };
                 match arg.as_str() {
                     "--json" => json_path = Some(v.clone()),
                     "--metrics-out" => metrics_out = Some(v.clone()),
-                    _ => trace_events = Some(v.clone()),
+                    "--trace-events" => trace_events = Some(v.clone()),
+                    _ => targets.push(v.clone()),
                 }
             }
-            "--warmup" | "--measure" | "--seed" => {
+            "--warmup" | "--measure" | "--seed" | "--jobs" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("{arg} needs a numeric value\n{USAGE}");
                     return ExitCode::FAILURE;
@@ -51,7 +57,8 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--warmup" => xp.warmup = v,
                     "--measure" => xp.measure = v,
-                    _ => xp.seed = v,
+                    "--seed" => xp.seed = v,
+                    _ => jobs = v as usize,
                 }
             }
             "--help" | "-h" => {
@@ -70,27 +77,30 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let resolved_jobs = if jobs == 0 {
+        SweepRunner::available_jobs()
+    } else {
+        jobs
+    };
     eprintln!(
-        "# warmup {} + measure {} instructions per run, seed {}",
-        xp.warmup, xp.measure, xp.seed
+        "# warmup {} + measure {} instructions per run, seed {}, {} worker(s)",
+        xp.warmup, xp.measure, xp.seed, resolved_jobs
     );
     let telemetry = (metrics_out.is_some() || trace_events.is_some()).then(Telemetry::new);
+    let mut ctx = RunCtx::new(xp).with_jobs(jobs);
+    if let Some(t) = &telemetry {
+        ctx = ctx.record_into(t);
+    }
     let run_all = || -> Result<(), String> {
         for target in &targets {
-            let figures: Vec<Figure> = match target.as_str() {
-                "table1" => vec![experiments::table1()],
-                "fig1" => vec![experiments::fig1()],
-                "fig2" => vec![experiments::fig2()],
-                "fig3" => vec![experiments::fig3(&xp)],
-                "fig4" => vec![experiments::fig4(&xp)],
-                "fig5" => vec![experiments::fig5(&xp)],
-                "fig6" => vec![experiments::fig6(&xp)],
-                "fig7" => vec![experiments::fig7(&xp)],
-                "fig8" => vec![experiments::fig8(&xp)],
-                "claims" => vec![experiments::claims(&xp)],
-                "all" => experiments::all(&xp),
+            match target.as_str() {
+                "all" => {
+                    for figure in experiments::all(&ctx) {
+                        println!("{figure}");
+                    }
+                }
                 "export" => {
-                    let json = experiments::export_data(&xp).to_json().render_pretty();
+                    let json = experiments::export_data(&ctx).render_pretty();
                     match &json_path {
                         Some(path) => {
                             std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
@@ -98,21 +108,16 @@ fn main() -> ExitCode {
                         }
                         None => println!("{json}"),
                     }
-                    continue;
                 }
-                other => return Err(format!("unknown artifact {other}\n{USAGE}")),
-            };
-            for figure in figures {
-                println!("{figure}");
+                id => match experiments::find_experiment(id) {
+                    Some(experiment) => println!("{}", experiment.render(&ctx)),
+                    None => return Err(format!("unknown artifact {id}\n{USAGE}")),
+                },
             }
         }
         Ok(())
     };
-    let outcome = match &telemetry {
-        Some(t) => experiments::with_telemetry(t, run_all),
-        None => run_all(),
-    };
-    if let Err(msg) = outcome {
+    if let Err(msg) = run_all() {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
     }

@@ -28,7 +28,7 @@ use miv_obs::JsonValue;
 use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
 use miv_sim::report::{f2, f3, pct, Table};
 use miv_sim::telemetry::Sample;
-use miv_sim::{RunResult, System, SystemConfig, Telemetry};
+use miv_sim::{RunRequest, RunResult, SweepRunner, System, SystemConfig, Telemetry, Workload};
 use miv_trace::{Benchmark, Profile};
 
 const USAGE: &str = "\
@@ -51,6 +51,8 @@ options:
   --hash-gbps F           hash unit throughput (default 3.2)
   --buffers N             read/write buffer entries (default 16)
   --policy lru|fifo|random             L2 replacement policy
+  --jobs N                sweep worker threads (0 or omitted: one per core;
+                          --trace replays always run sequentially)
   --protected SIZE        protected segment size (default 256M)
   --block-on-verify       disable speculative use of unverified data
   --no-write-alloc-opt    disable the whole-line overwrite optimization
@@ -78,6 +80,7 @@ struct Options {
     hash_gbps: f64,
     buffers: u32,
     policy: miv_cache::ReplacementPolicy,
+    jobs: usize,
     protected: u64,
     block_on_verify: bool,
     write_alloc_opt: bool,
@@ -113,6 +116,7 @@ impl Options {
             hash_gbps: 3.2,
             buffers: 16,
             policy: miv_cache::ReplacementPolicy::Lru,
+            jobs: 0,
             protected: 256 << 20,
             block_on_verify: false,
             write_alloc_opt: true,
@@ -171,6 +175,7 @@ impl Options {
                     let v = value("--policy")?;
                     o.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy {v}"))?;
                 }
+                "--jobs" => o.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
                 "--protected" => {
                     let v = value("--protected")?;
                     o.protected = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
@@ -383,14 +388,52 @@ fn main() -> ExitCode {
                 })
         }
         "sweep" => (|| {
-            // One registry across the five schemes: counters aggregate,
-            // so the summary document carries no single-run section.
+            // One aggregate document across the five schemes: counters
+            // sum, so the summary carries no single-run section.
             let telemetry = opts.wants_telemetry().then(Telemetry::new);
-            let mut results = Vec::new();
-            for scheme in Scheme::ALL {
-                let (r, _) = opts.run_one(scheme, telemetry.as_ref())?;
-                results.push(r);
-            }
+            let results = if opts.trace.is_some() {
+                // Trace replay drives the core directly and shares the
+                // recorders, so it stays sequential regardless of --jobs.
+                let mut results = Vec::new();
+                for scheme in Scheme::ALL {
+                    let (r, _) = opts.run_one(scheme, telemetry.as_ref())?;
+                    results.push(r);
+                }
+                results
+            } else {
+                let workload: Workload = match opts.custom {
+                    Some(profile) => profile.into(),
+                    None => opts
+                        .bench
+                        .ok_or("need --bench, --custom or --trace")?
+                        .into(),
+                };
+                let requests: Vec<RunRequest> = Scheme::ALL
+                    .iter()
+                    .map(|&scheme| {
+                        RunRequest::new(
+                            opts.system_config(scheme),
+                            workload,
+                            opts.warmup,
+                            opts.measure,
+                            opts.seed,
+                        )
+                        .with_sample_interval(opts.sample_interval)
+                    })
+                    .collect();
+                let mut runner = SweepRunner::new(opts.jobs);
+                if let Some(t) = &telemetry {
+                    runner = runner.capture_telemetry(t.events().capacity());
+                }
+                let mut results = Vec::new();
+                for outcome in runner.run(&requests) {
+                    if let (Some(t), Some(snap)) = (&telemetry, &outcome.telemetry) {
+                        t.absorb(snap);
+                    }
+                    results.push(outcome.result);
+                }
+                results
+            };
             print_results(&results, opts.json);
             match &telemetry {
                 Some(t) => opts.write_telemetry(t, None, &[]),

@@ -16,6 +16,7 @@ use miv_trace::{Benchmark, Profile};
 /// assert_eq!(parse_size("1m"), Some(1 << 20));
 /// assert_eq!(parse_size("4096"), Some(4096));
 /// assert_eq!(parse_size("x"), None);
+/// assert_eq!(parse_size("999999999999G"), None, "overflow rejected");
 /// ```
 pub fn parse_size(s: &str) -> Option<u64> {
     let s = s.trim();
@@ -25,7 +26,7 @@ pub fn parse_size(s: &str) -> Option<u64> {
         'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
         _ => (s, 1),
     };
-    num.parse::<u64>().ok().map(|n| n * mult)
+    num.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
 }
 
 /// Parses a scheme by its paper label (`base`, `naive`, `chash`, …).
@@ -118,6 +119,9 @@ mod tests {
         assert_eq!(parse_size(""), None);
         assert_eq!(parse_size("K"), None);
         assert_eq!(parse_size("12Q"), None);
+        assert_eq!(parse_size("999999999999G"), None, "suffix overflow");
+        assert_eq!(parse_size("18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_size("17179869184G"), None, "just past u64::MAX");
     }
 
     #[test]

@@ -1,12 +1,20 @@
 //! Regeneration of every table and figure in the paper's evaluation (§6).
 //!
-//! Each `figN` function sweeps the same parameters the paper swept and
-//! renders the same rows/series. Absolute numbers differ — our substrate
-//! is a synthetic trace model, not SimpleScalar running SPEC binaries —
-//! but the comparisons the paper draws (who wins, by what factor, which
+//! Each artifact is an [`Experiment`] in the [`EXPERIMENTS`] registry:
+//! an id (`table1`, `fig3`, …), the paper's caption, an optional raw-data
+//! function for JSON export, and a renderer producing the text
+//! [`Figure`]. Absolute numbers differ from the paper — our substrate is
+//! a synthetic trace model, not SimpleScalar running SPEC binaries — but
+//! the comparisons the paper draws (who wins, by what factor, which
 //! trends hold) are reproduced; `claims` checks the headline statements
 //! explicitly. See `EXPERIMENTS.md` at the repository root for the
 //! recorded paper-vs-measured comparison.
+//!
+//! Every sweep runs through the parallel [`SweepRunner`](crate::sweep):
+//! the [`RunCtx`] passed to each `figN_data` function carries the
+//! experiment parameters, the worker count and an optional telemetry
+//! sink, and sweeps return their rows in a fixed request order — so the
+//! rendered figures are byte-identical at any `--jobs` count.
 
 use std::cell::RefCell;
 
@@ -18,7 +26,8 @@ use miv_trace::Benchmark;
 
 use crate::config::SystemConfig;
 use crate::report::{f2, f3, pct, Table};
-use crate::system::{RunResult, System};
+use crate::sweep::{RunRequest, SweepRunner};
+use crate::system::RunResult;
 use crate::telemetry::Telemetry;
 
 /// Shared experiment parameters.
@@ -52,6 +61,107 @@ impl ExperimentConfig {
             seed: 42,
         }
     }
+
+    /// JSON form (the `config` section of the data export).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj();
+        o.push("warmup", self.warmup);
+        o.push("measure", self.measure);
+        o.push("seed", self.seed);
+        o
+    }
+}
+
+/// The explicit run context every experiment takes: parameters, the
+/// parallel sweep engine, and an optional telemetry sink that
+/// aggregates every run of every sweep executed through this context.
+///
+/// This replaces the former `with_telemetry` thread-local slot — the
+/// context travels as an argument, so nothing about a sweep depends on
+/// ambient thread state and the runs themselves can fan out across
+/// worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use miv_sim::experiments::{fig5_data, ExperimentConfig, RunCtx};
+///
+/// let ctx = RunCtx::new(ExperimentConfig {
+///     warmup: 2_000,
+///     measure: 8_000,
+///     seed: 42,
+/// })
+/// .with_jobs(2);
+/// let rows = fig5_data(&ctx);
+/// assert_eq!(rows.len(), 9);
+/// ```
+#[derive(Debug)]
+pub struct RunCtx {
+    /// Experiment parameters applied to every run.
+    pub xp: ExperimentConfig,
+    runner: SweepRunner,
+    telemetry: Option<Telemetry>,
+    /// Figure 3 rows, memoized because `claims` (and therefore `all` and
+    /// the data export) derives from the same sweep.
+    fig3_rows: RefCell<Option<Vec<Fig3Row>>>,
+}
+
+impl RunCtx {
+    /// A context running sweeps with one worker per available core and
+    /// no telemetry sink.
+    pub fn new(xp: ExperimentConfig) -> Self {
+        RunCtx {
+            xp,
+            runner: SweepRunner::new(0),
+            telemetry: None,
+            fig3_rows: RefCell::new(None),
+        }
+    }
+
+    /// Overrides the worker count (`0` = one per available core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        let capture = self.telemetry.as_ref().map(|t| t.events().capacity());
+        self.runner = SweepRunner::new(jobs);
+        if let Some(capacity) = capture {
+            self.runner = self.runner.capture_telemetry(capacity);
+        }
+        self
+    }
+
+    /// Aggregates every run's metrics and events into `telemetry`
+    /// (counters sum, histograms merge, the event ring keeps the tail).
+    /// Each run records into a private per-worker recorder; snapshots
+    /// are absorbed in request order, so the aggregate is identical at
+    /// any worker count.
+    pub fn record_into(mut self, telemetry: &Telemetry) -> Self {
+        self.runner = self.runner.capture_telemetry(telemetry.events().capacity());
+        self.telemetry = Some(telemetry.clone());
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.runner.jobs()
+    }
+
+    /// A request for one paper-machine run under this context's
+    /// parameters.
+    fn request(&self, config: SystemConfig, bench: Benchmark) -> RunRequest {
+        RunRequest::new(config, bench, self.xp.warmup, self.xp.measure, self.xp.seed)
+    }
+
+    /// Executes a batch of requests through the sweep engine, absorbs
+    /// telemetry in request order, and returns the results in request
+    /// order.
+    fn sweep(&self, requests: &[RunRequest]) -> Vec<RunResult> {
+        let outcomes = self.runner.run(requests);
+        if let Some(telemetry) = &self.telemetry {
+            for outcome in &outcomes {
+                telemetry.absorb(outcome.telemetry.as_ref().expect("capture enabled"));
+            }
+        }
+        outcomes.into_iter().map(|o| o.result).collect()
+    }
 }
 
 /// One rendered experiment artifact.
@@ -82,66 +192,154 @@ impl std::fmt::Display for Figure {
     }
 }
 
-thread_local! {
-    /// Telemetry attached to every system the harness builds while a
-    /// [`with_telemetry`] scope is active.
-    static ACTIVE_TELEMETRY: RefCell<Option<Telemetry>> = const { RefCell::new(None) };
+// ---------------------------------------------------------------------
+// The experiment registry
+// ---------------------------------------------------------------------
+
+/// One registered artifact: its id, caption, optional raw-data export
+/// and text renderer. The single [`EXPERIMENTS`] table drives figure
+/// dispatch (`figures fig5`, `figures all`) and the JSON data export.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Artifact id (`table1`, `fig3`, …).
+    pub id: &'static str,
+    /// Human title echoing the paper's caption.
+    pub title: &'static str,
+    /// Raw measured rows as JSON, for the quantitative artifacts.
+    data: Option<fn(&RunCtx) -> JsonValue>,
+    /// Rendered text body.
+    body: fn(&RunCtx) -> String,
 }
 
-/// Runs `f` with `telemetry` attached to every machine the experiment
-/// harness builds inside it, aggregating metrics and events across all
-/// runs of a sweep (counters sum; histograms merge; the event ring keeps
-/// the tail). Used by the `figures` binary's `--metrics-out` /
-/// `--trace-events` flags.
-pub fn with_telemetry<T>(telemetry: &Telemetry, f: impl FnOnce() -> T) -> T {
-    ACTIVE_TELEMETRY.with(|slot| *slot.borrow_mut() = Some(telemetry.clone()));
-    let result = f();
-    ACTIVE_TELEMETRY.with(|slot| *slot.borrow_mut() = None);
-    result
+impl Experiment {
+    /// Renders the artifact under `ctx`.
+    pub fn render(&self, ctx: &RunCtx) -> Figure {
+        Figure::new(self.id, self.title, (self.body)(ctx))
+    }
+
+    /// The artifact's raw measured rows as JSON (`None` for the
+    /// descriptive artifacts `table1`/`fig1`/`fig2`).
+    pub fn data(&self, ctx: &RunCtx) -> Option<JsonValue> {
+        self.data.map(|f| f(ctx))
+    }
+
+    /// Whether the artifact exports raw data rows.
+    pub fn has_data(&self) -> bool {
+        self.data.is_some()
+    }
 }
 
-fn run_one(cfg: SystemConfig, bench: Benchmark, xp: &ExperimentConfig) -> RunResult {
-    let mut sys = System::for_benchmark(cfg, bench, xp.seed);
-    ACTIVE_TELEMETRY.with(|slot| {
-        if let Some(telemetry) = slot.borrow().as_ref() {
-            sys.attach_telemetry(telemetry);
+/// Every artifact of the paper's evaluation, in presentation order.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "table1",
+        title: "Architectural parameters used in simulations",
+        data: None,
+        body: |_| table1_body(),
+    },
+    Experiment {
+        id: "fig1",
+        title: "A hash tree",
+        data: None,
+        body: |_| fig1_body(),
+    },
+    Experiment {
+        id: "fig2",
+        title: "Hardware implementation of the chash scheme",
+        data: None,
+        body: |_| fig2_body(),
+    },
+    Experiment {
+        id: "fig3",
+        title: "IPC of base, chash and naive for six L2 configurations",
+        data: Some(|ctx| fig3_json(&fig3_data(ctx))),
+        body: fig3_body,
+    },
+    Experiment {
+        id: "fig4",
+        title: "L2 data miss rates: caching hashes pollutes small caches, not big ones",
+        data: Some(|ctx| fig4_json(&fig4_data(ctx))),
+        body: fig4_body,
+    },
+    Experiment {
+        id: "fig5",
+        title: "Memory bandwidth: hash caching removes the log-depth traffic",
+        data: Some(|ctx| fig5_json(&fig5_data(ctx))),
+        body: fig5_body,
+    },
+    Experiment {
+        id: "fig6",
+        title: "IPC vs hash throughput (chash, 1 MB / 64 B): throughput above the memory bandwidth suffices",
+        data: Some(|ctx| fig6_json(&fig6_data(ctx))),
+        body: fig6_body,
+    },
+    Experiment {
+        id: "fig7",
+        title: "IPC vs hash buffer size (chash, 1 MB / 64 B): a few entries suffice",
+        data: Some(|ctx| fig7_json(&fig7_data(ctx))),
+        body: fig7_body,
+    },
+    Experiment {
+        id: "fig8",
+        title: "IPC of the schemes with reduced hash memory overhead (1 MB L2)",
+        data: Some(|ctx| fig8_json(&fig8_data(ctx))),
+        body: fig8_body,
+    },
+    Experiment {
+        id: "claims",
+        title: "Headline numbers",
+        data: Some(|ctx| claims_json(&claims_from(&fig3_data(ctx)))),
+        body: claims_body,
+    },
+];
+
+/// Looks up a registered artifact by id.
+pub fn find_experiment(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+/// Renders every artifact in presentation order.
+pub fn all(ctx: &RunCtx) -> Vec<Figure> {
+    EXPERIMENTS.iter().map(|e| e.render(ctx)).collect()
+}
+
+/// The raw measured rows of every quantitative artifact as one JSON
+/// document (`config` plus one section per artifact with data), for
+/// plotting pipelines that would otherwise re-parse the text tables.
+/// The `claims` section derives from the same Figure 3 sweep as `fig3`
+/// (memoized in the context), so the sweep runs once.
+pub fn export_data(ctx: &RunCtx) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push("config", ctx.xp.to_json());
+    for e in EXPERIMENTS {
+        if let Some(data) = e.data(ctx) {
+            doc.push(e.id, data);
         }
-    });
-    sys.run(xp.warmup, xp.measure)
+    }
+    doc
 }
 
 // ---------------------------------------------------------------------
 // Table 1 and the two descriptive figures
 // ---------------------------------------------------------------------
 
-/// Table 1: architectural parameters used in simulations.
-pub fn table1() -> Figure {
-    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
-    Figure::new(
-        "table1",
-        "Architectural parameters used in simulations",
-        cfg.table1(),
-    )
+fn table1_body() -> String {
+    SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64).table1()
 }
 
-/// Figure 1: the hash-tree layout (rendered for a small example, plus the
-/// geometry of the Table 1 configuration).
-pub fn fig1() -> Figure {
+fn fig1_body() -> String {
     let small = TreeLayout::new(16 * 64, 64, 64);
     let big = TreeLayout::new(256 << 20, 64, 64);
-    let body = format!(
+    format!(
         "A small example (16 data chunks, 64-B chunks, 4-ary):\n\n{}\n\
          The Table 1 configuration:\n  {}\n  memory overhead: {}\n",
         render_tree(&small),
         big,
         pct(big.overhead()),
-    );
-    Figure::new("fig1", "A hash tree", body)
+    )
 }
 
-/// Figure 2: the checker datapath, illustrated by walking one cold miss
-/// through the cycle-level model.
-pub fn fig2() -> Figure {
+fn fig2_body() -> String {
     use miv_cache::CacheConfig;
     use miv_core::timing::{CheckerConfig, L2Controller};
     use miv_mem::MemoryBusConfig;
@@ -175,7 +373,7 @@ pub fn fig2() -> Figure {
         };
         timeline.push_str(&line);
     }
-    let body = format!(
+    format!(
         "Hardware: a hash checking/generating unit beside the L2.\n\
          (a) L2 miss: the block is read from memory into the READ BUFFER,\n\
              returned to the core speculatively, and hashed; the digest is\n\
@@ -190,16 +388,25 @@ pub fn fig2() -> Figure {
            demand fetches: {}   hash-chunk fetches: {}   verifications: {}\n\n\
          checker event timeline:\n{timeline}",
         s.data_fetches, s.hash_fetches, s.verifications,
-    );
-    Figure::new("fig2", "Hardware implementation of the chash scheme", body)
+    )
 }
 
 // ---------------------------------------------------------------------
 // Figure 3: IPC for base / chash / naive across six L2 configurations
 // ---------------------------------------------------------------------
 
+/// The six (L2 KB, line bytes) configurations Figure 3 sweeps.
+const FIG3_CONFIGS: [(u64, u32); 6] = [
+    (256, 64),
+    (1024, 64),
+    (4096, 64),
+    (256, 128),
+    (1024, 128),
+    (4096, 128),
+];
+
 /// One (cache config, benchmark) measurement triple for Figure 3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Row {
     /// L2 capacity in KB.
     pub l2_kb: u64,
@@ -215,33 +422,28 @@ pub struct Fig3Row {
     pub naive: f64,
 }
 
-/// Runs the Figure 3 sweep and returns the raw rows.
-pub fn fig3_data(xp: &ExperimentConfig) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for &(l2_kb, line) in &[
-        (256u64, 64u32),
-        (1024, 64),
-        (4096, 64),
-        (256, 128),
-        (1024, 128),
-        (4096, 128),
-    ] {
+/// Runs the Figure 3 sweep and returns the raw rows (memoized on `ctx`:
+/// `claims` reuses the same sweep).
+pub fn fig3_data(ctx: &RunCtx) -> Vec<Fig3Row> {
+    if let Some(rows) = ctx.fig3_rows.borrow().as_ref() {
+        return rows.clone();
+    }
+    let mut requests = Vec::new();
+    for &(l2_kb, line) in &FIG3_CONFIGS {
         for bench in Benchmark::ALL {
-            let base = run_one(
-                SystemConfig::hpca03(Scheme::Base, l2_kb << 10, line),
-                bench,
-                xp,
-            );
-            let chash = run_one(
-                SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, line),
-                bench,
-                xp,
-            );
-            let naive = run_one(
-                SystemConfig::hpca03(Scheme::Naive, l2_kb << 10, line),
-                bench,
-                xp,
-            );
+            for scheme in [Scheme::Base, Scheme::CHash, Scheme::Naive] {
+                requests.push(ctx.request(SystemConfig::hpca03(scheme, l2_kb << 10, line), bench));
+            }
+        }
+    }
+    let results = ctx.sweep(&requests);
+    let mut triples = results.chunks_exact(3);
+    let mut rows = Vec::new();
+    for &(l2_kb, line) in &FIG3_CONFIGS {
+        for bench in Benchmark::ALL {
+            let [base, chash, naive] = triples.next().expect("one triple per cell") else {
+                unreachable!("chunks_exact(3)");
+            };
             rows.push(Fig3Row {
                 l2_kb,
                 line,
@@ -252,21 +454,14 @@ pub fn fig3_data(xp: &ExperimentConfig) -> Vec<Fig3Row> {
             });
         }
     }
+    *ctx.fig3_rows.borrow_mut() = Some(rows.clone());
     rows
 }
 
-/// Figure 3: IPC comparison of base/chash/naive for six L2 configurations.
-pub fn fig3(xp: &ExperimentConfig) -> Figure {
-    let rows = fig3_data(xp);
+fn fig3_body(ctx: &RunCtx) -> String {
+    let rows = fig3_data(ctx);
     let mut body = String::new();
-    for &(l2_kb, line) in &[
-        (256u64, 64u32),
-        (1024, 64),
-        (4096, 64),
-        (256, 128),
-        (1024, 128),
-        (4096, 128),
-    ] {
+    for &(l2_kb, line) in &FIG3_CONFIGS {
         let mut t = Table::new(vec![
             "bench".into(),
             "base IPC".into(),
@@ -292,10 +487,23 @@ pub fn fig3(xp: &ExperimentConfig) -> Figure {
             t.render()
         ));
     }
-    Figure::new(
-        "fig3",
-        "IPC of base, chash and naive for six L2 configurations",
-        body,
+    body
+}
+
+fn fig3_json(rows: &[Fig3Row]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("l2_kb", r.l2_kb);
+                o.push("line", r.line);
+                o.push("bench", r.bench.as_str());
+                o.push("base", r.base);
+                o.push("chash", r.chash);
+                o.push("naive", r.naive);
+                o
+            })
+            .collect(),
     )
 }
 
@@ -304,7 +512,7 @@ pub fn fig3(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 4 measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Row {
     /// L2 capacity in KB.
     pub l2_kb: u64,
@@ -317,20 +525,23 @@ pub struct Fig4Row {
 }
 
 /// Runs the Figure 4 sweep.
-pub fn fig4_data(xp: &ExperimentConfig) -> Vec<Fig4Row> {
+pub fn fig4_data(ctx: &RunCtx) -> Vec<Fig4Row> {
+    let mut requests = Vec::new();
+    for &l2_kb in &[256u64, 4096] {
+        for bench in Benchmark::ALL {
+            for scheme in [Scheme::Base, Scheme::CHash] {
+                requests.push(ctx.request(SystemConfig::hpca03(scheme, l2_kb << 10, 64), bench));
+            }
+        }
+    }
+    let results = ctx.sweep(&requests);
+    let mut pairs = results.chunks_exact(2);
     let mut rows = Vec::new();
     for &l2_kb in &[256u64, 4096] {
         for bench in Benchmark::ALL {
-            let base = run_one(
-                SystemConfig::hpca03(Scheme::Base, l2_kb << 10, 64),
-                bench,
-                xp,
-            );
-            let chash = run_one(
-                SystemConfig::hpca03(Scheme::CHash, l2_kb << 10, 64),
-                bench,
-                xp,
-            );
+            let [base, chash] = pairs.next().expect("one pair per cell") else {
+                unreachable!("chunks_exact(2)");
+            };
             rows.push(Fig4Row {
                 l2_kb,
                 bench: bench.name().into(),
@@ -342,9 +553,8 @@ pub fn fig4_data(xp: &ExperimentConfig) -> Vec<Fig4Row> {
     rows
 }
 
-/// Figure 4: L2 miss rates of program data, base vs chash.
-pub fn fig4(xp: &ExperimentConfig) -> Figure {
-    let rows = fig4_data(xp);
+fn fig4_body(ctx: &RunCtx) -> String {
+    let rows = fig4_data(ctx);
     let mut t = Table::new(vec![
         "bench".into(),
         "base-256K".into(),
@@ -368,10 +578,21 @@ pub fn fig4(xp: &ExperimentConfig) -> Figure {
             pct(big.chash),
         ]);
     }
-    Figure::new(
-        "fig4",
-        "L2 data miss rates: caching hashes pollutes small caches, not big ones",
-        t.render(),
+    t.render()
+}
+
+fn fig4_json(rows: &[Fig4Row]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("l2_kb", r.l2_kb);
+                o.push("bench", r.bench.as_str());
+                o.push("base", r.base);
+                o.push("chash", r.chash);
+                o
+            })
+            .collect(),
     )
 }
 
@@ -380,7 +601,7 @@ pub fn fig4(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 5 measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Benchmark name.
     pub bench: String,
@@ -397,13 +618,21 @@ pub struct Fig5Row {
 }
 
 /// Runs the Figure 5 sweep (1 MB L2, 64-B lines).
-pub fn fig5_data(xp: &ExperimentConfig) -> Vec<Fig5Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let base = run_one(SystemConfig::hpca03(Scheme::Base, 1 << 20, 64), bench, xp);
-            let chash = run_one(SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64), bench, xp);
-            let naive = run_one(SystemConfig::hpca03(Scheme::Naive, 1 << 20, 64), bench, xp);
+pub fn fig5_data(ctx: &RunCtx) -> Vec<Fig5Row> {
+    let mut requests = Vec::new();
+    for bench in Benchmark::ALL {
+        for scheme in [Scheme::Base, Scheme::CHash, Scheme::Naive] {
+            requests.push(ctx.request(SystemConfig::hpca03(scheme, 1 << 20, 64), bench));
+        }
+    }
+    let results = ctx.sweep(&requests);
+    results
+        .chunks_exact(3)
+        .zip(Benchmark::ALL)
+        .map(|(triple, bench)| {
+            let [base, chash, naive] = triple else {
+                unreachable!("chunks_exact(3)");
+            };
             Fig5Row {
                 bench: bench.name().into(),
                 chash_extra: chash.extra_loads_per_miss,
@@ -416,9 +645,8 @@ pub fn fig5_data(xp: &ExperimentConfig) -> Vec<Fig5Row> {
         .collect()
 }
 
-/// Figure 5: (a) additional loads per L2 miss, (b) normalized bandwidth.
-pub fn fig5(xp: &ExperimentConfig) -> Figure {
-    let rows = fig5_data(xp);
+fn fig5_body(ctx: &RunCtx) -> String {
+    let rows = fig5_data(ctx);
     let mut a = Table::new(vec![
         "bench".into(),
         "chash extra/miss".into(),
@@ -446,16 +674,28 @@ pub fn fig5(xp: &ExperimentConfig) -> Figure {
             ]);
         }
     }
-    let body = format!(
+    format!(
         "(a) additional blocks loaded from memory per L2 miss (1 MB, 64 B):\n{}\n\
          (b) memory bandwidth usage normalized to base:\n{}",
         a.render(),
         b.render()
-    );
-    Figure::new(
-        "fig5",
-        "Memory bandwidth: hash caching removes the log-depth traffic",
-        body,
+    )
+}
+
+fn fig5_json(rows: &[Fig5Row]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("bench", r.bench.as_str());
+                o.push("chash_extra", r.chash_extra);
+                o.push("naive_extra", r.naive_extra);
+                o.push("base_bytes", r.base_bytes);
+                o.push("chash_bytes", r.chash_bytes);
+                o.push("naive_bytes", r.naive_bytes);
+                o
+            })
+            .collect(),
     )
 }
 
@@ -464,7 +704,7 @@ pub fn fig5(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 6 series point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Benchmark name.
     pub bench: String,
@@ -476,29 +716,28 @@ pub struct Fig6Row {
 pub const FIG6_THROUGHPUTS: [f64; 4] = [6.4, 3.2, 1.6, 0.8];
 
 /// Runs the Figure 6 sweep (chash, 1 MB L2, 64-B lines).
-pub fn fig6_data(xp: &ExperimentConfig) -> Vec<Fig6Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let ipc = FIG6_THROUGHPUTS
-                .iter()
-                .map(|&gbps| {
-                    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
-                        .with_hash_throughput(Throughput::gbps(gbps));
-                    run_one(cfg, bench, xp).ipc
-                })
-                .collect();
-            Fig6Row {
-                bench: bench.name().into(),
-                ipc,
-            }
+pub fn fig6_data(ctx: &RunCtx) -> Vec<Fig6Row> {
+    let mut requests = Vec::new();
+    for bench in Benchmark::ALL {
+        for &gbps in &FIG6_THROUGHPUTS {
+            let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
+                .with_hash_throughput(Throughput::gbps(gbps));
+            requests.push(ctx.request(cfg, bench));
+        }
+    }
+    let results = ctx.sweep(&requests);
+    results
+        .chunks_exact(FIG6_THROUGHPUTS.len())
+        .zip(Benchmark::ALL)
+        .map(|(series, bench)| Fig6Row {
+            bench: bench.name().into(),
+            ipc: series.iter().map(|r| r.ipc).collect(),
         })
         .collect()
 }
 
-/// Figure 6: the effect of hash-computation throughput on IPC.
-pub fn fig6(xp: &ExperimentConfig) -> Figure {
-    let rows = fig6_data(xp);
+fn fig6_body(ctx: &RunCtx) -> String {
+    let rows = fig6_data(ctx);
     let mut t = Table::new(
         std::iter::once("bench".to_string())
             .chain(FIG6_THROUGHPUTS.iter().map(|g| format!("{g} GB/s")))
@@ -511,11 +750,7 @@ pub fn fig6(xp: &ExperimentConfig) -> Figure {
                 .collect(),
         );
     }
-    Figure::new(
-        "fig6",
-        "IPC vs hash throughput (chash, 1 MB / 64 B): throughput above the memory bandwidth suffices",
-        t.render(),
-    )
+    t.render()
 }
 
 // ---------------------------------------------------------------------
@@ -523,7 +758,7 @@ pub fn fig6(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 7 series point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub bench: String,
@@ -535,29 +770,27 @@ pub struct Fig7Row {
 pub const FIG7_BUFFERS: [u32; 5] = [2, 4, 8, 16, 32];
 
 /// Runs the Figure 7 sweep (chash, 1 MB L2, 64-B lines).
-pub fn fig7_data(xp: &ExperimentConfig) -> Vec<Fig7Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let ipc = FIG7_BUFFERS
-                .iter()
-                .map(|&entries| {
-                    let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
-                        .with_buffer_entries(entries);
-                    run_one(cfg, bench, xp).ipc
-                })
-                .collect();
-            Fig7Row {
-                bench: bench.name().into(),
-                ipc,
-            }
+pub fn fig7_data(ctx: &RunCtx) -> Vec<Fig7Row> {
+    let mut requests = Vec::new();
+    for bench in Benchmark::ALL {
+        for &entries in &FIG7_BUFFERS {
+            let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64).with_buffer_entries(entries);
+            requests.push(ctx.request(cfg, bench));
+        }
+    }
+    let results = ctx.sweep(&requests);
+    results
+        .chunks_exact(FIG7_BUFFERS.len())
+        .zip(Benchmark::ALL)
+        .map(|(series, bench)| Fig7Row {
+            bench: bench.name().into(),
+            ipc: series.iter().map(|r| r.ipc).collect(),
         })
         .collect()
 }
 
-/// Figure 7: the effect of read/write buffer size on IPC.
-pub fn fig7(xp: &ExperimentConfig) -> Figure {
-    let rows = fig7_data(xp);
+fn fig7_body(ctx: &RunCtx) -> String {
+    let rows = fig7_data(ctx);
     let mut t = Table::new(
         std::iter::once("bench".to_string())
             .chain(FIG7_BUFFERS.iter().map(|b| format!("{b} entries")))
@@ -570,10 +803,41 @@ pub fn fig7(xp: &ExperimentConfig) -> Figure {
                 .collect(),
         );
     }
-    Figure::new(
-        "fig7",
-        "IPC vs hash buffer size (chash, 1 MB / 64 B): a few entries suffice",
-        t.render(),
+    t.render()
+}
+
+/// Shared JSON shape for the per-benchmark IPC series of Figures 6/7.
+fn series_json(rows: &[(String, Vec<f64>)]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|(bench, ipc)| {
+                let mut o = JsonValue::obj();
+                o.push("bench", bench.as_str());
+                o.push(
+                    "ipc",
+                    ipc.iter().map(|&x| JsonValue::Float(x)).collect::<Vec<_>>(),
+                );
+                o
+            })
+            .collect(),
+    )
+}
+
+fn fig6_json(rows: &[Fig6Row]) -> JsonValue {
+    series_json(
+        &rows
+            .iter()
+            .map(|r| (r.bench.clone(), r.ipc.clone()))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn fig7_json(rows: &[Fig7Row]) -> JsonValue {
+    series_json(
+        &rows
+            .iter()
+            .map(|r| (r.bench.clone(), r.ipc.clone()))
+            .collect::<Vec<_>>(),
     )
 }
 
@@ -582,7 +846,7 @@ pub fn fig7(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// One Figure 8 measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// Benchmark name.
     pub bench: String,
@@ -599,15 +863,28 @@ pub struct Fig8Row {
 }
 
 /// Runs the Figure 8 sweep (1 MB L2).
-pub fn fig8_data(xp: &ExperimentConfig) -> Vec<Fig8Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            let base64 = run_one(SystemConfig::hpca03(Scheme::Base, 1 << 20, 64), bench, xp);
-            let c64 = run_one(SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64), bench, xp);
-            let c128 = run_one(SystemConfig::hpca03(Scheme::CHash, 1 << 20, 128), bench, xp);
-            let m64 = run_one(SystemConfig::hpca03(Scheme::MHash, 1 << 20, 64), bench, xp);
-            let i64 = run_one(SystemConfig::hpca03(Scheme::IHash, 1 << 20, 64), bench, xp);
+pub fn fig8_data(ctx: &RunCtx) -> Vec<Fig8Row> {
+    let configs = [
+        SystemConfig::hpca03(Scheme::Base, 1 << 20, 64),
+        SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64),
+        SystemConfig::hpca03(Scheme::CHash, 1 << 20, 128),
+        SystemConfig::hpca03(Scheme::MHash, 1 << 20, 64),
+        SystemConfig::hpca03(Scheme::IHash, 1 << 20, 64),
+    ];
+    let mut requests = Vec::new();
+    for bench in Benchmark::ALL {
+        for cfg in configs {
+            requests.push(ctx.request(cfg, bench));
+        }
+    }
+    let results = ctx.sweep(&requests);
+    results
+        .chunks_exact(configs.len())
+        .zip(Benchmark::ALL)
+        .map(|(runs, bench)| {
+            let [base64, c64, c128, m64, i64] = runs else {
+                unreachable!("chunks_exact(5)");
+            };
             Fig8Row {
                 bench: bench.name().into(),
                 base64: base64.ipc,
@@ -620,9 +897,8 @@ pub fn fig8_data(xp: &ExperimentConfig) -> Vec<Fig8Row> {
         .collect()
 }
 
-/// Figure 8: performance of the reduced-memory-overhead schemes.
-pub fn fig8(xp: &ExperimentConfig) -> Figure {
-    let rows = fig8_data(xp);
+fn fig8_body(ctx: &RunCtx) -> String {
+    let rows = fig8_data(ctx);
     let mut t = Table::new(vec![
         "bench".into(),
         "c-64B".into(),
@@ -641,16 +917,28 @@ pub fn fig8(xp: &ExperimentConfig) -> Figure {
     }
     let overhead64 = TreeLayout::new(256 << 20, 64, 64).overhead();
     let overhead128 = TreeLayout::new(256 << 20, 128, 64).overhead();
-    let body = format!(
+    format!(
         "{}\nmemory overhead: c-64B {} — c-128B / m-64B / i-64B {}\n",
         t.render(),
         pct(overhead64),
         pct(overhead128),
-    );
-    Figure::new(
-        "fig8",
-        "IPC of the schemes with reduced hash memory overhead (1 MB L2)",
-        body,
+    )
+}
+
+fn fig8_json(rows: &[Fig8Row]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|r| {
+                let mut o = JsonValue::obj();
+                o.push("bench", r.bench.as_str());
+                o.push("base64", r.base64);
+                o.push("c64", r.c64);
+                o.push("c128", r.c128);
+                o.push("m64", r.m64);
+                o.push("i64", r.i64);
+                o
+            })
+            .collect(),
     )
 }
 
@@ -659,7 +947,7 @@ pub fn fig8(xp: &ExperimentConfig) -> Figure {
 // ---------------------------------------------------------------------
 
 /// The paper's headline numbers, computed from the Figure 3 data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Claims {
     /// Worst chash overhead across benchmarks at 256 KB / 64 B.
     pub worst_chash_overhead_small: f64,
@@ -707,11 +995,9 @@ pub fn claims_from(rows: &[Fig3Row]) -> Claims {
     }
 }
 
-/// Headline claims (§1, §6.4, §7) computed from a fresh Figure 3 sweep.
-pub fn claims(xp: &ExperimentConfig) -> Figure {
-    let rows = fig3_data(xp);
-    let c = claims_from(&rows);
-    let body = format!(
+fn claims_body(ctx: &RunCtx) -> String {
+    let c = claims_from(&fig3_data(ctx));
+    format!(
         "worst chash overhead at 256 KB / 64 B : {} ({})\n\
          worst chash overhead at 4 MB         : {}\n\
          worst naive slowdown                 : {:.1}x ({})\n\n\
@@ -723,189 +1009,67 @@ pub fn claims(xp: &ExperimentConfig) -> Figure {
         pct(c.worst_chash_overhead_4mb),
         c.worst_naive_slowdown,
         c.worst_naive_bench,
-    );
-    Figure::new("claims", "Headline numbers", body)
+    )
 }
 
-/// The raw measured rows of every quantitative artifact, for JSON export
-/// (plotting pipelines consume this instead of re-parsing text tables).
-#[derive(Debug, Clone)]
-pub struct DataExport {
-    /// The experiment parameters that produced the data.
-    pub config: ExperimentConfig,
-    /// Figure 3 rows.
-    pub fig3: Vec<Fig3Row>,
-    /// Figure 4 rows.
-    pub fig4: Vec<Fig4Row>,
-    /// Figure 5 rows.
-    pub fig5: Vec<Fig5Row>,
-    /// Figure 6 rows.
-    pub fig6: Vec<Fig6Row>,
-    /// Figure 7 rows.
-    pub fig7: Vec<Fig7Row>,
-    /// Figure 8 rows.
-    pub fig8: Vec<Fig8Row>,
-    /// Headline claims derived from the Figure 3 rows.
-    pub claims: Claims,
-}
-
-impl DataExport {
-    /// JSON form consumed by plotting pipelines (replaces the former
-    /// `serde_json` path; the workspace carries no external deps).
-    pub fn to_json(&self) -> JsonValue {
-        let rows = |items: &[JsonValue]| JsonValue::Array(items.to_vec());
-        let mut config = JsonValue::obj();
-        config.push("warmup", self.config.warmup);
-        config.push("measure", self.config.measure);
-        config.push("seed", self.config.seed);
-
-        let fig3: Vec<JsonValue> = self
-            .fig3
-            .iter()
-            .map(|r| {
-                let mut o = JsonValue::obj();
-                o.push("l2_kb", r.l2_kb);
-                o.push("line", r.line);
-                o.push("bench", r.bench.as_str());
-                o.push("base", r.base);
-                o.push("chash", r.chash);
-                o.push("naive", r.naive);
-                o
-            })
-            .collect();
-        let fig4: Vec<JsonValue> = self
-            .fig4
-            .iter()
-            .map(|r| {
-                let mut o = JsonValue::obj();
-                o.push("l2_kb", r.l2_kb);
-                o.push("bench", r.bench.as_str());
-                o.push("base", r.base);
-                o.push("chash", r.chash);
-                o
-            })
-            .collect();
-        let fig5: Vec<JsonValue> = self
-            .fig5
-            .iter()
-            .map(|r| {
-                let mut o = JsonValue::obj();
-                o.push("bench", r.bench.as_str());
-                o.push("chash_extra", r.chash_extra);
-                o.push("naive_extra", r.naive_extra);
-                o.push("base_bytes", r.base_bytes);
-                o.push("chash_bytes", r.chash_bytes);
-                o.push("naive_bytes", r.naive_bytes);
-                o
-            })
-            .collect();
-        let series = |bench: &str, ipc: &[f64]| {
-            let mut o = JsonValue::obj();
-            o.push("bench", bench);
-            o.push(
-                "ipc",
-                ipc.iter().map(|&x| JsonValue::Float(x)).collect::<Vec<_>>(),
-            );
-            o
-        };
-        let fig6: Vec<JsonValue> = self.fig6.iter().map(|r| series(&r.bench, &r.ipc)).collect();
-        let fig7: Vec<JsonValue> = self.fig7.iter().map(|r| series(&r.bench, &r.ipc)).collect();
-        let fig8: Vec<JsonValue> = self
-            .fig8
-            .iter()
-            .map(|r| {
-                let mut o = JsonValue::obj();
-                o.push("bench", r.bench.as_str());
-                o.push("base64", r.base64);
-                o.push("c64", r.c64);
-                o.push("c128", r.c128);
-                o.push("m64", r.m64);
-                o.push("i64", r.i64);
-                o
-            })
-            .collect();
-        let mut claims = JsonValue::obj();
-        claims.push(
-            "worst_chash_overhead_small",
-            self.claims.worst_chash_overhead_small,
-        );
-        claims.push("worst_bench_small", self.claims.worst_bench_small.as_str());
-        claims.push(
-            "worst_chash_overhead_4mb",
-            self.claims.worst_chash_overhead_4mb,
-        );
-        claims.push("worst_naive_slowdown", self.claims.worst_naive_slowdown);
-        claims.push("worst_naive_bench", self.claims.worst_naive_bench.as_str());
-
-        let mut doc = JsonValue::obj();
-        doc.push("config", config);
-        doc.push("fig3", rows(&fig3));
-        doc.push("fig4", rows(&fig4));
-        doc.push("fig5", rows(&fig5));
-        doc.push("fig6", rows(&fig6));
-        doc.push("fig7", rows(&fig7));
-        doc.push("fig8", rows(&fig8));
-        doc.push("claims", claims);
-        doc
-    }
-}
-
-/// Runs every quantitative sweep and gathers the raw rows.
-pub fn export_data(xp: &ExperimentConfig) -> DataExport {
-    let fig3 = fig3_data(xp);
-    let claims = claims_from(&fig3);
-    DataExport {
-        config: *xp,
-        fig3,
-        fig4: fig4_data(xp),
-        fig5: fig5_data(xp),
-        fig6: fig6_data(xp),
-        fig7: fig7_data(xp),
-        fig8: fig8_data(xp),
-        claims,
-    }
-}
-
-/// Runs every artifact in order.
-pub fn all(xp: &ExperimentConfig) -> Vec<Figure> {
-    vec![
-        table1(),
-        fig1(),
-        fig2(),
-        fig3(xp),
-        fig4(xp),
-        fig5(xp),
-        fig6(xp),
-        fig7(xp),
-        fig8(xp),
-        claims(xp),
-    ]
+fn claims_json(c: &Claims) -> JsonValue {
+    let mut o = JsonValue::obj();
+    o.push("worst_chash_overhead_small", c.worst_chash_overhead_small);
+    o.push("worst_bench_small", c.worst_bench_small.as_str());
+    o.push("worst_chash_overhead_4mb", c.worst_chash_overhead_4mb);
+    o.push("worst_naive_slowdown", c.worst_naive_slowdown);
+    o.push("worst_naive_bench", c.worst_naive_bench.as_str());
+    o
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(warmup: u64, measure: u64) -> RunCtx {
+        RunCtx::new(ExperimentConfig {
+            warmup,
+            measure,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            ["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "claims"]
+        );
+        assert!(find_experiment("fig5").is_some());
+        assert!(find_experiment("fig99").is_none());
+        for e in EXPERIMENTS {
+            let descriptive = matches!(e.id, "table1" | "fig1" | "fig2");
+            assert_eq!(e.has_data(), !descriptive, "{}", e.id);
+        }
+    }
+
     #[test]
     fn table1_and_diagrams_render() {
-        assert!(table1().body.contains("1 GHz"));
-        assert!(fig1().body.contains("secure root"));
-        let f2fig = fig2();
+        let ctx = ctx(0, 0);
+        let table1 = find_experiment("table1").unwrap().render(&ctx);
+        assert!(table1.body.contains("1 GHz"));
+        assert!(find_experiment("fig1")
+            .unwrap()
+            .render(&ctx)
+            .body
+            .contains("secure root"));
+        let f2fig = find_experiment("fig2").unwrap().render(&ctx);
         assert!(f2fig.body.contains("READ BUFFER"));
         assert!(f2fig.body.contains("data returned"));
-        assert!(format!("{}", table1()).contains("== table1"));
+        assert!(format!("{table1}").contains("== table1"));
     }
 
     #[test]
     fn quick_fig4_shows_pollution_shrinking_with_cache_size() {
         // The quick window is too noisy for per-benchmark claims; use a
         // medium window and compare the averaged relative inflation.
-        let xp = ExperimentConfig {
-            warmup: 50_000,
-            measure: 250_000,
-            seed: 42,
-        };
-        let rows = fig4_data(&xp);
+        let rows = fig4_data(&ctx(50_000, 250_000));
         assert_eq!(rows.len(), 18);
         // Relative pollution (chash / base miss rate) averaged over the
         // benchmarks with meaningful traffic must shrink with cache size.
@@ -925,8 +1089,8 @@ mod tests {
 
     #[test]
     fn quick_fig5_naive_extra_loads_near_tree_depth() {
-        let xp = ExperimentConfig::quick();
-        let rows = fig5_data(&xp);
+        let ctx = RunCtx::new(ExperimentConfig::quick());
+        let rows = fig5_data(&ctx);
         let depth = TreeLayout::new(256 << 20, 64, 64).levels() as f64;
         // Benchmarks that still miss at 1 MB and are read-dominated (the
         // ones whose naive walks are not skipped by whole-line store
@@ -953,6 +1117,15 @@ mod tests {
         for r in rows.iter().filter(|r| r.naive_extra > 0.0) {
             assert!(r.chash_extra <= r.naive_extra, "{}", r.bench);
         }
+    }
+
+    #[test]
+    fn fig3_rows_are_memoized_on_the_context() {
+        let ctx = ctx(1_000, 4_000).with_jobs(2);
+        let first = fig3_data(&ctx);
+        assert!(ctx.fig3_rows.borrow().is_some());
+        let second = fig3_data(&ctx);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod config;
 pub mod experiments;
 pub mod hierarchy;
 pub mod report;
+pub mod sweep;
 pub mod system;
 pub mod telemetry;
 
 pub use config::SystemConfig;
 pub use hierarchy::Hierarchy;
+pub use sweep::{RunOutcome, RunRequest, SweepRunner, Workload};
 pub use system::{RunResult, System};
-pub use telemetry::{Sample, Telemetry};
+pub use telemetry::{Sample, Telemetry, TelemetrySnapshot};

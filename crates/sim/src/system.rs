@@ -9,7 +9,7 @@ use crate::hierarchy::Hierarchy;
 use crate::telemetry::{Sample, Telemetry};
 
 /// Measured results of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Scheme label (`base`, `naive`, `chash`, `mhash`, `ihash`).
     pub scheme: String,

@@ -3,7 +3,7 @@
 //! during [`System::run_sampled`](crate::System::run_sampled), and the
 //! `miv-metrics-v1` JSON document written by `--metrics-out`.
 
-use miv_obs::{EventTrace, JsonValue, Registry};
+use miv_obs::{EventTrace, EventTraceSnapshot, JsonValue, MetricsSnapshot, Registry};
 
 use crate::system::RunResult;
 
@@ -75,6 +75,30 @@ impl Telemetry {
         self.events.to_jsonl()
     }
 
+    /// Copies out the registry and event ring as plain owned data that
+    /// can cross a thread boundary (the live handles are `Rc`-shared
+    /// and cannot).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: self.registry.snapshot(),
+            events: self.events.snapshot(),
+        }
+    }
+
+    /// Folds another recorder's snapshot into this one: counters sum,
+    /// gauges are latest-wins, histograms merge bucket-wise, and the
+    /// event ring appends the snapshot's events (evicting its own oldest
+    /// once full).
+    ///
+    /// This is how parallel sweeps aggregate: workers record into
+    /// per-run `Telemetry` values and the [`SweepRunner`](crate::sweep)
+    /// absorbs the returned snapshots in request order, which makes the
+    /// merged document identical at any worker count.
+    pub fn absorb(&self, snap: &TelemetrySnapshot) {
+        self.registry.absorb(&snap.metrics);
+        self.events.absorb(&snap.events);
+    }
+
     /// Builds the `miv-metrics-v1` summary document:
     ///
     /// ```json
@@ -126,6 +150,18 @@ impl Telemetry {
         );
         doc
     }
+}
+
+/// An owned, `Send` copy of a [`Telemetry`]'s state: the metrics
+/// snapshot plus the event-ring contents. Produced by
+/// [`Telemetry::snapshot`] in a worker thread, consumed by
+/// [`Telemetry::absorb`] on the aggregating side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counters, gauges and histogram snapshots.
+    pub metrics: MetricsSnapshot,
+    /// Buffered events plus recorded/dropped totals.
+    pub events: EventTraceSnapshot,
 }
 
 /// Derives per-line-kind L2 hit rates from the registry's `l2.*`

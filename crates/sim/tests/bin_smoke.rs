@@ -74,6 +74,61 @@ fn figures_quick_fig4_runs_and_aggregates_metrics() {
 }
 
 #[test]
+fn figures_stdout_is_byte_identical_across_job_counts() {
+    let args = |jobs: &'static str| {
+        [
+            "--warmup",
+            "2000",
+            "--measure",
+            "8000",
+            "--jobs",
+            jobs,
+            "--only",
+            "fig5",
+            "claims",
+        ]
+    };
+    let (ok1, stdout1, _) = run(env!("CARGO_BIN_EXE_figures"), &args("1"));
+    let (ok4, stdout4, _) = run(env!("CARGO_BIN_EXE_figures"), &args("4"));
+    assert!(ok1 && ok4);
+    assert!(stdout1.contains("== fig5"));
+    assert!(stdout1.contains("== claims"));
+    assert_eq!(stdout1, stdout4, "output must not depend on --jobs");
+}
+
+#[test]
+fn mivsim_parallel_sweep_matches_sequential() {
+    let exe = env!("CARGO_BIN_EXE_mivsim");
+    let args = |jobs: &'static str| {
+        [
+            "sweep",
+            "--bench",
+            "gzip",
+            "--l2",
+            "256K",
+            "--warmup",
+            "2000",
+            "--measure",
+            "10000",
+            "--jobs",
+            jobs,
+            "--json",
+        ]
+    };
+    let (ok1, stdout1, _) = run(exe, &args("1"));
+    let (ok4, stdout4, _) = run(exe, &args("4"));
+    assert!(ok1 && ok4);
+    assert_eq!(stdout1, stdout4);
+    // One result object per scheme, in Scheme::ALL order.
+    for scheme in ["base", "naive", "chash", "mhash", "ihash"] {
+        assert!(
+            stdout1.contains(&format!("\"{scheme}\"")),
+            "{scheme} missing"
+        );
+    }
+}
+
+#[test]
 fn mivsim_metrics_and_trace_events_export() {
     let exe = env!("CARGO_BIN_EXE_mivsim");
     let dir = std::env::temp_dir().join("miv_bin_smoke_metrics");

@@ -1,0 +1,81 @@
+//! Determinism of the parallel sweep engine: a Figure 3 sweep executed
+//! with one worker and with four workers must produce identical
+//! `RunResult` vectors and identical merged telemetry documents.
+//!
+//! Merged documents match in full — including the event section: per-run
+//! event rings absorbed in request order reproduce byte-for-byte the
+//! tail a shared sequential ring of the same capacity would hold, since
+//! an event evicted from a per-run ring is more than `capacity` records
+//! from the end of that run's stream and could not have survived a
+//! shared ring either.
+
+use miv_core::Scheme;
+use miv_sim::experiments::{fig3_data, ExperimentConfig, RunCtx};
+use miv_sim::{RunRequest, SweepRunner, SystemConfig, Telemetry};
+use miv_trace::Benchmark;
+
+/// A short window keeps the 162-run fig3 grid tractable in the
+/// unoptimized test profile; determinism does not depend on run length.
+fn quick() -> ExperimentConfig {
+    ExperimentConfig {
+        warmup: 2_000,
+        measure: 8_000,
+        seed: 42,
+    }
+}
+
+#[test]
+fn fig3_rows_identical_at_any_job_count() {
+    let sequential = fig3_data(&RunCtx::new(quick()).with_jobs(1));
+    let parallel = fig3_data(&RunCtx::new(quick()).with_jobs(4));
+    assert_eq!(sequential.len(), 54, "6 configs x 9 benchmarks");
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn merged_metrics_documents_identical_at_any_job_count() {
+    // A fig3-shaped slice (two configs, three schemes, two benchmarks)
+    // with telemetry capture on: the aggregated miv-metrics-v1 document
+    // and the event JSONL must not depend on the worker count.
+    let requests: Vec<RunRequest> = [(256u64, 64u32), (1024, 64)]
+        .into_iter()
+        .flat_map(|(l2_kb, line)| {
+            [Benchmark::Gzip, Benchmark::Mcf]
+                .into_iter()
+                .flat_map(move |bench| {
+                    [Scheme::Base, Scheme::CHash, Scheme::Naive]
+                        .into_iter()
+                        .map(move |scheme| {
+                            RunRequest::new(
+                                SystemConfig::hpca03(scheme, l2_kb << 10, line),
+                                bench,
+                                2_000,
+                                8_000,
+                                42,
+                            )
+                        })
+                })
+        })
+        .collect();
+    let documents = |jobs: usize| {
+        let telemetry = Telemetry::with_event_capacity(1024);
+        let runner = SweepRunner::new(jobs).capture_telemetry(1024);
+        let outcomes = runner.run(&requests);
+        for outcome in &outcomes {
+            telemetry.absorb(outcome.telemetry.as_ref().expect("capture enabled"));
+        }
+        let results: Vec<_> = outcomes.into_iter().map(|o| o.result).collect();
+        (
+            results,
+            telemetry.aggregate_document().render_pretty(),
+            telemetry.events_jsonl(),
+        )
+    };
+    let (seq_results, seq_doc, seq_events) = documents(1);
+    let (par_results, par_doc, par_events) = documents(4);
+    assert_eq!(seq_results, par_results);
+    assert_eq!(seq_doc, par_doc);
+    assert_eq!(seq_events, par_events);
+    assert!(seq_doc.contains("l2.data.read_misses"));
+    assert!(!seq_events.trim().is_empty());
+}
