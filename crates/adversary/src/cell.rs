@@ -1,0 +1,590 @@
+//! One campaign cell: a single scheme × attack × trial simulation.
+//!
+//! A cell drives *both* halves of the checker against the same scripted
+//! attack: the cycle-level [`L2Controller`] (which carries no bytes and
+//! tracks corruption as taint, giving detection *cycles*) and the
+//! functional [`VerifiedMemory`] (real bytes, real digests/MACs, real
+//! [`IntegrityError`](miv_core::IntegrityError)s, giving detection
+//! ground truth). A detection by either counts; when both fire, the
+//! cycle-level checker's verify-completion cycle is reported — it is
+//! the half with a timing model — and the functional detection stands
+//! in when the taint machinery missed.
+//! Cells that reach the end of their access stream undetected run a
+//! final audit (cache flush + full tree verification) so cache-masked
+//! corruption is still accounted for — with an honest `Audit` label and
+//! an end-of-run latency.
+//!
+//! Everything is deterministic given the [`CellConfig`]: the access
+//! stream, the injection trigger, and the attack's target all come from
+//! seeded xoshiro streams, so a campaign's merged output is identical at
+//! any worker count.
+
+use miv_cache::CacheConfig;
+use miv_core::adversary::{parent_slot_addr, timestamp_byte_addr};
+use miv_core::engine::{MemoryBuilder, Protection, VerifiedMemory};
+use miv_core::timing::{CheckerConfig, L2Controller};
+use miv_core::{Scheme, TamperKind};
+use miv_mem::MemoryBusConfig;
+use miv_obs::{EventTrace, EventTraceSnapshot, Registry, Rng};
+
+use crate::attack::{AttackClass, Trigger};
+
+/// Everything one cell needs: plain data, `Send`, fully determining the
+/// [`CellOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellConfig {
+    /// Verification scheme under attack.
+    pub scheme: Scheme,
+    /// Attack class to mount.
+    pub attack: AttackClass,
+    /// When the injection fires.
+    pub trigger: Trigger,
+    /// Trial index within the campaign (varies the trigger and streams).
+    pub trial: u32,
+    /// Seed for this cell's PRNG streams.
+    pub seed: u64,
+    /// Protected data segment size in bytes.
+    pub data_bytes: u64,
+    /// L2 capacity in bytes (also sizes the functional trusted cache).
+    pub l2_bytes: u64,
+    /// Cache line / tree block size in bytes.
+    pub line_bytes: u32,
+    /// Span of the synthetic access stream in bytes.
+    pub working_set: u64,
+    /// Accesses issued after the injection window opens.
+    pub accesses: u64,
+    /// Store fraction of the stream, in percent.
+    pub write_ratio_pct: u32,
+    /// Capture an event-trace snapshot (`integrity_violation` rows show
+    /// up in `--trace-events`).
+    pub capture_events: bool,
+}
+
+impl CellConfig {
+    /// Chunk size for the scheme: one block for `naive`/`chash`, two for
+    /// the multi-block schemes.
+    pub fn chunk_bytes(&self) -> u32 {
+        match self.scheme {
+            Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
+            _ => self.line_bytes,
+        }
+    }
+}
+
+/// Which half of the checker raised the alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// The cycle-level checker: a background verification covered a
+    /// tainted block.
+    Timing,
+    /// The functional engine: a read/write returned an `IntegrityError`
+    /// during the access stream and the cycle-level checker never
+    /// fired.
+    Functional,
+    /// The end-of-run audit (cache flush + full verification) — the
+    /// corruption was cache-masked for the whole stream.
+    Audit,
+}
+
+impl Detector {
+    /// Stable label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Detector::Timing => "timing",
+            Detector::Functional => "functional",
+            Detector::Audit => "audit",
+        }
+    }
+}
+
+/// Where and when the corruption landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Access index at which the attack fired.
+    pub access: u64,
+    /// Simulation cycle at which the attack fired.
+    pub cycle: u64,
+    /// Physical address of the corrupted bytes.
+    pub addr: u64,
+}
+
+/// Whether, when and where the violation was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Simulation cycle of the failing check.
+    pub cycle: u64,
+    /// Chunk whose check failed.
+    pub chunk: u64,
+    /// Which detector fired first.
+    pub detector: Detector,
+    /// Cycles from injection to detection.
+    pub latency: u64,
+}
+
+/// The full result of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Scheme the cell ran.
+    pub scheme: Scheme,
+    /// Attack the cell mounted.
+    pub attack: AttackClass,
+    /// Trial index.
+    pub trial: u32,
+    /// `false` when the attack does not apply to the scheme (e.g. a
+    /// timestamp flip without an incremental MAC) — nothing ran.
+    pub applicable: bool,
+    /// The injection, when one fired.
+    pub injection: Option<Injection>,
+    /// The first detection, when any detector fired after injection.
+    pub detection: Option<Detection>,
+    /// A detection with *no* preceding injection (control cells, or a
+    /// premature alarm in an attack cell) — always a checker bug.
+    pub false_alarm: bool,
+    /// Event-trace snapshot when [`CellConfig::capture_events`] was set.
+    pub events: Option<EventTraceSnapshot>,
+}
+
+impl CellOutcome {
+    /// Whether the cell's violation was caught.
+    pub fn detected(&self) -> bool {
+        self.detection.is_some()
+    }
+
+    /// Whether a correct checker had to catch it.
+    pub fn expected_detected(&self) -> bool {
+        self.attack.expected_detected(self.scheme)
+    }
+}
+
+/// Runs one cell to completion.
+pub fn run_cell(cfg: &CellConfig) -> CellOutcome {
+    let mut outcome = CellOutcome {
+        scheme: cfg.scheme,
+        attack: cfg.attack,
+        trial: cfg.trial,
+        applicable: cfg.attack.applies_to(cfg.scheme),
+        injection: None,
+        detection: None,
+        false_alarm: false,
+        events: None,
+    };
+    if !outcome.applicable {
+        return outcome;
+    }
+
+    let line = cfg.line_bytes as u64;
+    let mut checker = CheckerConfig::hpca03(cfg.scheme);
+    checker.protected_bytes = cfg.data_bytes;
+    checker.chunk_bytes = cfg.chunk_bytes();
+    let mut ctl = L2Controller::new(
+        checker,
+        CacheConfig::l2(cfg.l2_bytes, cfg.line_bytes),
+        MemoryBusConfig::default(),
+    );
+
+    // Functional ground truth (absent under `base`, which stores no tree
+    // and can't verify anything). Random initial contents make splice
+    // and replay effective: distinct blocks hold distinct bytes.
+    let mut init_rng = Rng::seed_from_u64(cfg.seed ^ 0x0121_71A1);
+    let mut vm = cfg.scheme.verifies().then(|| {
+        let mut init = vec![0u8; cfg.data_bytes as usize];
+        init_rng.fill_bytes(&mut init);
+        MemoryBuilder::new()
+            .data_bytes(cfg.data_bytes)
+            .chunk_bytes(cfg.chunk_bytes())
+            .block_bytes(cfg.line_bytes)
+            .protection(match cfg.scheme {
+                Scheme::IHash => Protection::IncrementalMac,
+                _ => Protection::HashTree,
+            })
+            .cache_blocks((cfg.l2_bytes / line) as usize)
+            .initial_data(init)
+            .build()
+    });
+
+    let registry = Registry::new();
+    let trace = cfg.capture_events.then(|| EventTrace::bounded(8192));
+    if let Some(trace) = &trace {
+        ctl.attach_observability(&registry, trace.sink());
+        if let Some(vm) = &mut vm {
+            vm.attach_observability(&registry, trace.sink());
+        }
+    }
+
+    let mut access_rng = Rng::seed_from_u64(cfg.seed);
+    let mut attack_rng = Rng::seed_from_u64(cfg.seed ^ 0xA77A_C4ED);
+    let blocks_in_ws = (cfg.working_set / line).max(1);
+    let target = attack_rng.gen_range_u64(0, blocks_in_ws) * line;
+
+    let mut now: u64 = 0;
+    let mut touches: u64 = 0;
+    let mut poisoned = false;
+    let mut functional: Option<Detection> = None;
+    // Never finish an attack cell with the injection still pending: fire
+    // unconditionally once three quarters of the stream have run.
+    let force_at = cfg.accesses - cfg.accesses / 4;
+    let mut buf = vec![0u8; cfg.line_bytes as usize];
+    let mut wbuf = vec![0u8; cfg.line_bytes as usize - 16];
+
+    for i in 0..cfg.accesses {
+        if outcome.injection.is_none()
+            && cfg.attack.is_injection()
+            && (i >= force_at || cfg.trigger.should_fire(now, touches, &mut attack_rng))
+        {
+            let addr = apply_attack(
+                cfg,
+                &mut ctl,
+                vm.as_mut(),
+                target,
+                &mut attack_rng,
+                &mut now,
+            );
+            outcome.injection = Some(Injection {
+                access: i,
+                cycle: now,
+                addr,
+            });
+        }
+        let addr = access_rng.gen_range_u64(0, blocks_in_ws) * line;
+        if addr == target {
+            touches += 1;
+        }
+        let write = access_rng.gen_bool(cfg.write_ratio_pct as f64 / 100.0);
+        now = ctl.access(now, addr, write, false);
+        if let Some(vm) = vm.as_mut() {
+            if !poisoned {
+                let result = if write {
+                    // Partial-line stores (matching `full_line: false` on
+                    // the timing side): the engine must fetch and check
+                    // the old block, so a store to a corrupted block is a
+                    // detection, not a silent §5.3 alloc-no-fetch heal.
+                    access_rng.fill_bytes(&mut wbuf);
+                    vm.write(addr + 8, &wbuf)
+                } else {
+                    vm.read(addr, &mut buf)
+                };
+                if let Err(e) = result {
+                    // The engine is poisoned from here on (§5.8 abort
+                    // semantics): stop issuing functional operations.
+                    poisoned = true;
+                    match outcome.injection {
+                        None => outcome.false_alarm = true,
+                        Some(inj) => {
+                            functional = Some(Detection {
+                                cycle: now,
+                                chunk: e.chunk(),
+                                detector: Detector::Functional,
+                                latency: now.saturating_sub(inj.cycle),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match outcome.injection {
+        Some(inj) => {
+            // Merge the detectors. The cycle-level checker wins when it
+            // fired: its cycle is when the failing check actually
+            // *completes* in the modelled hardware, which is the latency
+            // the paper cares about. The functional engine (stamped with
+            // the access-return cycle — it has no timing model of its
+            // own) covers the cells the taint machinery missed.
+            let timing = ctl.first_detection().map(|d| Detection {
+                cycle: d.cycle,
+                chunk: d.chunk,
+                detector: Detector::Timing,
+                latency: d.cycle.saturating_sub(inj.cycle),
+            });
+            outcome.detection = timing.or(functional);
+            if outcome.detection.is_none() {
+                if let Some(vm) = vm.as_mut() {
+                    // Final audit: drop every cached copy, then verify
+                    // the whole tree against the secure root.
+                    let audit_cycle = now.max(ctl.verification_horizon());
+                    if let Err(e) = vm.clear_cache().and_then(|()| vm.verify_all()) {
+                        outcome.detection = Some(Detection {
+                            cycle: audit_cycle,
+                            chunk: e.chunk(),
+                            detector: Detector::Audit,
+                            latency: audit_cycle.saturating_sub(inj.cycle),
+                        });
+                    }
+                }
+            }
+        }
+        None => {
+            // Control cell (or an attack whose trigger never fired,
+            // which the force-fire guard rules out): any alarm from any
+            // detector — including the end-of-run audit — is false.
+            if ctl.first_detection().is_some() {
+                outcome.false_alarm = true;
+            }
+            if let Some(vm) = vm.as_mut() {
+                if !poisoned && vm.clear_cache().and_then(|()| vm.verify_all()).is_err() {
+                    outcome.false_alarm = true;
+                }
+            }
+        }
+    }
+
+    outcome.events = trace.map(|t| t.snapshot());
+    outcome
+}
+
+/// Applies the attack to both halves of the checker and returns the
+/// corrupted physical address. `now` advances only for attacks that
+/// piggyback on program activity (replay issues the program's update
+/// store before restoring the stale bytes).
+fn apply_attack(
+    cfg: &CellConfig,
+    ctl: &mut L2Controller,
+    mut vm: Option<&mut VerifiedMemory>,
+    target: u64,
+    rng: &mut Rng,
+    now: &mut u64,
+) -> u64 {
+    let line = cfg.line_bytes as u64;
+    let len = cfg.line_bytes as usize;
+    // Quiesce both halves first: write every dirty block back and drop
+    // the on-chip copies, so the injection lands on the real memory
+    // image with nothing left to mask it (a tamper under a cached copy
+    // is invisible by construction — the processor never reads the
+    // corrupted location). The timing L2 is quiesced too, so the
+    // cycle-level checker gets to race the functional engine for the
+    // detection instead of serving post-injection hits from residency.
+    if let Some(vm) = vm.as_mut() {
+        let _ = vm.clear_cache();
+    }
+    *now = ctl.quiesce(*now);
+    // `base` has no layout: data addresses are physical addresses.
+    let phys_of = |data: u64| match ctl.layout() {
+        Some(layout) => layout.data_phys_addr(data),
+        None => data,
+    };
+    match cfg.attack {
+        AttackClass::Control => unreachable!("control cells never inject"),
+        AttackClass::DataBitFlip => {
+            let phys = phys_of(target) + rng.gen_range_u64(0, line);
+            let bit = rng.gen_u8() % 8;
+            if let Some(vm) = vm.as_mut() {
+                vm.adversary().tamper(phys, TamperKind::BitFlip { bit });
+            }
+            ctl.inject_tamper(phys, 1);
+            phys
+        }
+        AttackClass::BlockReplace => {
+            let phys = phys_of(target);
+            if let Some(vm) = vm.as_mut() {
+                let mut adv = vm.adversary();
+                let old = adv.observe(phys, len);
+                let mut data = vec![0u8; len];
+                rng.fill_bytes(&mut data);
+                if data == old {
+                    data[0] ^= 1;
+                }
+                adv.tamper(phys, TamperKind::Replace { data });
+            }
+            ctl.inject_tamper(phys, line);
+            phys
+        }
+        AttackClass::Splice => {
+            let blocks_in_ws = (cfg.working_set / line).max(2);
+            let other =
+                (target / line + 1 + rng.gen_range_u64(0, blocks_in_ws - 1)) % blocks_in_ws * line;
+            let dst = phys_of(target);
+            let src = phys_of(other);
+            if let Some(vm) = vm.as_mut() {
+                let mut adv = vm.adversary();
+                if adv.observe(src, len) == adv.observe(dst, len) {
+                    // Identical blocks make relocation benign; degrade to
+                    // a flip so the cell still injects a real violation.
+                    adv.tamper(dst, TamperKind::BitFlip { bit: 0 });
+                } else {
+                    adv.tamper(dst, TamperKind::CopyFrom { src, len });
+                }
+            }
+            ctl.inject_tamper(dst, line);
+            dst
+        }
+        AttackClass::Replay => {
+            let phys = phys_of(target);
+            if let Some(vm) = vm.as_mut() {
+                // Capture a *valid* memory state, let the program update
+                // it (tree and all), then restore the stale bytes.
+                let _ = vm.flush();
+                let snap = vm.adversary().snapshot(phys, len);
+                let mut fresh = vec![0u8; len];
+                rng.fill_bytes(&mut fresh);
+                let _ = vm.write(target, &fresh);
+                let _ = vm.flush();
+                vm.adversary().replay(&snap);
+                // The update left a (clean, fresh) cached copy of the
+                // target; drop it so the stale bytes are what the next
+                // fetch actually sees.
+                let _ = vm.clear_cache();
+            }
+            // Timing side: the program's update store, then a second
+            // quiesce to drop the fresh line (mirroring the functional
+            // `clear_cache` above), then the taint.
+            *now = ctl.access(*now, target, true, false);
+            *now = ctl.quiesce(*now);
+            ctl.inject_tamper(phys, line);
+            phys
+        }
+        AttackClass::HashNodeCorrupt => {
+            let layout = *ctl.layout().expect("metadata attacks need a tree");
+            let chunk = layout.data_chunk_for(target);
+            let slot =
+                parent_slot_addr(&layout, chunk).expect("data chunks have in-memory parents");
+            let byte = slot + rng.gen_range_u64(0, 15);
+            let bit = rng.gen_u8() % 8;
+            if let Some(vm) = vm.as_mut() {
+                vm.adversary().tamper(byte, TamperKind::HashNode { bit });
+            }
+            ctl.inject_tamper(byte, 1);
+            byte
+        }
+        AttackClass::RootSwap => {
+            let layout = *ctl.layout().expect("metadata attacks need a tree");
+            // Two children of the secure root: each was valid in place,
+            // neither is valid in the other's position.
+            let a = layout.chunk_addr(0);
+            let b = layout.chunk_addr(1.min(layout.total_chunks() - 1));
+            if let Some(vm) = vm.as_mut() {
+                let mut adv = vm.adversary();
+                if a == b || adv.observe(src_block(a), len) == adv.observe(src_block(b), len) {
+                    adv.tamper(a, TamperKind::BitFlip { bit: 0 });
+                } else {
+                    adv.tamper(a, TamperKind::CopyFrom { src: b, len });
+                }
+            }
+            ctl.inject_tamper(a, line);
+            a
+        }
+        AttackClass::TimestampFlip => {
+            let layout = *ctl.layout().expect("timestamp attacks need a tree");
+            let chunk = layout.data_chunk_for(target);
+            let ts = timestamp_byte_addr(&layout, chunk).expect("in-memory parent slot");
+            let bit = (rng.gen_u8() as u32 % layout.blocks_per_chunk()) as u8;
+            if let Some(vm) = vm.as_mut() {
+                vm.adversary().tamper(ts, TamperKind::BitFlip { bit });
+            }
+            ctl.inject_tamper(ts, 1);
+            ts
+        }
+    }
+}
+
+/// Identity helper naming the intent at the call site.
+fn src_block(chunk_addr: u64) -> u64 {
+    chunk_addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(scheme: Scheme, attack: AttackClass) -> CellConfig {
+        CellConfig {
+            scheme,
+            attack,
+            trigger: Trigger::AfterTargetTouches { count: 1 },
+            trial: 0,
+            seed: 0xBEEF,
+            data_bytes: 128 << 10,
+            l2_bytes: 16 << 10,
+            line_bytes: 64,
+            working_set: 64 << 10,
+            accesses: 800,
+            write_ratio_pct: 30,
+            capture_events: false,
+        }
+    }
+
+    #[test]
+    fn every_tree_scheme_detects_a_bit_flip() {
+        for scheme in [Scheme::Naive, Scheme::CHash, Scheme::MHash, Scheme::IHash] {
+            let out = run_cell(&quick_cfg(scheme, AttackClass::DataBitFlip));
+            assert!(out.applicable);
+            let inj = out.injection.expect("attack fired");
+            let det = out
+                .detection
+                .unwrap_or_else(|| panic!("{scheme} missed a bit flip"));
+            assert!(det.cycle >= inj.cycle);
+            assert_eq!(det.latency, det.cycle - inj.cycle);
+            assert!(!out.false_alarm);
+        }
+    }
+
+    #[test]
+    fn base_misses_everything_and_controls_stay_silent() {
+        let out = run_cell(&quick_cfg(Scheme::Base, AttackClass::DataBitFlip));
+        assert!(out.applicable);
+        assert!(out.injection.is_some());
+        assert!(out.detection.is_none(), "base cannot detect");
+        assert!(!out.false_alarm);
+        for scheme in Scheme::ALL {
+            let out = run_cell(&quick_cfg(scheme, AttackClass::Control));
+            assert!(out.injection.is_none());
+            assert!(out.detection.is_none());
+            assert!(!out.false_alarm, "{scheme} raised a false alarm");
+        }
+    }
+
+    #[test]
+    fn inapplicable_cells_do_not_run() {
+        let out = run_cell(&quick_cfg(Scheme::CHash, AttackClass::TimestampFlip));
+        assert!(!out.applicable);
+        assert!(out.injection.is_none() && out.detection.is_none());
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let cfg = quick_cfg(Scheme::MHash, AttackClass::Replay);
+        let a = run_cell(&cfg);
+        let b = run_cell(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_and_metadata_attacks_are_caught() {
+        for attack in [
+            AttackClass::Replay,
+            AttackClass::HashNodeCorrupt,
+            AttackClass::RootSwap,
+            AttackClass::Splice,
+        ] {
+            let out = run_cell(&quick_cfg(Scheme::CHash, attack));
+            assert!(
+                out.detection.is_some(),
+                "chash missed {attack} (injection: {:?})",
+                out.injection
+            );
+        }
+        let out = run_cell(&quick_cfg(Scheme::IHash, AttackClass::TimestampFlip));
+        assert!(out.detection.is_some(), "ihash missed the timestamp flip");
+    }
+
+    #[test]
+    fn event_capture_includes_violations() {
+        let mut cfg = quick_cfg(Scheme::CHash, AttackClass::DataBitFlip);
+        cfg.capture_events = true;
+        let out = run_cell(&cfg);
+        let events = out.events.expect("captured");
+        assert!(events.recorded > 0);
+        if out
+            .detection
+            .is_some_and(|d| d.detector == Detector::Timing)
+        {
+            assert!(
+                events
+                    .records
+                    .iter()
+                    .any(|r| r.event.kind() == "integrity_violation"),
+                "timing detections must appear in the event trace"
+            );
+        }
+    }
+}

@@ -662,6 +662,8 @@ impl VerifiedMemory {
                 self.stats.chunk_verifications,
                 SimEvent::IntegrityViolation {
                     addr: self.layout.chunk_addr(chunk),
+                    chunk,
+                    scheme: self.protection.scheme_name(),
                 },
             );
             return Err(IntegrityError::new(

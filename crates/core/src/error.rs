@@ -13,6 +13,7 @@ pub struct IntegrityError {
     chunk: u64,
     addr: u64,
     scheme: &'static str,
+    cycle: Option<u64>,
 }
 
 impl IntegrityError {
@@ -21,7 +22,17 @@ impl IntegrityError {
             chunk,
             addr,
             scheme,
+            cycle: None,
         }
+    }
+
+    /// Stamps the access cycle (or operation index) at which the
+    /// violation was detected — the raw material for detection-latency
+    /// measurement. Functional-engine errors carry no cycle by default;
+    /// harnesses that know *when* the failing access ran attach it here.
+    pub fn with_cycle(mut self, cycle: u64) -> Self {
+        self.cycle = Some(cycle);
+        self
     }
 
     /// The chunk whose verification failed.
@@ -38,6 +49,11 @@ impl IntegrityError {
     pub fn scheme(&self) -> &'static str {
         self.scheme
     }
+
+    /// The access cycle at detection, when known.
+    pub fn cycle(&self) -> Option<u64> {
+        self.cycle
+    }
 }
 
 impl fmt::Display for IntegrityError {
@@ -46,7 +62,11 @@ impl fmt::Display for IntegrityError {
             f,
             "memory integrity violation in chunk {} at address {:#x} ({} check failed)",
             self.chunk, self.addr, self.scheme
-        )
+        )?;
+        if let Some(cycle) = self.cycle {
+            write!(f, " at cycle {cycle}")?;
+        }
+        Ok(())
     }
 }
 
@@ -68,5 +88,19 @@ mod tests {
         // Error trait object usable.
         let boxed: Box<dyn std::error::Error> = Box::new(e);
         assert!(!boxed.to_string().is_empty());
+    }
+
+    #[test]
+    fn cycle_is_optional_and_extends_display() {
+        let bare = IntegrityError::new(3, 0x80, "mac");
+        assert_eq!(bare.cycle(), None);
+        assert!(!bare.to_string().contains("cycle"));
+        let stamped = bare.clone().with_cycle(12_345);
+        assert_eq!(stamped.cycle(), Some(12_345));
+        assert!(stamped.to_string().ends_with("at cycle 12345"));
+        // Stamping does not disturb the original accessors.
+        assert_eq!(stamped.chunk(), bare.chunk());
+        assert_eq!(stamped.addr(), bare.addr());
+        assert_eq!(stamped.scheme(), bare.scheme());
     }
 }

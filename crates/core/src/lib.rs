@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod dma;
 pub mod engine;
 pub mod error;
@@ -59,9 +60,12 @@ pub mod timing;
 pub mod trusted_cache;
 pub mod xom;
 
+pub use adversary::{parent_slot_addr, timestamp_byte_addr, Adversary, Snapshot, TamperKind};
 pub use engine::{EngineStats, MemoryBuilder, Protection, VerifiedMemory};
 pub use error::IntegrityError;
 pub use layout::{ParentRef, TreeLayout};
 pub use observe::HashUnitObserver;
-pub use storage::{Adversary, Snapshot, TamperKind, UntrustedMemory};
-pub use timing::{CheckerConfig, CheckerEvent, CheckerStats, L2Controller, Scheme};
+pub use storage::UntrustedMemory;
+pub use timing::{
+    CheckerConfig, CheckerEvent, CheckerStats, L2Controller, Scheme, TamperDetection,
+};

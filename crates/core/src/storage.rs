@@ -7,8 +7,14 @@
 //! flip bits, overwrite blocks, relocate data between addresses, and
 //! mount **replay attacks** (snapshot a region, let the program update it,
 //! then restore the stale bytes — exactly the §4.4 attack on XOM).
+//!
+//! The attack vocabulary itself lives in [`crate::adversary`] (it is
+//! shared with the campaign engine); the historical paths
+//! `storage::{Adversary, Snapshot, TamperKind}` remain as re-exports.
 
 use std::fmt;
+
+pub use crate::adversary::{Adversary, Snapshot, TamperKind};
 
 /// Untrusted off-chip memory: a flat byte array the adversary controls.
 ///
@@ -98,102 +104,6 @@ impl UntrustedMemory {
     }
 }
 
-/// A saved copy of a memory region, for replay attacks.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Snapshot {
-    addr: u64,
-    data: Vec<u8>,
-}
-
-impl Snapshot {
-    /// The region's starting address.
-    pub fn addr(&self) -> u64 {
-        self.addr
-    }
-
-    /// The saved bytes.
-    pub fn data(&self) -> &[u8] {
-        &self.data
-    }
-}
-
-/// A single tampering action.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TamperKind {
-    /// Flip one bit of the byte at the target address.
-    BitFlip {
-        /// Bit position 0–7.
-        bit: u8,
-    },
-    /// Overwrite with attacker-chosen bytes.
-    Replace {
-        /// Replacement data.
-        data: Vec<u8>,
-    },
-    /// Copy bytes from another (attacker-chosen) address — the relocation
-    /// attack XOM defeats by hashing the address, and the tree defeats by
-    /// position-binding every chunk.
-    CopyFrom {
-        /// Source address.
-        src: u64,
-        /// Number of bytes.
-        len: usize,
-    },
-}
-
-/// Attacker's-eye view of an [`UntrustedMemory`].
-///
-/// The adversary sees and modifies raw bytes without going through any
-/// verification. Obtain one from the functional engine's
-/// `adversary()` accessor.
-#[derive(Debug)]
-pub struct Adversary<'a> {
-    mem: &'a mut UntrustedMemory,
-}
-
-impl<'a> Adversary<'a> {
-    /// Wraps a memory in an adversary view.
-    pub fn new(mem: &'a mut UntrustedMemory) -> Self {
-        Adversary { mem }
-    }
-
-    /// Observes raw memory (the adversary can always read the bus).
-    pub fn observe(&mut self, addr: u64, len: usize) -> Vec<u8> {
-        self.mem.read_vec(addr, len)
-    }
-
-    /// Applies a tampering action at `addr`.
-    pub fn tamper(&mut self, addr: u64, kind: TamperKind) {
-        match kind {
-            TamperKind::BitFlip { bit } => {
-                assert!(bit < 8, "bit index out of range");
-                let mut byte = [0u8];
-                self.mem.read(addr, &mut byte);
-                byte[0] ^= 1 << bit;
-                self.mem.write(addr, &byte);
-            }
-            TamperKind::Replace { data } => self.mem.write(addr, &data),
-            TamperKind::CopyFrom { src, len } => {
-                let data = self.mem.read_vec(src, len);
-                self.mem.write(addr, &data);
-            }
-        }
-    }
-
-    /// Records a region for a later replay.
-    pub fn snapshot(&mut self, addr: u64, len: usize) -> Snapshot {
-        Snapshot {
-            addr,
-            data: self.mem.read_vec(addr, len),
-        }
-    }
-
-    /// Restores a previously-saved region — the replay attack.
-    pub fn replay(&mut self, snapshot: &Snapshot) {
-        self.mem.write(snapshot.addr, &snapshot.data);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,45 +121,14 @@ mod tests {
     }
 
     #[test]
-    fn bit_flip() {
+    fn reexported_adversary_surface_still_reachable() {
+        // Back-compat: the adversary surface moved to `crate::adversary`
+        // but the `storage::` paths must keep working.
         let mut mem = UntrustedMemory::new(64);
-        mem.write(5, &[0b1010_1010]);
+        mem.write(5, &[0xFF]);
         let mut adv = Adversary::new(&mut mem);
         adv.tamper(5, TamperKind::BitFlip { bit: 0 });
-        assert_eq!(adv.observe(5, 1), vec![0b1010_1011]);
-    }
-
-    #[test]
-    fn replace_and_copy() {
-        let mut mem = UntrustedMemory::new(64);
-        mem.write(0, b"AAAA");
-        mem.write(32, b"BBBB");
-        let mut adv = Adversary::new(&mut mem);
-        adv.tamper(0, TamperKind::CopyFrom { src: 32, len: 4 });
-        assert_eq!(adv.observe(0, 4), b"BBBB");
-        adv.tamper(
-            0,
-            TamperKind::Replace {
-                data: b"CC".to_vec(),
-            },
-        );
-        assert_eq!(adv.observe(0, 4), b"CCBB");
-    }
-
-    #[test]
-    fn snapshot_replay() {
-        let mut mem = UntrustedMemory::new(64);
-        mem.write(8, b"old!");
-        let snap = {
-            let mut adv = Adversary::new(&mut mem);
-            adv.snapshot(8, 4)
-        };
-        mem.write(8, b"new!");
-        let mut adv = Adversary::new(&mut mem);
-        adv.replay(&snap);
-        assert_eq!(adv.observe(8, 4), b"old!");
-        assert_eq!(snap.addr(), 8);
-        assert_eq!(snap.data(), b"old!");
+        assert_eq!(adv.observe(5, 1), vec![0xFE]);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! issued checks finish — which crypto-barrier instructions wait for.
 //! The `block_on_verify` option disables speculation (an ablation).
 
+use std::collections::HashSet;
+
 use miv_cache::{
     Cache, CacheConfig, CacheObserver, CacheStats, Eviction, LineKind, ReplacementPolicy,
 };
@@ -247,6 +249,21 @@ pub enum CheckerEvent {
     },
 }
 
+/// One tampering detection recorded by the timing checker: a background
+/// verification that covered an adversary-corrupted memory block (or a
+/// chunk whose incremental MAC was poisoned by an unchecked old-value
+/// read, §5.4) and therefore fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TamperDetection {
+    /// Cycle the failing verification completed — when the exception of
+    /// §5.8 would be raised.
+    pub cycle: Cycle,
+    /// Chunk whose check failed.
+    pub chunk: u64,
+    /// Physical block address implicated.
+    pub addr: u64,
+}
+
 /// A pool of buffer entries, each held until a completion time.
 ///
 /// `acquire` *reserves* a slot immediately (marking it busy forever until
@@ -344,6 +361,15 @@ pub struct L2Controller {
     pending: Vec<(Cycle, Eviction)>,
     /// Optional event log (enabled by [`enable_probe`](Self::enable_probe)).
     probe: Option<Vec<CheckerEvent>>,
+    /// Adversary-corrupted memory blocks not yet overwritten by a
+    /// write-back (the timing model carries no bytes, so tampering is
+    /// tracked as taint; membership-only use keeps runs deterministic).
+    tainted: HashSet<u64>,
+    /// Chunks whose incremental MAC was updated from a tainted old value
+    /// (the §5.4 unchecked read): every later full check of them fails.
+    mac_inconsistent: HashSet<u64>,
+    /// Tamper detections recorded so far, in recording order.
+    detections: Vec<TamperDetection>,
     /// Telemetry: uncached tree levels walked per demand-miss check.
     walk_depth: Histogram,
     /// Telemetry: typed event stream (misses, walks, write-backs).
@@ -391,6 +417,9 @@ impl L2Controller {
             stats: CheckerStats::default(),
             pending: Vec::new(),
             probe: None,
+            tainted: HashSet::new(),
+            mac_inconsistent: HashSet::new(),
+            detections: Vec::new(),
             walk_depth: Histogram::disabled(),
             events: EventSink::disabled(),
             config,
@@ -481,6 +510,61 @@ impl L2Controller {
         self.verify_horizon
     }
 
+    /// Marks `len` bytes of untrusted memory at physical address `phys`
+    /// as adversary-corrupted — the injection hook between the checker
+    /// and memory. Every block overlapping the range carries taint until
+    /// the checker itself overwrites it; a verification that covers a
+    /// tainted block records a [`TamperDetection`] (and an
+    /// `integrity_violation` event) at its completion cycle.
+    ///
+    /// [`Scheme::Base`] never verifies, so it never detects.
+    pub fn inject_tamper(&mut self, phys: u64, len: u64) {
+        let line = self.line_bytes();
+        let first = phys & !(line - 1);
+        let last = (phys + len.max(1) - 1) & !(line - 1);
+        let mut b = first;
+        loop {
+            self.tainted.insert(b);
+            if b == last {
+                break;
+            }
+            b += line;
+        }
+    }
+
+    /// Tamper detections recorded so far, in recording order.
+    pub fn tamper_detections(&self) -> &[TamperDetection] {
+        &self.detections
+    }
+
+    /// The detection with the earliest completion cycle, if any.
+    pub fn first_detection(&self) -> Option<TamperDetection> {
+        self.detections.iter().copied().min_by_key(|d| d.cycle)
+    }
+
+    /// Writes every dirty L2 line back through the scheme's verified
+    /// write-back path and drops the whole cache — the timing-side
+    /// counterpart of [`VerifiedMemory::clear_cache`] (a context switch
+    /// or cache-flush instruction). Returns the cycle by which the flush
+    /// traffic has been issued and verified.
+    ///
+    /// Clean tainted lines are simply dropped: the corruption stays in
+    /// memory and is caught (and timed) by the next fetch. Dirty lines
+    /// go through the normal write-back machinery first, which checks
+    /// old content *before* overwriting it, so taint under a dirty line
+    /// is detected rather than silently healed.
+    ///
+    /// [`VerifiedMemory::clear_cache`]: crate::engine::VerifiedMemory::clear_cache
+    pub fn quiesce(&mut self, now: Cycle) -> Cycle {
+        for ev in self.l2.flush() {
+            if ev.dirty {
+                self.pending.push((now, ev));
+            }
+        }
+        self.drain_writebacks();
+        self.verify_horizon.max(now)
+    }
+
     /// Clears all statistics for warm-up/measurement separation. Cache
     /// contents are kept; the bus and hash-unit pipelines are drained
     /// (safe because all future requests carry later timestamps, so an
@@ -553,6 +637,7 @@ impl L2Controller {
                 Scheme::Base => {
                     self.bus
                         .write(t, self.line_bytes(), class_for(ev.kind, false));
+                    self.clear_taint(ev.addr);
                 }
                 Scheme::Naive => self.writeback_naive(t, ev.addr),
                 _ => self.writeback_cached_tree(t, ev),
@@ -619,12 +704,13 @@ impl L2Controller {
         let mut level_arrival = vstart;
         let mut verify_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
         self.stats.verifications += 1;
+        let mut covered = vec![self.block_addr(phys)];
         for ancestor in layout.path_to_root(chunk) {
-            let _ = ancestor;
             depth += 1;
             self.stats.hash_fetches += self.blocks_per_chunk();
             let mut chunk_arrival = level_arrival;
-            for _ in 0..self.blocks_per_chunk() {
+            for j in 0..self.blocks_per_chunk() {
+                covered.push(layout.chunk_addr(ancestor) + j * self.line_bytes());
                 let t = self.bus.read(t0, self.line_bytes(), TrafficClass::HashRead);
                 chunk_arrival = chunk_arrival.max(t.complete);
             }
@@ -642,6 +728,9 @@ impl L2Controller {
                 reached_root: true,
             },
         );
+        // The naive walk re-reads the demand block and every ancestor
+        // from memory, so corruption anywhere on the path fails here.
+        self.verify_tamper(verify_done, chunk, &covered);
         self.read_buf.occupy(slot, verify_done);
         self.note_verification(verify_done);
 
@@ -664,13 +753,17 @@ impl L2Controller {
         let data_written = self
             .bus
             .write(start, self.line_bytes(), TrafficClass::DataWrite);
+        let block = self.block_addr(phys);
+        self.clear_taint(block);
         let mut done = data_written.complete.max(prev_hash_done);
-        for _ancestor in layout.path_to_root(chunk) {
+        for ancestor in layout.path_to_root(chunk) {
             // Fetch the ancestor, splice in the child's new hash, verify
             // the old content, write it back.
             self.stats.hash_fetches += self.blocks_per_chunk();
             let mut arrival = start;
-            for _ in 0..self.blocks_per_chunk() {
+            let mut blocks = Vec::new();
+            for j in 0..self.blocks_per_chunk() {
+                blocks.push(layout.chunk_addr(ancestor) + j * self.line_bytes());
                 let t = self
                     .bus
                     .read(start, self.line_bytes(), TrafficClass::HashRead);
@@ -678,6 +771,12 @@ impl L2Controller {
             }
             self.stats.verifications += 1;
             let verified = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
+            // The old ancestor content is checked before the rewrite, so
+            // taint on it is detected *before* the write-back heals it.
+            self.verify_tamper(verified, ancestor, &blocks);
+            for &b in &blocks {
+                self.clear_taint(b);
+            }
             let rehash =
                 self.schedule_chunk_hash(verified.max(prev_hash_done), layout.chunk_bytes());
             let wb = self
@@ -726,10 +825,12 @@ impl L2Controller {
         // the arriving data, not the issue of the request.
         let mut demand_arrival = t0;
         let mut chunk_arrival = t0;
+        let mut gathered = Vec::new();
         for j in 0..layout.blocks_per_chunk() {
             let b = layout.chunk_addr(chunk) + j as u64 * self.line_bytes();
             let resident_clean = self.l2.dirty(b) == Some(false);
             if b == block || !resident_clean {
+                gathered.push(b);
                 let class = if b == block {
                     self.stats.data_fetches += 1;
                     TrafficClass::DataRead
@@ -788,6 +889,10 @@ impl L2Controller {
             chunk,
             done: verify_done,
         });
+        // Only the blocks actually read from memory can expose taint;
+        // resident-clean blocks are served from the (trusted) cache and
+        // their corrupted memory copies wait for a later refetch.
+        self.verify_tamper(verify_done, chunk, &gathered);
         self.note_verification(verify_done);
 
         if self.config.block_on_verify {
@@ -826,10 +931,12 @@ impl L2Controller {
                 // them as hash lines, verify the parent in the background.
                 let mut arrival = t;
                 let mut slot_arrival = t;
+                let mut gathered = Vec::new();
                 for j in 0..layout.blocks_per_chunk() {
                     let b = layout.chunk_addr(parent) + j as u64 * self.line_bytes();
                     let resident_clean = self.l2.dirty(b) == Some(false);
                     if b == slot_block || !resident_clean {
+                        gathered.push(b);
                         self.stats.hash_fetches += 1;
                         let bt = self.bus.read(t, self.line_bytes(), TrafficClass::HashRead);
                         self.emit(CheckerEvent::HashFetch {
@@ -866,6 +973,9 @@ impl L2Controller {
                     chunk: parent,
                     done: verify_done,
                 });
+                // Corrupted hash-chunk blocks (metadata attacks) fail the
+                // parent's own verification here.
+                self.verify_tamper(verify_done, parent, &gathered);
                 self.note_verification(verify_done);
                 (slot_ready, depth + 1, reached_root)
             }
@@ -887,6 +997,13 @@ impl L2Controller {
             let old = self
                 .bus
                 .read(start, self.line_bytes(), class_for(ev.kind, true));
+            // The old-value read is *unchecked* (the scheme's whole
+            // advantage): a tainted old value silently poisons the
+            // incremental MAC update, so the corruption migrates from the
+            // block to the chunk's MAC and every later full check fails.
+            if self.tainted.remove(&ev.addr) {
+                self.mac_inconsistent.insert(chunk);
+            }
             // h(old) and h(new): two block-sized hash computations.
             let upd = self
                 .engine
@@ -909,11 +1026,13 @@ impl L2Controller {
         // in the parent through a normal Write.
         let mut arrival = start;
         let mut fetched = 0u64;
+        let mut gathered = Vec::new();
         for j in 0..layout.blocks_per_chunk() {
             let b = layout.chunk_addr(chunk) + j as u64 * self.line_bytes();
             if b != ev.addr && !self.l2.contains(b) {
                 self.stats.extra_data_fetches += 1;
                 fetched += 1;
+                gathered.push(b);
                 let bt = self
                     .bus
                     .read(start, self.line_bytes(), class_for(ev.kind, true));
@@ -925,8 +1044,17 @@ impl L2Controller {
             self.stats.verifications += 1;
             let h = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
             let (p, _, _) = self.fetch_slot(arrival, chunk, false);
-            self.note_verification(h.max(p));
+            let checked = h.max(p);
+            self.verify_tamper(checked, chunk, &gathered);
+            self.note_verification(checked);
         }
+        // Gathered blocks are sealed into the new chunk hash as read, and
+        // the evicted block overwrites its memory copy: any remaining
+        // taint on either is no longer observable through this chunk.
+        for &b in &gathered {
+            self.clear_taint(b);
+        }
+        self.clear_taint(ev.addr);
 
         // Write the evicted (dirty) block; sibling dirty blocks stay
         // cached and are written on their own evictions — the hardware
@@ -985,6 +1113,39 @@ impl L2Controller {
 
     fn note_verification(&mut self, done: Cycle) {
         self.verify_horizon = self.verify_horizon.max(done);
+    }
+
+    /// Flags a verification of `chunk` completing at `at` that covered
+    /// the given memory `blocks`: if any of them carries taint — or the
+    /// chunk's MAC is inconsistent from a poisoned incremental update —
+    /// the check fails against the corrupted bytes and the detection is
+    /// recorded. Taint is *not* cleared here: the corruption stays in
+    /// memory and keeps failing until a write-back overwrites it.
+    fn verify_tamper(&mut self, at: Cycle, chunk: u64, blocks: &[u64]) {
+        let hit = blocks.iter().copied().find(|b| self.tainted.contains(b));
+        if hit.is_none() && !self.mac_inconsistent.contains(&chunk) {
+            return;
+        }
+        let addr = hit.unwrap_or_else(|| self.layout.map_or(0, |l| l.chunk_addr(chunk)));
+        self.detections.push(TamperDetection {
+            cycle: at,
+            chunk,
+            addr,
+        });
+        self.events.record(
+            at,
+            SimEvent::IntegrityViolation {
+                addr,
+                chunk,
+                scheme: self.config.scheme.label(),
+            },
+        );
+    }
+
+    /// The checker overwrote `block` in memory: any taint it carried is
+    /// gone (healed without detection if no check consumed it first).
+    fn clear_taint(&mut self, block: u64) {
+        self.tainted.remove(&block);
     }
 
     fn line_bytes(&self) -> u64 {
@@ -1308,6 +1469,148 @@ mod tests {
             CacheConfig::l2(1 << 20, 64),
             MemoryBusConfig::default(),
         );
+    }
+
+    #[test]
+    fn tainted_block_detected_when_verified() {
+        for scheme in [Scheme::Naive, Scheme::CHash, Scheme::MHash, Scheme::IHash] {
+            let mut c = controller(scheme, 256, 64);
+            let layout = *c.layout().unwrap();
+            let phys = layout.data_phys_addr(0x4000);
+            c.inject_tamper(phys, 1);
+            let ready = c.access(0, 0x4000, false, false);
+            assert!(ready > 0);
+            let det = c.first_detection().unwrap_or_else(|| {
+                panic!("{scheme} must detect a tainted demand block");
+            });
+            assert_eq!(det.chunk, layout.chunk_of_addr(phys));
+            assert_eq!(det.addr, phys & !63);
+            assert!(
+                det.cycle <= c.verification_horizon(),
+                "detection is a completed verification"
+            );
+        }
+    }
+
+    #[test]
+    fn tainted_hash_node_detected_by_parent_check() {
+        let mut c = controller(Scheme::CHash, 256, 64);
+        let layout = *c.layout().unwrap();
+        let leaf = layout.data_chunk_for(0x4000);
+        let slot = crate::adversary::parent_slot_addr(&layout, leaf).expect("leaf has a slot");
+        c.inject_tamper(slot, 1);
+        c.access(0, 0x4000, false, false);
+        let det = c.first_detection().expect("metadata corruption detected");
+        assert!(
+            layout.is_hash_chunk(det.chunk),
+            "the failing check is on a hash chunk (got chunk {})",
+            det.chunk
+        );
+    }
+
+    #[test]
+    fn base_never_detects_tamper() {
+        let mut c = controller(Scheme::Base, 256, 64);
+        c.inject_tamper(0x4000, 64);
+        c.access(0, 0x4000, false, false);
+        assert!(c.first_detection().is_none());
+        assert!(c.tamper_detections().is_empty());
+    }
+
+    #[test]
+    fn full_overwrite_heals_taint_without_detection() {
+        let mut c = controller(Scheme::CHash, 8, 64);
+        let layout = *c.layout().unwrap();
+        let phys = layout.data_phys_addr(0x1000);
+        c.inject_tamper(phys, 64);
+        // Whole-line overwrite allocates dirty without a fetch or check;
+        // its eventual write-back replaces the corrupted memory bytes.
+        let mut now = c.access(0, 0x1000, true, true);
+        for i in 0..2000u64 {
+            now = c.access(now, (0x2000 + i * 64 * 131) % (4 << 20), false, false);
+        }
+        // The dirty line is long evicted; re-reading verifies cleanly.
+        c.access(now, 0x1000, false, false);
+        assert!(c.first_detection().is_none(), "healed taint never fires");
+    }
+
+    #[test]
+    fn ihash_unchecked_old_read_poisons_the_mac() {
+        let mut cfg = CheckerConfig::hpca03(Scheme::IHash);
+        cfg.chunk_bytes = 128;
+        cfg.protected_bytes = 16 << 20;
+        let mut c = L2Controller::new(
+            cfg,
+            CacheConfig::l2(8 << 10, 64),
+            MemoryBusConfig::default(),
+        );
+        let layout = *c.layout().unwrap();
+        let phys = layout.data_phys_addr(0);
+        // Dirty the block, corrupt its memory copy, thrash until the
+        // dirty line is evicted: the write-back reads the tainted old
+        // value *unchecked* and poisons the incremental MAC.
+        let mut now = c.access(0, 0, true, false);
+        c.inject_tamper(phys, 1);
+        let before = c.tamper_detections().len();
+        for i in 1..2000u64 {
+            // Thrash a region well away from chunk 0 so the only check of
+            // the poisoned chunk is the explicit re-read below.
+            now = c.access(now, 0x10_0000 + (i * 64 * 4099) % (4 << 20), true, false);
+        }
+        // Re-reading the chunk runs a full check against the bad MAC.
+        c.access(now, 0, false, false);
+        let after = c.tamper_detections();
+        assert!(after.len() > before, "poisoned MAC must eventually fail");
+        let det = after.last().unwrap();
+        assert_eq!(det.chunk, layout.chunk_of_addr(phys));
+    }
+
+    #[test]
+    fn quiesce_drops_residency_so_the_next_access_checks_memory() {
+        let mut c = controller(Scheme::CHash, 256, 64);
+        let layout = *c.layout().unwrap();
+        let phys = layout.data_phys_addr(0x4000);
+        // Warm the line, then corrupt its memory copy: hits are served
+        // from the (valid) resident line, so nothing fires.
+        let mut now = c.access(0, 0x4000, false, false);
+        c.inject_tamper(phys, 1);
+        now = c.access(now, 0x4000, false, false);
+        assert!(c.first_detection().is_none(), "resident hits mask taint");
+        // Quiescing drops the clean line without healing the memory;
+        // the re-fetch must verify the tainted bytes and fire.
+        now = c.quiesce(now);
+        assert_eq!(c.l2_occupancy(), (0, 0), "quiesce empties the L2");
+        c.access(now, 0x4000, false, false);
+        let det = c.first_detection().expect("refetch detects");
+        assert_eq!(det.addr, phys & !63);
+    }
+
+    #[test]
+    fn quiesce_writes_dirty_lines_back_and_detects_under_them() {
+        // A dirty line whose *sibling* (same chunk, mhash) is corrupted
+        // in memory: the quiesce write-back gathers the sibling, checks
+        // the old chunk content, and fires before overwriting anything.
+        let mut cfg = CheckerConfig::hpca03(Scheme::MHash);
+        cfg.chunk_bytes = 128;
+        cfg.protected_bytes = 16 << 20;
+        let mut c = L2Controller::new(
+            cfg,
+            CacheConfig::l2(8 << 10, 64),
+            MemoryBusConfig::default(),
+        );
+        let layout = *c.layout().unwrap();
+        let now = c.access(0, 0x8000, true, false);
+        let sibling = layout.data_phys_addr(0x8000) ^ 64;
+        c.inject_tamper(sibling, 1);
+        let done = c.quiesce(now);
+        assert!(done >= now);
+        assert!(
+            c.first_detection().is_some(),
+            "dirty write-back must check the tainted sibling first"
+        );
+        // The write-back walk may re-cache hash lines it fetched, but no
+        // data line survives a quiesce.
+        assert_eq!(c.l2_occupancy().0, 0);
     }
 
     #[test]

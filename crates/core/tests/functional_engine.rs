@@ -143,7 +143,7 @@ fn detects_replay_of_stale_data() {
     let snap = mem.adversary().snapshot(phys, 64);
     mem.write(512, b"value-v2........").unwrap();
     mem.clear_cache().unwrap();
-    mem.adversary().replay(&snap);
+    mem.adversary().tamper(snap.addr(), snap.to_rollback());
     assert!(mem.read_vec(512, 16).is_err(), "stale data must not verify");
 }
 
@@ -233,7 +233,7 @@ fn mac_scheme_detects_replay_via_timestamp() {
     mem.write(256, b"v2-payload").unwrap();
     mem.flush().unwrap();
     mem.clear_cache().unwrap();
-    mem.adversary().replay(&snap);
+    mem.adversary().tamper(snap.addr(), snap.to_rollback());
     assert!(mem.read_vec(256, 10).is_err());
 }
 

@@ -81,6 +81,10 @@ pub enum SimEvent {
     IntegrityViolation {
         /// Byte address implicated by the failed check.
         addr: u64,
+        /// Chunk whose verification failed.
+        chunk: u64,
+        /// Stable label of the scheme that detected the violation.
+        scheme: &'static str,
     },
 }
 
@@ -143,8 +147,14 @@ impl EventRecord {
                 o.push("class", class.label());
                 o.push("addr", addr);
             }
-            SimEvent::IntegrityViolation { addr } => {
+            SimEvent::IntegrityViolation {
+                addr,
+                chunk,
+                scheme,
+            } => {
                 o.push("addr", addr);
+                o.push("chunk", chunk);
+                o.push("scheme", scheme);
             }
         }
         o

@@ -1,0 +1,241 @@
+//! Adversary campaigns on the sweep engine: fan the scheme × attack ×
+//! trial grid of a [`CampaignSpec`] out over [`SweepRunner`] workers,
+//! fold the outcomes into a [`CampaignReport`], and render it as the
+//! `figures`-style text report or the `miv-attack-v1` JSON document.
+//!
+//! Cells are plain data and independent, so they ride the same
+//! atomic-index worker pool as the performance sweeps
+//! ([`SweepRunner::run_tasks`]); the report folds outcomes by grid
+//! position rather than completion order, which makes `mivsim attack`
+//! byte-identical at any `--jobs` count.
+
+use miv_adversary::{run_cell, AttackClass, CampaignReport, CampaignSpec, CellOutcome, MatrixCell};
+use miv_obs::{EventTrace, JsonValue};
+
+use crate::report::{f2, Table};
+use crate::sweep::SweepRunner;
+use crate::telemetry::Telemetry;
+
+/// Runs every cell of `spec` on `runner`'s worker pool and returns the
+/// outcomes (grid order) along with their folded report.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    runner: &SweepRunner,
+) -> (Vec<CellOutcome>, CampaignReport) {
+    let cells = spec.cells();
+    let outcomes = runner.run_tasks(&cells, run_cell);
+    let report = CampaignReport::from_outcomes(spec, &outcomes);
+    (outcomes, report)
+}
+
+/// The complete `miv-attack-v1` JSON document: the campaign report plus
+/// the registry-backed metrics export (`attack.*` counters and
+/// per-scheme latency histograms with quantiles).
+pub fn attack_document(spec: &CampaignSpec, report: &CampaignReport) -> JsonValue {
+    let telemetry = Telemetry::new();
+    report.record_into(telemetry.registry());
+    let mut doc = report.to_json(spec);
+    doc.push("metrics", telemetry.aggregate_document());
+    doc
+}
+
+/// Merges the per-cell event-trace snapshots (grid order) into one
+/// bounded trace and returns it as JSONL — the `--trace-events` export.
+pub fn attack_events_jsonl(outcomes: &[CellOutcome]) -> String {
+    let trace = EventTrace::bounded(65_536);
+    for outcome in outcomes {
+        if let Some(snapshot) = &outcome.events {
+            trace.absorb(snapshot);
+        }
+    }
+    trace.to_jsonl()
+}
+
+fn matrix_cell_text(cell: &MatrixCell) -> String {
+    if !cell.applicable {
+        return "-".into();
+    }
+    if cell.false_alarms > 0 {
+        return format!("FALSE({})", cell.false_alarms);
+    }
+    if cell.attack == AttackClass::Control {
+        return "quiet".into();
+    }
+    if cell.expected_detected {
+        if cell.missed > 0 {
+            format!("MISS {}/{}", cell.detected, cell.trials)
+        } else {
+            format!("{}/{}", cell.detected, cell.trials)
+        }
+    } else if cell.detected > 0 {
+        // `base` detecting anything would be a simulator bug.
+        format!("?{}/{}", cell.detected, cell.trials)
+    } else {
+        "blind".into()
+    }
+}
+
+/// Renders the campaign as the text report: the detection-coverage
+/// matrix, the detector breakdown, per-scheme latency percentiles and a
+/// one-line verdict. Pure function of the report, so the output is
+/// identical at any worker count.
+pub fn render_report(spec: &CampaignSpec, report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "adversary campaign: seed {}, {} trials/cell, {} accesses/cell, {} cells run\n\n",
+        spec.seed, spec.trials, spec.accesses, report.cells
+    ));
+
+    out.push_str("detection coverage (detected/trials per scheme × attack):\n");
+    let mut header = vec!["attack".to_string()];
+    header.extend(spec.schemes.iter().map(|s| s.label().to_string()));
+    let mut matrix = Table::new(header);
+    for &attack in &AttackClass::ALL {
+        let mut row = vec![attack.label().to_string()];
+        for &scheme in &spec.schemes {
+            let cell = report
+                .matrix
+                .iter()
+                .find(|c| c.scheme == scheme && c.attack == attack)
+                .expect("matrix covers the full grid");
+            row.push(matrix_cell_text(cell));
+        }
+        matrix.row(row);
+    }
+    out.push_str(&matrix.render());
+
+    out.push_str("\ndetections by detector:\n");
+    let mut detectors = Table::new(vec![
+        "scheme".into(),
+        "timing".into(),
+        "functional".into(),
+        "audit".into(),
+    ]);
+    for &scheme in &spec.schemes {
+        let (mut t, mut f, mut a) = (0u32, 0u32, 0u32);
+        for cell in report.matrix.iter().filter(|c| c.scheme == scheme) {
+            t += cell.by_timing;
+            f += cell.by_functional;
+            a += cell.by_audit;
+        }
+        if t + f + a > 0 {
+            detectors.row(vec![
+                scheme.label().into(),
+                t.to_string(),
+                f.to_string(),
+                a.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&detectors.render());
+
+    out.push_str("\ndetection latency (cycles from injection to failed check):\n");
+    let mut latency = Table::new(vec![
+        "scheme".into(),
+        "detections".into(),
+        "p50".into(),
+        "p90".into(),
+        "p99".into(),
+        "max".into(),
+        "mean".into(),
+    ]);
+    for stats in &report.latency {
+        latency.row(vec![
+            stats.scheme.label().into(),
+            stats.detections.to_string(),
+            stats.p50.to_string(),
+            stats.p90.to_string(),
+            stats.p99.to_string(),
+            stats.max.to_string(),
+            f2(stats.mean),
+        ]);
+    }
+    out.push_str(&latency.render());
+
+    out.push_str(&format!(
+        "\nsummary: {} injections detected, {} expected detections missed, {} false alarms — {}\n",
+        report.detected,
+        report.missed_expected,
+        report.false_alarms,
+        if report.clean() {
+            "CLEAN"
+        } else {
+            "CHECKER HOLE"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miv_core::Scheme;
+
+    fn small_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::quick(7);
+        spec.trials = 1;
+        spec.schemes = vec![Scheme::Base, Scheme::CHash, Scheme::IHash];
+        spec.accesses = 800;
+        spec.data_bytes = 128 << 10;
+        spec.l2_bytes = 16 << 10;
+        spec.working_set = 64 << 10;
+        spec
+    }
+
+    #[test]
+    fn report_identical_at_any_worker_count() {
+        let spec = small_spec();
+        let (_, base_report) = run_campaign(&spec, &SweepRunner::new(1));
+        let base_text = render_report(&spec, &base_report);
+        let base_json = attack_document(&spec, &base_report).render_pretty();
+        for jobs in [2, 4] {
+            let (_, report) = run_campaign(&spec, &SweepRunner::new(jobs));
+            assert_eq!(render_report(&spec, &report), base_text);
+            assert_eq!(attack_document(&spec, &report).render_pretty(), base_json);
+        }
+    }
+
+    #[test]
+    fn verifying_schemes_come_out_clean() {
+        let spec = small_spec();
+        let (outcomes, report) = run_campaign(&spec, &SweepRunner::new(2));
+        assert!(report.clean(), "missed or false-alarmed: {report:?}");
+        assert!(report.detected > 0);
+        // `base` misses everything it's subjected to; that is the
+        // baseline, not a hole.
+        let base_misses: u32 = report
+            .matrix
+            .iter()
+            .filter(|c| c.scheme == Scheme::Base)
+            .map(|c| c.missed)
+            .sum();
+        assert!(base_misses > 0);
+        assert_eq!(outcomes.len(), spec.cells().len());
+        let text = render_report(&spec, &report);
+        assert!(text.contains("CLEAN"));
+        assert!(text.contains("blind"), "base rows render as blind");
+    }
+
+    #[test]
+    fn event_capture_flows_into_jsonl() {
+        let mut spec = small_spec();
+        spec.schemes = vec![Scheme::CHash];
+        spec.capture_events = true;
+        let (outcomes, _) = run_campaign(&spec, &SweepRunner::new(2));
+        let jsonl = attack_events_jsonl(&outcomes);
+        assert!(!jsonl.is_empty());
+        assert!(jsonl.contains("integrity_violation"));
+    }
+
+    #[test]
+    fn json_document_embeds_registry_metrics() {
+        let spec = small_spec();
+        let (_, report) = run_campaign(&spec, &SweepRunner::new(2));
+        let doc = attack_document(&spec, &report);
+        let text = doc.render_pretty();
+        assert!(text.contains("\"schema\": \"miv-attack-v1\""));
+        assert!(text.contains("attack.latency.chash"));
+        let metrics = doc.get("metrics").expect("embedded metrics");
+        assert!(metrics.get("counters").is_some());
+    }
+}

@@ -13,6 +13,9 @@
 //! # sweep all schemes over one workload, JSON to stdout
 //! mivsim sweep --bench mcf --l2 256K --json
 //!
+//! # scripted adversary campaign: coverage matrix + detection latency
+//! mivsim attack --quick --seed 7 --jobs 2 --metrics-out attack.json
+//!
 //! # record 1M instructions of a benchmark trace to a file, then replay it
 //! mivsim record --bench gzip --count 1000000 --out gzip.trc
 //! mivsim run --scheme naive --trace gzip.trc --working-set 640K
@@ -22,9 +25,11 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use miv_adversary::CampaignSpec;
 use miv_core::timing::Scheme;
 use miv_hash::Throughput;
 use miv_obs::JsonValue;
+use miv_sim::attack::{attack_document, attack_events_jsonl, render_report, run_campaign};
 use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
 use miv_sim::report::{f2, f3, pct, Table};
 use miv_sim::telemetry::Sample;
@@ -37,6 +42,7 @@ usage: mivsim [command] [options]
 commands (default: run):
   run      simulate one configuration
   sweep    simulate every scheme on one configuration
+  attack   run the scripted adversary campaign (coverage + latency)
   record   write a synthetic benchmark trace to a file
 
 options:
@@ -57,7 +63,10 @@ options:
   --block-on-verify       disable speculative use of unverified data
   --no-write-alloc-opt    disable the whole-line overwrite optimization
   --count N / --out FILE  (record)
+  --quick                 (attack) CI-sized campaign: 2 trials/cell,
+                          2500 accesses (default: 5 trials, 20000)
   --json                  emit results as JSON instead of a table
+                          (attack: the miv-attack-v1 document)
   --metrics-out PATH      write a miv-metrics-v1 JSON summary (registry
                           counters, histograms with quantiles, samples)
   --trace-events PATH     write the simulation event stream as JSONL
@@ -86,6 +95,7 @@ struct Options {
     write_alloc_opt: bool,
     count: u64,
     out: Option<String>,
+    quick: bool,
     json: bool,
     metrics_out: Option<String>,
     trace_events: Option<String>,
@@ -122,6 +132,7 @@ impl Options {
             write_alloc_opt: true,
             count: 1_000_000,
             out: None,
+            quick: false,
             json: false,
             metrics_out: None,
             trace_events: None,
@@ -184,6 +195,7 @@ impl Options {
                 "--no-write-alloc-opt" => o.write_alloc_opt = false,
                 "--count" => o.count = value("--count")?.parse().map_err(|_| "bad --count")?,
                 "--out" => o.out = Some(value("--out")?),
+                "--quick" => o.quick = true,
                 "--json" => o.json = true,
                 "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
                 "--trace-events" => o.trace_events = Some(value("--trace-events")?),
@@ -438,6 +450,39 @@ fn main() -> ExitCode {
             match &telemetry {
                 Some(t) => opts.write_telemetry(t, None, &[]),
                 None => Ok(()),
+            }
+        })(),
+        "attack" => (|| {
+            let mut spec = if opts.quick {
+                CampaignSpec::quick(opts.seed)
+            } else {
+                CampaignSpec::full(opts.seed)
+            };
+            spec.capture_events = opts.trace_events.is_some();
+            let runner = SweepRunner::new(opts.jobs);
+            let (outcomes, report) = run_campaign(&spec, &runner);
+            if opts.json {
+                println!("{}", attack_document(&spec, &report).render_pretty());
+            } else {
+                print!("{}", render_report(&spec, &report));
+            }
+            if let Some(path) = &opts.metrics_out {
+                let doc = attack_document(&spec, &report);
+                std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = &opts.trace_events {
+                std::fs::write(path, attack_events_jsonl(&outcomes))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if report.clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "campaign failed: {} expected detections missed, {} false alarms",
+                    report.missed_expected, report.false_alarms
+                ))
             }
         })(),
         "record" => (|| {

@@ -216,22 +216,40 @@ impl SweepRunner {
     /// in any run (e.g. a working set exceeding the protected segment)
     /// propagates to the caller when the scope joins.
     pub fn run(&self, requests: &[RunRequest]) -> Vec<RunOutcome> {
-        let workers = self.jobs.min(requests.len());
+        self.run_tasks(requests, |r| self.execute(r))
+    }
+
+    /// The generic engine behind [`run`](Self::run): executes `exec`
+    /// over every task on this runner's worker pool and returns the
+    /// results in task order.
+    ///
+    /// Tasks must be independent (workers pull them off a shared atomic
+    /// index in unspecified order) and `exec` must be a pure function of
+    /// its task for the task-order result to be scheduling-independent.
+    /// Other crates' grids — e.g. the adversary campaign's scheme ×
+    /// attack cells — fan out through this without reimplementing the
+    /// pool.
+    pub fn run_tasks<T, R, F>(&self, tasks: &[T], exec: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(tasks.len());
         if workers <= 1 {
-            return requests.iter().map(|r| self.execute(r)).collect();
+            return tasks.iter().map(exec).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutcome>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(request) = requests.get(i) else {
+                    let Some(task) = tasks.get(i) else {
                         break;
                     };
-                    let outcome = self.execute(request);
-                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                    let result = exec(task);
+                    *slots[i].lock().expect("slot lock") = Some(result);
                 });
             }
         });
@@ -240,7 +258,7 @@ impl SweepRunner {
             .map(|slot| {
                 slot.into_inner()
                     .expect("slot lock")
-                    .expect("every request executed")
+                    .expect("every task executed")
             })
             .collect()
     }
@@ -325,6 +343,19 @@ mod tests {
         let reqs = &requests()[..2];
         let outcomes = SweepRunner::new(16).run(reqs);
         assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn run_tasks_keeps_task_order_at_any_worker_count() {
+        let tasks: Vec<u64> = (0..97).collect();
+        let exec = |t: &u64| t * t + 1;
+        let seq = SweepRunner::new(1).run_tasks(&tasks, exec);
+        for jobs in [2, 3, 8, 128] {
+            assert_eq!(SweepRunner::new(jobs).run_tasks(&tasks, exec), seq);
+        }
+        assert_eq!(seq[10], 101);
+        let empty: Vec<u64> = Vec::new();
+        assert!(SweepRunner::new(4).run_tasks(&empty, exec).is_empty());
     }
 
     #[test]
