@@ -92,6 +92,13 @@ impl Harness {
         }
     }
 
+    /// Sets the per-benchmark time budget (default 200 ms). Quick/CI
+    /// modes shrink it; the calibration floor still guarantees a
+    /// timeable batch.
+    pub fn set_target(&mut self, target: Duration) {
+        self.target = target;
+    }
+
     fn skip(&self, name: &str) -> bool {
         self.filter.as_deref().is_some_and(|f| !name.contains(f))
     }
@@ -145,7 +152,9 @@ impl Harness {
     /// Benchmarks `routine` with a fresh `setup()` value per iteration;
     /// only `routine` is timed. Intended for routines that are
     /// milliseconds long (whole simulation runs), so each iteration is
-    /// timed individually.
+    /// timed individually and the best one is reported — the same
+    /// best-of convention as the batched path, which keeps allocator and
+    /// scheduler noise out of A/B comparisons.
     pub fn bench_with_setup<S, R>(
         &mut self,
         name: &str,
@@ -156,19 +165,18 @@ impl Harness {
             return;
         }
         let mut iters = 0u64;
-        let mut total_ns = 0.0f64;
+        let mut best = f64::INFINITY;
         let mut spent = Duration::ZERO;
         while iters < 3 || (spent < self.target && iters < 1000) {
             let input = setup();
             let t0 = Instant::now();
             std::hint::black_box(routine(input));
             let dt = t0.elapsed();
-            total_ns += dt.as_nanos() as f64;
+            best = best.min(dt.as_nanos() as f64);
             spent += dt;
             iters += 1;
         }
-        let per = total_ns / iters as f64;
-        self.push(name, iters, per, None);
+        self.push(name, iters, best, None);
     }
 
     fn push(&mut self, name: &str, iters: u64, ns_per_iter: f64, bytes: Option<u64>) {

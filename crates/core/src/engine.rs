@@ -73,6 +73,12 @@ pub struct EngineStats {
     /// Write allocations that skipped the fetch+check because the whole
     /// block was overwritten (§5.3 optimization).
     pub alloc_no_fetch: u64,
+    /// Chunk checks satisfied by the verified-path memoization (the chunk
+    /// was already verified in the current quiescent epoch, so no digest
+    /// was recomputed).
+    pub memo_hits: u64,
+    /// Write-backs retired through the batched multi-lane flush path.
+    pub batched_writebacks: u64,
 }
 
 impl EngineStats {
@@ -87,6 +93,8 @@ impl EngineStats {
         self.block_writes += other.block_writes;
         self.writebacks += other.writebacks;
         self.alloc_no_fetch += other.alloc_no_fetch;
+        self.memo_hits += other.memo_hits;
+        self.batched_writebacks += other.batched_writebacks;
     }
 
     /// The component-wise difference `self - earlier`.
@@ -100,6 +108,8 @@ impl EngineStats {
             block_writes: self.block_writes - earlier.block_writes,
             writebacks: self.writebacks - earlier.writebacks,
             alloc_no_fetch: self.alloc_no_fetch - earlier.alloc_no_fetch,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            batched_writebacks: self.batched_writebacks - earlier.batched_writebacks,
         }
     }
 }
@@ -130,6 +140,8 @@ pub struct MemoryBuilder {
     key: [u8; 16],
     cache_blocks: usize,
     initial_data: Option<Vec<u8>>,
+    memoize: bool,
+    flush_batch_lanes: usize,
 }
 
 impl Default for MemoryBuilder {
@@ -151,7 +163,24 @@ impl MemoryBuilder {
             key: *b"miv default key!",
             cache_blocks: 256,
             initial_data: None,
+            memoize: true,
+            flush_batch_lanes: miv_hash::BATCH_LANES,
         }
+    }
+
+    /// Enables or disables verified-path memoization (default on); see
+    /// [`VerifiedMemory::set_memoization`].
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Lane count for the batched flush (default
+    /// [`miv_hash::BATCH_LANES`]); `1` restores the scalar per-chunk
+    /// write-back path. See [`VerifiedMemory::set_flush_batch_lanes`].
+    pub fn flush_batch_lanes(mut self, lanes: usize) -> Self {
+        self.flush_batch_lanes = lanes;
+        self
     }
 
     /// Size of the protected data segment in bytes.
@@ -214,6 +243,7 @@ impl MemoryBuilder {
     /// cascades.
     pub fn build(self) -> VerifiedMemory {
         let layout = TreeLayout::new(self.data_bytes, self.chunk_bytes, self.block_bytes);
+        let layout_chunks = layout.total_chunks() as usize;
         let min_cache = Self::min_cache_blocks(&layout);
         assert!(
             self.cache_blocks >= min_cache,
@@ -252,6 +282,11 @@ impl MemoryBuilder {
             events: EventSink::disabled(),
             walk_cur: 0,
             walk_peak: 0,
+            memoize: self.memoize,
+            flush_batch_lanes: self.flush_batch_lanes.max(1),
+            epoch: 1,
+            verified_at: vec![0; layout_chunks],
+            masked: std::collections::BTreeSet::new(),
         };
         engine.rebuild_tree();
         engine
@@ -333,6 +368,22 @@ pub struct VerifiedMemory {
     walk_cur: u32,
     /// Peak recursion depth since the outermost call began.
     walk_peak: u32,
+    /// Verified-path memoization switch.
+    memoize: bool,
+    /// Lane count for the batched flush (1 = scalar write-backs only).
+    flush_batch_lanes: usize,
+    /// Current quiescent epoch. Bumped whenever untrusted state may have
+    /// changed behind the engine's back (adversary access, raw DMA,
+    /// secure-root restoration), which invalidates every memo stamp at
+    /// once.
+    epoch: u64,
+    /// Per-chunk memo stamp: the epoch in which the chunk's memory image
+    /// was last known to match its parent slot (0 = never).
+    verified_at: Vec<u64>,
+    /// Clean cached blocks that were resident at an epoch boundary: each
+    /// may mask a tamper until it is written back or dropped. Empty in
+    /// adversary-free runs, so the hot path pays one `is_empty` branch.
+    masked: std::collections::BTreeSet<u64>,
 }
 
 type Result<T> = std::result::Result<T, IntegrityError>;
@@ -376,8 +427,82 @@ impl VerifiedMemory {
     }
 
     /// Attacker's view of the untrusted memory.
+    ///
+    /// Handing out the adversary ends the current quiescent epoch: every
+    /// verified-path memo stamp is invalidated, so the next access to any
+    /// chunk re-verifies from the (trusted or secure) root downward. This
+    /// is what makes memoization sound — a chunk skips re-hashing only
+    /// while nothing outside the engine could have touched memory.
     pub fn adversary(&mut self) -> Adversary<'_> {
+        self.end_epoch();
         Adversary::new(&mut self.mem)
+    }
+
+    /// Enables or disables verified-path memoization.
+    ///
+    /// With memoization on (the default), a chunk whose memory image was
+    /// verified — or rewritten by the engine itself, which re-establishes
+    /// the invariant — earlier in the current quiescent epoch skips the
+    /// digest recomputation and the ancestor walk on later checks: the
+    /// functional mirror of the paper's "a cached (trusted) node acts as
+    /// a local root" rule, with the epoch standing in for residency.
+    /// Results are byte-identical either way; only the work differs.
+    pub fn set_memoization(&mut self, on: bool) {
+        self.memoize = on;
+    }
+
+    /// Whether verified-path memoization is enabled.
+    pub fn memoization(&self) -> bool {
+        self.memoize
+    }
+
+    /// Sets the lane count for the batched flush: dirty chunks whose
+    /// blocks and parent slot are all resident are hashed in groups of up
+    /// to `lanes` through the multi-lane digest and flipped together.
+    /// `1` restores the scalar per-chunk write-back path (clamped up from
+    /// 0).
+    pub fn set_flush_batch_lanes(&mut self, lanes: usize) {
+        self.flush_batch_lanes = lanes.max(1);
+    }
+
+    /// Ends the current quiescent epoch, invalidating every memo stamp.
+    ///
+    /// Also snapshots the clean cached blocks: from this point on, each
+    /// of them may *mask* a tamper (the cache copy hides whatever the
+    /// adversary wrote under it), so a chunk re-stamped while one of its
+    /// masked blocks is resident loses the stamp the moment that block
+    /// leaves the cache — exactly when the unmemoized engine would start
+    /// seeing (and detecting) the corrupted memory bytes.
+    fn end_epoch(&mut self) {
+        self.epoch += 1;
+        let clean: Vec<u64> = self
+            .cache
+            .iter_blocks()
+            .map(|(a, _)| a)
+            .filter(|&a| self.cache.dirty(a) == Some(false))
+            .collect();
+        self.masked.extend(clean);
+    }
+
+    /// Removes `block` from the cache; if it was a masked clean copy, the
+    /// removal may expose tampered memory, so its chunk's memo stamp is
+    /// dropped.
+    fn forget_block(&mut self, block: u64) {
+        self.cache.remove(block);
+        if !self.masked.is_empty() && self.masked.remove(&block) {
+            let chunk = self.layout.chunk_of_addr(block);
+            self.verified_at[chunk as usize] = 0;
+        }
+    }
+
+    /// Marks `chunk` as verified in the current epoch.
+    fn stamp_verified(&mut self, chunk: u64) {
+        self.verified_at[chunk as usize] = self.epoch;
+    }
+
+    /// Whether `chunk` still holds a current-epoch verification stamp.
+    fn memo_valid(&self, chunk: u64) -> bool {
+        self.memoize && self.verified_at[chunk as usize] == self.epoch
     }
 
     /// Enables or disables integrity exceptions (§5.6.2 initialization
@@ -486,11 +611,138 @@ impl VerifiedMemory {
             if dirty.is_empty() {
                 return Ok(());
             }
+            // Fully-resident dirty chunks flip through the multi-lane
+            // batched path; whatever remains (partially cached chunks,
+            // re-dirtied parents, the MAC scheme) takes the scalar
+            // write-back below. The outer loop re-scans until the cascade
+            // of parent-slot updates settles.
+            self.flush_batched(&dirty);
             for block in dirty {
                 if self.cache.dirty(block) == Some(true) {
                     self.poison_on_err(|e| e.write_back_block(block))?;
                 }
             }
+        }
+    }
+
+    /// Retires eligible dirty chunks through the multi-lane batched
+    /// write-back: a chunk qualifies when all of its blocks and its parent
+    /// slot block are already resident, so its new image can be assembled
+    /// and flipped without any fetch, verification or eviction — which is
+    /// what lets several chunks be hashed together via
+    /// [`ChunkHasher::digest_batch`]. Chunks that are parents of other
+    /// eligible chunks are deferred (their slot blocks are about to be
+    /// re-dirtied by the children's flips) and picked up by the caller's
+    /// scalar sweep or the next flush pass. Produces exactly the final
+    /// memory, slot and cache state the scalar path would.
+    fn flush_batched(&mut self, dirty: &[u64]) {
+        if self.flush_batch_lanes < 2 || !matches!(self.protection, ProtImpl::Hash(_)) {
+            return;
+        }
+        let chunks: std::collections::BTreeSet<u64> = dirty
+            .iter()
+            .map(|&b| self.layout.chunk_of_addr(b))
+            .collect();
+        // Prefetch: a fully-resident dirty chunk whose slot block is not
+        // cached would fall to the scalar path only to fetch that slot
+        // there (whole-line writes allocate without fetching, so this is
+        // the common flush shape). Pull the slot blocks in first — the
+        // same `ensure_slot_resident` + capacity trim the scalar
+        // write-back performs — then compute eligibility, since the
+        // fetches and evictions may reshape the cache. A verification
+        // error during prefetch just leaves everything to the scalar
+        // sweep, which re-encounters and reports it.
+        for &chunk in &chunks {
+            let blocks_resident = (0..self.layout.blocks_per_chunk())
+                .all(|j| self.cache.contains(self.block_addr_of(chunk, j)));
+            let slot_missing = match self.layout.parent(chunk) {
+                ParentRef::Secure { .. } => false,
+                ParentRef::Chunk {
+                    chunk: parent,
+                    index,
+                } => !self.cache.contains(self.slot_block(parent, index).0),
+            };
+            if blocks_resident
+                && slot_missing
+                && (self.ensure_slot_resident(chunk).is_err() || self.enforce_capacity().is_err())
+            {
+                return;
+            }
+        }
+        let eligible: Vec<u64> = chunks
+            .into_iter()
+            .filter(|&chunk| {
+                let blocks_resident = (0..self.layout.blocks_per_chunk())
+                    .all(|j| self.cache.contains(self.block_addr_of(chunk, j)));
+                let slot_resident = match self.layout.parent(chunk) {
+                    ParentRef::Secure { .. } => true,
+                    ParentRef::Chunk {
+                        chunk: parent,
+                        index,
+                    } => self.cache.contains(self.slot_block(parent, index).0),
+                };
+                blocks_resident && slot_resident
+            })
+            .collect();
+        let member_parents: std::collections::BTreeSet<u64> = eligible
+            .iter()
+            .filter_map(|&chunk| match self.layout.parent(chunk) {
+                ParentRef::Chunk { chunk: parent, .. } => Some(parent),
+                ParentRef::Secure { .. } => None,
+            })
+            .collect();
+        let members: Vec<u64> = eligible
+            .into_iter()
+            .filter(|chunk| !member_parents.contains(chunk))
+            .collect();
+
+        let block_len = self.layout.block_bytes() as usize;
+        for group in members.chunks(self.flush_batch_lanes) {
+            // Assemble every member's new image from the (fully resident)
+            // cache, then hash the group in one multi-lane pass.
+            let images: Vec<Vec<u8>> = group
+                .iter()
+                .map(|&chunk| {
+                    let mut image = vec![0u8; self.layout.chunk_bytes() as usize];
+                    for j in 0..self.layout.blocks_per_chunk() {
+                        let block = self.block_addr_of(chunk, j);
+                        let data = self.cache.peek(block).expect("eligible chunk resident");
+                        image[j as usize * block_len..(j as usize + 1) * block_len]
+                            .copy_from_slice(data);
+                    }
+                    image
+                })
+                .collect();
+            let digests: Vec<Digest> = {
+                let ProtImpl::Hash(hasher) = &self.protection else {
+                    unreachable!("batched flush is hash-scheme only")
+                };
+                let refs: Vec<&[u8]> = images.iter().map(|v| &v[..]).collect();
+                hasher.digest_batch(&refs)
+            };
+            self.stats.hash_computations += group.len() as u64;
+            // Atomic flip per member, exactly as in the scalar write-back:
+            // dirty blocks to memory, blocks marked clean, new hash into
+            // the (resident) parent slot.
+            for (i, &chunk) in group.iter().enumerate() {
+                for j in 0..self.layout.blocks_per_chunk() {
+                    let block = self.block_addr_of(chunk, j);
+                    if self.cache.dirty(block) == Some(true) {
+                        self.stats.block_writes += 1;
+                        self.mem.write(
+                            block,
+                            &images[i][j as usize * block_len..(j as usize + 1) * block_len],
+                        );
+                        self.cache.mark_clean(block);
+                        self.masked.remove(&block);
+                    }
+                }
+                self.write_slot_resident(chunk, digests[i].into_bytes());
+                self.stamp_verified(chunk);
+                self.stats.writebacks += 1;
+                self.stats.batched_writebacks += 1;
+            }
+            self.paranoid_check(format_args!("flush_batched group at {:#x}", group[0]));
         }
     }
 
@@ -505,8 +757,13 @@ impl VerifiedMemory {
         self.flush()?;
         let blocks: Vec<u64> = self.cache.iter_blocks().map(|(a, _)| a).collect();
         for b in blocks {
-            self.cache.remove(b);
+            self.forget_block(b);
         }
+        // A wholesale cache clear is a trust boundary (context switch,
+        // cache-flush instruction): the "local roots" the memo stamps
+        // stand in for are gone, so subsequent reads must re-verify from
+        // the secure root, exactly as the unmemoized engine would.
+        self.end_epoch();
         Ok(())
     }
 
@@ -518,10 +775,19 @@ impl VerifiedMemory {
     /// Returns the first [`IntegrityError`] encountered.
     pub fn verify_all(&mut self) -> Result<()> {
         self.check_poisoned()?;
+        // An audit must actually re-check every chunk, so bypass the
+        // verified-path memoization for its duration.
+        let saved = self.memoize;
+        self.memoize = false;
+        let mut result = Ok(());
         for chunk in 0..self.layout.total_chunks() {
-            self.poison_on_err(|e| e.read_and_check_chunk(chunk).map(|_| ()))?;
+            if let Err(e) = self.poison_on_err(|e| e.read_and_check_chunk(chunk).map(|_| ())) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(())
+        self.memoize = saved;
+        result
     }
 
     /// Runs the literal §5.6.2 initialization procedure: exceptions off,
@@ -580,6 +846,17 @@ impl VerifiedMemory {
     }
 
     fn read_and_check_chunk_inner(&mut self, chunk: u64) -> Result<Vec<u8>> {
+        // Memoized fast path: the chunk was verified (or coherently
+        // rewritten by the engine) earlier in this quiescent epoch, so
+        // its memory image still matches its parent slot — return the
+        // image without re-hashing or walking the ancestor path. Only
+        // the work changes: the bytes handed back are the same ones the
+        // full check would approve, because every way untrusted state
+        // can change behind the engine's back ends the epoch.
+        if self.memo_valid(chunk) {
+            self.stats.memo_hits += 1;
+            return Ok(self.gather_memory_image(chunk));
+        }
         // Phase 1: all fetches, fills, evictions and cascaded write-backs.
         let slot_loc = self.ensure_slot_resident(chunk)?;
         if let Some((block, _)) = slot_loc {
@@ -657,6 +934,12 @@ impl VerifiedMemory {
                 )
             }
         };
+        if ok {
+            // Stamp only on a *passing* check: under §5.6.2 (exceptions
+            // disabled) a mismatch returns Ok below without the chunk
+            // actually being trustworthy.
+            self.stamp_verified(chunk);
+        }
         if !ok && self.exceptions_enabled {
             self.events.record(
                 self.stats.chunk_verifications,
@@ -728,15 +1011,19 @@ impl VerifiedMemory {
             ProtImpl::Hash(_) => self.write_back_chunk_hash(victim),
             ProtImpl::Mac(_) => self.write_back_block_mac(victim),
         };
-        // Paranoid mode (set MIV_PARANOID=1): audit the whole-tree
-        // invariant after every write-back. Used by stress tests.
+        self.paranoid_check(format_args!("write_back_block({victim:#x})"));
+        r
+    }
+
+    /// Paranoid mode (set MIV_PARANOID=1): audit the whole-tree invariant
+    /// after a state-changing step. Used by stress tests.
+    fn paranoid_check(&mut self, what: std::fmt::Arguments<'_>) {
         static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         if *PARANOID.get_or_init(|| std::env::var_os("MIV_PARANOID").is_some()) {
             if let Err(e) = self.audit_invariant() {
-                panic!("after write_back_block({victim:#x}): {e}");
+                panic!("after {what}: {e}");
             }
         }
-        r
     }
 
     /// §5.3 Write-Back: the whole chunk is re-hashed; all its dirty blocks
@@ -802,8 +1089,14 @@ impl VerifiedMemory {
                         &new_image[j as usize * block_len..(j as usize + 1) * block_len],
                     );
                     self.cache.mark_clean(block);
+                    // Freshly synced to memory: the cache copy no longer
+                    // masks anything.
+                    self.masked.remove(&block);
                 }
                 self.write_slot_resident(chunk, digest.into_bytes());
+                // The image and slot were flipped together, so the chunk
+                // is coherent for the rest of the epoch.
+                self.stamp_verified(chunk);
                 Ok(())
             })();
             if let Some((slot_block, _)) = slot_loc {
@@ -870,6 +1163,11 @@ impl VerifiedMemory {
                 self.stats.block_writes += 1;
                 self.mem.write(victim, &new);
                 self.cache.mark_clean(victim);
+                self.masked.remove(&victim);
+                // No memo stamp here: unlike the hash write-back, the
+                // O(1) MAC update never re-derives the slot from the
+                // whole image, so it *preserves* an existing stamp (which
+                // needs no action) but cannot establish a fresh one.
                 self.write_slot_resident(chunk, build_mac_slot(new_tag, ts ^ (1 << j)));
                 Ok(())
             };
@@ -923,7 +1221,7 @@ impl VerifiedMemory {
             // each write-back strictly decreases the summed tree depth of
             // dirty blocks, so this terminates.
             if self.cache.dirty(victim) == Some(false) {
-                self.cache.remove(victim);
+                self.forget_block(victim);
             }
         }
         Ok(())
@@ -935,11 +1233,13 @@ impl VerifiedMemory {
 
     /// Discards a cached block (even dirty — device DMA overwrote it).
     pub(crate) fn drop_cached_block(&mut self, block: u64) {
-        self.cache.remove(block);
+        self.end_epoch();
+        self.forget_block(block);
     }
 
     /// Raw device write into untrusted memory (no tree update).
     pub(crate) fn adversary_write_raw(&mut self, phys: u64, data: &[u8]) {
+        self.end_epoch();
         self.mem.write(phys, data);
     }
 
@@ -960,6 +1260,7 @@ impl VerifiedMemory {
             self.secure.len(),
             "secure-root slot count mismatch"
         );
+        self.end_epoch();
         self.secure.copy_from_slice(slots);
     }
 
@@ -983,6 +1284,7 @@ impl VerifiedMemory {
                 self.stats.block_writes += 1;
                 self.mem.write(block, &data);
                 self.cache.mark_clean(block);
+                self.masked.remove(&block);
             }
         }
         let image = self.mem.read_vec(

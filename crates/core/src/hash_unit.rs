@@ -119,6 +119,38 @@ impl HashEngine {
         start + (occupancy - self.config.throughput.cycles_per_block()) + self.config.latency
     }
 
+    /// Books a batch of independent hashes whose inputs all arrive at
+    /// cycle `now` (e.g. the two digests an incremental-hash write-back
+    /// recomputes); returns the cycle at which the *last* digest is
+    /// available.
+    ///
+    /// The batch occupies one contiguous issue window of the summed
+    /// per-lane occupancy, so for whole-block lane sizes the completion
+    /// cycle is identical to a single [`schedule`](Self::schedule) call
+    /// over the total bytes — batching changes accounting granularity
+    /// (one op per lane), never timing. Statistics and telemetry are
+    /// recorded per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_bytes` is empty.
+    pub fn schedule_batch(&mut self, now: Cycle, lane_bytes: &[u64]) -> Cycle {
+        assert!(!lane_bytes.is_empty(), "empty hash batch");
+        let occupancy: u64 = lane_bytes
+            .iter()
+            .map(|&bytes| self.config.throughput.interval_for(bytes))
+            .sum();
+        let start = self.issue.book(now, occupancy);
+        for &bytes in lane_bytes {
+            self.stats.ops += 1;
+            self.stats.bytes += bytes;
+            self.stats.wait_cycles += start - now;
+            self.obs.record(now, start, bytes);
+        }
+        self.stats.busy_cycles += occupancy;
+        start + (occupancy - self.config.throughput.cycles_per_block()) + self.config.latency
+    }
+
     /// Informs the unit that no future request arrives before `time`.
     pub fn advance_low_water(&mut self, time: Cycle) {
         self.issue.advance_low_water(time);
@@ -133,6 +165,14 @@ impl HashEngine {
     /// windows).
     pub fn reset(&mut self) {
         self.issue.reset();
+        self.stats = HashUnitStats::default();
+    }
+
+    /// Clears statistics only, preserving the issue pipeline's booked
+    /// intervals — so a measurement window started mid-run still queues
+    /// behind in-flight background verifications exactly as an
+    /// uninterrupted run would.
+    pub fn reset_stats(&mut self) {
         self.stats = HashUnitStats::default();
     }
 }
@@ -194,6 +234,32 @@ mod tests {
             s_last = slow.schedule(0, 64);
         }
         assert!(s_last > 3 * f_last, "{s_last} vs {f_last}");
+    }
+
+    #[test]
+    fn batch_times_like_one_fused_hash() {
+        let mut batched = HashEngine::new(HashEngineConfig::default());
+        let mut fused = HashEngine::new(HashEngineConfig::default());
+        // Two 64-B lanes occupy the same window as one 128-B hash...
+        assert_eq!(batched.schedule_batch(0, &[64, 64]), fused.schedule(0, 128));
+        // ...and leave the pipeline in the same state for the next op.
+        assert_eq!(batched.schedule(0, 64), fused.schedule(0, 64));
+        // Only the accounting granularity differs: one op per lane.
+        assert_eq!(batched.stats().ops, fused.stats().ops + 1);
+        assert_eq!(batched.stats().bytes, fused.stats().bytes);
+        assert_eq!(batched.stats().busy_cycles, fused.stats().busy_cycles);
+    }
+
+    #[test]
+    fn reset_stats_preserves_pipeline_occupancy() {
+        let mut unit = HashEngine::new(HashEngineConfig::default());
+        let mut uninterrupted = HashEngine::new(HashEngineConfig::default());
+        unit.schedule(0, 64);
+        uninterrupted.schedule(0, 64);
+        unit.reset_stats();
+        assert_eq!(unit.stats(), HashUnitStats::default());
+        // The next op still queues behind the earlier booking.
+        assert_eq!(unit.schedule(0, 64), uninterrupted.schedule(0, 64));
     }
 
     #[test]

@@ -314,14 +314,6 @@ impl BufferPool {
         debug_assert_eq!(self.slots[slot.0], Cycle::MAX, "slot not reserved");
         self.slots[slot.0] = until;
     }
-
-    /// Frees every slot (must only be called with no reservations open).
-    fn reset(&mut self) {
-        for slot in &mut self.slots {
-            assert_ne!(*slot, Cycle::MAX, "reset with a reserved slot");
-            *slot = 0;
-        }
-    }
 }
 
 /// The unified L2 plus integrated hash-tree machinery.
@@ -495,6 +487,14 @@ impl L2Controller {
         self.bus.stats()
     }
 
+    /// Bus-busy cycles that have elapsed by cycle `t` (a transfer
+    /// straddling `t` counts only up to `t`). Deltas between successive
+    /// queries never exceed the wall-clock cycles between them, giving
+    /// exact per-interval bus utilization.
+    pub fn bus_busy_through(&self, t: Cycle) -> u64 {
+        self.bus.busy_cycles_through(t)
+    }
+
     /// Hash-unit statistics.
     pub fn engine_stats(&self) -> crate::hash_unit::HashUnitStats {
         self.engine.stats()
@@ -566,15 +566,15 @@ impl L2Controller {
     }
 
     /// Clears all statistics for warm-up/measurement separation. Cache
-    /// contents are kept; the bus and hash-unit pipelines are drained
-    /// (safe because all future requests carry later timestamps, so an
-    /// idle pipeline behaves identically).
+    /// contents, buffer reservations, and the bus/hash-unit pipelines are
+    /// all preserved: background traffic booked before the reset still
+    /// contends with later requests, so a run split around a
+    /// `reset_stats` times identically to an uninterrupted one — only the
+    /// counters restart.
     pub fn reset_stats(&mut self) {
         self.l2.reset_stats();
-        self.bus.reset();
-        self.engine.reset();
-        self.read_buf.reset();
-        self.write_buf.reset();
+        self.bus.reset_stats();
+        self.engine.reset_stats();
         self.stats = CheckerStats::default();
     }
 
@@ -1004,10 +1004,13 @@ impl L2Controller {
             if self.tainted.remove(&ev.addr) {
                 self.mac_inconsistent.insert(chunk);
             }
-            // h(old) and h(new): two block-sized hash computations.
-            let upd = self
-                .engine
-                .schedule(old.complete.max(slot_at), 2 * self.line_bytes());
+            // h(old) and h(new): two independent block-sized hashes,
+            // issued as one multi-lane batch (timing-identical to a fused
+            // 2-block hash; accounted as two ops).
+            let upd = self.engine.schedule_batch(
+                old.complete.max(slot_at),
+                &[self.line_bytes(), self.line_bytes()],
+            );
             let wb = self
                 .bus
                 .write(upd, self.line_bytes(), class_for(ev.kind, false));

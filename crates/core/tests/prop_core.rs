@@ -194,6 +194,121 @@ fn replay_of_any_chunk_is_detected() {
     }
 }
 
+/// The five paper geometries at the functional-engine level: the
+/// hash-tree chunk/block shapes the timing schemes use, plus the
+/// incremental-MAC configuration.
+fn five_geometries(data_bytes: u64) -> Vec<VerifiedMemory> {
+    let tree = |chunk: u32, block: u32, cache: usize| {
+        MemoryBuilder::new()
+            .data_bytes(data_bytes)
+            .chunk_bytes(chunk)
+            .block_bytes(block)
+            .protection(Protection::HashTree)
+            .cache_blocks(cache)
+            .build()
+    };
+    vec![
+        tree(64, 64, 40),   // naive/chash shape, small cache
+        tree(64, 64, 256),  // chash shape, roomy cache
+        tree(128, 64, 48),  // mhash shape: wide chunks, narrow blocks
+        tree(128, 128, 32), // whole-chunk blocks
+        MemoryBuilder::new()
+            .data_bytes(data_bytes)
+            .chunk_bytes(128)
+            .block_bytes(64)
+            .protection(Protection::IncrementalMac)
+            .cache_blocks(48)
+            .build(), // ihash
+    ]
+}
+
+/// Memoized + batched-flush operation is byte-identical to the
+/// unmemoized, scalar-flush engine under arbitrary op interleavings, on
+/// every scheme geometry: the fast paths are pure optimizations.
+#[test]
+fn memoized_engine_matches_unmemoized() {
+    let mut rng = Rng::seed_from_u64(0x3e30);
+    for case in 0..40 {
+        let data_bytes = 4096u64;
+        let which = case % five_geometries(data_bytes).len();
+        let mut fast = five_geometries(data_bytes).swap_remove(which);
+        let mut slow = five_geometries(data_bytes).swap_remove(which);
+        slow.set_memoization(false);
+        slow.set_flush_batch_lanes(1);
+        assert!(fast.memoization());
+
+        let n = rng.gen_range_usize(20, 150);
+        for _ in 0..n {
+            match random_op(&mut rng, data_bytes) {
+                Op::Write { addr, len, fill } => {
+                    let data = vec![fill; len];
+                    fast.write(addr, &data).unwrap();
+                    slow.write(addr, &data).unwrap();
+                }
+                Op::Read { addr, len } => {
+                    assert_eq!(
+                        fast.read_vec(addr, len).unwrap(),
+                        slow.read_vec(addr, len).unwrap()
+                    );
+                }
+                Op::Flush => {
+                    fast.flush().unwrap();
+                    slow.flush().unwrap();
+                }
+                Op::ClearCache => {
+                    fast.clear_cache().unwrap();
+                    slow.clear_cache().unwrap();
+                }
+            }
+        }
+        fast.flush().unwrap();
+        slow.flush().unwrap();
+        fast.verify_all().unwrap();
+        slow.verify_all().unwrap();
+        assert_eq!(
+            fast.read_vec(0, data_bytes as usize).unwrap(),
+            slow.read_vec(0, data_bytes as usize).unwrap()
+        );
+        // The memoized engine never hashes more than the scalar one.
+        assert!(fast.stats().hash_computations <= slow.stats().hash_computations);
+    }
+}
+
+/// The memo fast path actually fires on repeated-access workloads, and
+/// disabling it restores per-access verification.
+#[test]
+fn memoization_elides_repeat_verifications() {
+    let run = |memoize: bool| {
+        let mut mem = MemoryBuilder::new()
+            .data_bytes(4096)
+            .cache_blocks(20)
+            .build();
+        mem.set_memoization(memoize);
+        for addr in (0..4096).step_by(64) {
+            mem.write(addr, &[0xab; 64]).unwrap();
+        }
+        mem.flush().unwrap();
+        mem.clear_cache().unwrap();
+        // Re-read everything twice: the tiny cache forces re-fetches.
+        for _ in 0..2 {
+            for addr in (0..4096).step_by(64) {
+                mem.read_vec(addr, 64).unwrap();
+            }
+        }
+        mem.stats()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(on.memo_hits > 0, "memo path never fired");
+    assert_eq!(off.memo_hits, 0);
+    assert!(
+        on.chunk_verifications < off.chunk_verifications,
+        "memoization must elide verifications: {} vs {}",
+        on.chunk_verifications,
+        off.chunk_verifications
+    );
+}
+
 fn random_engine_stats(rng: &mut Rng) -> EngineStats {
     EngineStats {
         chunk_verifications: rng.gen_range_u64(0, 1000),
@@ -204,6 +319,8 @@ fn random_engine_stats(rng: &mut Rng) -> EngineStats {
         block_writes: rng.gen_range_u64(0, 1000),
         writebacks: rng.gen_range_u64(0, 1000),
         alloc_no_fetch: rng.gen_range_u64(0, 1000),
+        memo_hits: rng.gen_range_u64(0, 1000),
+        batched_writebacks: rng.gen_range_u64(0, 1000),
     }
 }
 

@@ -5,8 +5,11 @@
 //! the "crypto substrate":
 //!
 //! * [`md5`] — the MD5 message digest (RFC 1321), the hash the paper's
-//!   hardware unit implements.
-//! * [`sha1`] — SHA-1 (RFC 3174), the paper's alternative hash.
+//!   hardware unit implements; one-shot digests compress full blocks
+//!   straight from the input, and [`md5::md5_multi`] interleaves up to
+//!   [`BATCH_LANES`] independent messages per pass for ILP.
+//! * [`sha1`] — SHA-1 (RFC 3174), the paper's alternative hash, with the
+//!   same one-shot and multi-lane ([`sha1::sha1_multi`]) paths.
 //! * [`xtea`] — the XTEA block cipher, used to build a 128-bit
 //!   pseudo-random permutation for the incremental MAC.
 //! * [`aes`] — AES-128 (FIPS-197), the standards-grade alternative
@@ -50,6 +53,6 @@ pub mod sha1;
 pub mod xormac;
 pub mod xtea;
 
-pub use digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher};
+pub use digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher, BATCH_LANES};
 pub use engine::{HashEngineConfig, Throughput};
 pub use xormac::XorMac;

@@ -2,8 +2,12 @@
 //!
 //! MD5 is the hash the paper's hardware unit implements (§6.2): a 512-bit
 //! block is digested into 128 bits through 64 rounds of simple 32-bit
-//! operations. This module provides both a streaming [`Md5`] context and
-//! the one-shot [`md5`] convenience function.
+//! operations. This module provides a streaming [`Md5`] context, the
+//! one-shot [`md5`] function (which compresses full blocks straight from
+//! the input slice, no staging copy), and the multi-lane [`md5_multi`]
+//! (N independent equal-length messages interleaved through one pass of
+//! the round function, so the lanes' per-round dependency chains overlap
+//! — instruction-level parallelism a single message cannot expose).
 //!
 //! # Security
 //!
@@ -92,12 +96,10 @@ impl Md5 {
                 self.buf_len = 0;
             }
         }
-        // Whole blocks straight from the input.
+        // Whole blocks straight from the input — no staging copy.
         while data.len() >= 64 {
             let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            compress(&mut self.state, block.try_into().expect("64-byte split"));
             data = rest;
         }
         // Stash the tail.
@@ -120,45 +122,100 @@ impl Md5 {
         tail.copy_from_slice(&bit_len.to_le_bytes());
         self.len = self.len.wrapping_add(8);
         self.buf[56..64].copy_from_slice(&tail);
-        let block = self.buf;
-        self.compress(&block);
+        compress(&mut self.state, &{ self.buf });
 
-        let mut out = [0u8; 16];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
-        }
-        Digest::from_bytes(out)
+        state_digest(&self.state)
     }
 
     /// One 512-bit compression step.
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut m = [0u32; 16];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        let [mut a, mut b, mut c, mut d] = self.state;
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
-            b = b.wrapping_add(sum.rotate_left(S[i]));
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
+        compress(&mut self.state, block);
     }
 }
 
+/// Serializes an MD5 state into the little-endian 128-bit digest.
+fn state_digest(state: &[u32; 4]) -> Digest {
+    let mut out = [0u8; 16];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    Digest::from_bytes(out)
+}
+
+/// One 512-bit compression step on a bare state.
+fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
+    let mut lanes = [*state];
+    compress_multi(&mut lanes, &[block]);
+    *state = lanes[0];
+}
+
+/// One 512-bit compression step across `N` independent lanes.
+///
+/// The round recurrences of the lanes are interleaved so their serial
+/// dependency chains (four adds and a rotate per round each) overlap in
+/// the pipeline; with `N = 1` the compiler reduces it to the scalar
+/// routine.
+fn compress_multi<const N: usize>(states: &mut [[u32; 4]; N], blocks: &[&[u8; 64]; N]) {
+    let mut m = [[0u32; 16]; N];
+    for (lane, block) in blocks.iter().enumerate() {
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[lane][i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    let mut a: [u32; N] = std::array::from_fn(|l| states[l][0]);
+    let mut b: [u32; N] = std::array::from_fn(|l| states[l][1]);
+    let mut c: [u32; N] = std::array::from_fn(|l| states[l][2]);
+    let mut d: [u32; N] = std::array::from_fn(|l| states[l][3]);
+    for i in 0..64 {
+        let g = match i / 16 {
+            0 => i,
+            1 => (5 * i + 1) % 16,
+            2 => (3 * i + 5) % 16,
+            _ => (7 * i) % 16,
+        };
+        for l in 0..N {
+            let f = match i / 16 {
+                0 => (b[l] & c[l]) | (!b[l] & d[l]),
+                1 => (d[l] & b[l]) | (!d[l] & c[l]),
+                2 => b[l] ^ c[l] ^ d[l],
+                _ => c[l] ^ (b[l] | !d[l]),
+            };
+            let sum = a[l]
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[l][g]);
+            let nb = b[l].wrapping_add(sum.rotate_left(S[i]));
+            a[l] = d[l];
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = nb;
+        }
+    }
+    for l in 0..N {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+    }
+}
+
+/// Merkle–Damgård padding layout shared by MD5 and SHA-1: returns the
+/// number of tail blocks (1 or 2) and the two staged 64-byte blocks with
+/// the `0x80` marker placed after `rem` remainder bytes. The caller
+/// writes the 8-byte length word (LE for MD5, BE for SHA-1).
+pub(crate) fn pad_tail(rem: &[u8]) -> (usize, [u8; 128]) {
+    debug_assert!(rem.len() < 64);
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let blocks = if rem.len() >= 56 { 2 } else { 1 };
+    (blocks, tail)
+}
+
 /// Computes the MD5 digest of `data` in one shot.
+///
+/// Full blocks are compressed directly from `data` (no staging buffer);
+/// only the final padded block(s) are staged.
 ///
 /// # Examples
 ///
@@ -168,9 +225,72 @@ impl Md5 {
 /// assert_eq!(md5(b"").to_hex(), "d41d8cd98f00b204e9800998ecf8427e");
 /// ```
 pub fn md5(data: &[u8]) -> Digest {
-    let mut ctx = Md5::new();
-    ctx.update(data);
-    ctx.finalize()
+    let mut state = INIT;
+    let mut blocks = data.chunks_exact(64);
+    for block in blocks.by_ref() {
+        compress(&mut state, block.try_into().expect("64-byte chunk"));
+    }
+    let (tail_blocks, mut tail) = pad_tail(blocks.remainder());
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_le_bytes());
+    for t in 0..tail_blocks {
+        compress(
+            &mut state,
+            tail[t * 64..t * 64 + 64].try_into().expect("64"),
+        );
+    }
+    state_digest(&state)
+}
+
+/// Digests `N` equal-length messages through the interleaved multi-lane
+/// compression, returning one digest per lane.
+///
+/// Equal lengths keep every lane on the same block schedule (including
+/// the padding blocks), which is exactly the shape the integrity tree's
+/// batched flush produces: same-geometry chunk images. For mixed-length
+/// batches use [`ChunkHasher::digest_batch`](crate::ChunkHasher), which
+/// falls back to scalar hashing for ragged groups.
+///
+/// # Panics
+///
+/// Panics if the messages are not all the same length.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::md5::{md5, md5_multi};
+///
+/// let out = md5_multi(&[b"aaaa", b"bbbb", b"cccc", b"dddd"]);
+/// assert_eq!(out[2], md5(b"cccc"));
+/// ```
+pub fn md5_multi<const N: usize>(msgs: &[&[u8]; N]) -> [Digest; N] {
+    let len = msgs[0].len();
+    assert!(
+        msgs.iter().all(|m| m.len() == len),
+        "md5_multi lanes must be equal length"
+    );
+    let mut states = [INIT; N];
+    let full = len / 64;
+    for blk in 0..full {
+        let blocks: [&[u8; 64]; N] =
+            std::array::from_fn(|l| msgs[l][blk * 64..blk * 64 + 64].try_into().expect("64"));
+        compress_multi(&mut states, &blocks);
+    }
+    let bit_len = (len as u64).wrapping_mul(8);
+    let mut tails = [[0u8; 128]; N];
+    let mut tail_blocks = 1;
+    for (lane, tail) in tails.iter_mut().enumerate() {
+        let (blocks, mut staged) = pad_tail(&msgs[lane][full * 64..]);
+        staged[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_le_bytes());
+        *tail = staged;
+        tail_blocks = blocks;
+    }
+    for t in 0..tail_blocks {
+        let blocks: [&[u8; 64]; N] =
+            std::array::from_fn(|l| tails[l][t * 64..t * 64 + 64].try_into().expect("64"));
+        compress_multi(&mut states, &blocks);
+    }
+    std::array::from_fn(|l| state_digest(&states[l]))
 }
 
 #[cfg(test)]
@@ -245,5 +365,38 @@ mod tests {
             ctx.update(&block);
         }
         assert_eq!(ctx.finalize().to_hex(), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+
+    #[test]
+    fn multi_lane_matches_scalar_across_padding_boundaries() {
+        // Lengths on both sides of every padding layout: 0 (empty), short
+        // tail, 55/56/57 (one vs two tail blocks), exact block multiples,
+        // and multi-block messages.
+        for len in [0usize, 1, 7, 55, 56, 57, 63, 64, 65, 119, 120, 128, 200] {
+            let msgs: Vec<Vec<u8>> = (0..4u8)
+                .map(|lane| (0..len).map(|i| (i as u8).wrapping_mul(lane + 3)).collect())
+                .collect();
+            let refs: [&[u8]; 4] = std::array::from_fn(|l| &msgs[l][..]);
+            let got = md5_multi(&refs);
+            for lane in 0..4 {
+                assert_eq!(got[lane], md5(&msgs[lane]), "len {len} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_lane_other_widths() {
+        let m = b"The quick brown fox jumps over the lazy dog";
+        assert_eq!(md5_multi(&[&m[..]]), [md5(m)]);
+        let eight: [&[u8]; 8] = [&m[..]; 8];
+        for d in md5_multi(&eight) {
+            assert_eq!(d, md5(m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn multi_lane_rejects_ragged_input() {
+        md5_multi(&[&b"aa"[..], &b"bbb"[..]]);
     }
 }

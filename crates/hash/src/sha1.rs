@@ -63,16 +63,13 @@ impl Sha1 {
             self.buf_len += take;
             data = &data[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress(&mut self.state, &{ self.buf });
                 self.buf_len = 0;
             }
         }
         while data.len() >= 64 {
             let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            compress(&mut self.state, block.try_into().expect("64-byte split"));
             data = rest;
         }
         if !data.is_empty() {
@@ -89,58 +86,93 @@ impl Sha1 {
             self.update(&[0]);
         }
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+        compress(&mut self.state, &{ self.buf });
 
-        let mut out = [0u8; 20];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
+        state_digest(&self.state)
     }
 
     /// Renders a 20-byte digest as lowercase hex.
     pub fn to_hex(digest: &[u8; 20]) -> String {
         digest.iter().map(|b| format!("{b:02x}")).collect()
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
+/// Serializes a SHA-1 state into the big-endian 160-bit digest.
+fn state_digest(state: &[u32; 5]) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// One 512-bit compression step on a bare state.
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut lanes = [*state];
+    compress_multi(&mut lanes, &[block]);
+    *state = lanes[0];
+}
+
+/// One 512-bit compression step across `N` independent lanes (see
+/// [`md5`](crate::md5) for the interleaving rationale).
+fn compress_multi<const N: usize>(states: &mut [[u32; 5]; N], blocks: &[&[u8; 64]; N]) {
+    let mut w = [[0u32; 80]; N];
+    for (lane, block) in blocks.iter().enumerate() {
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            w[lane][i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+            w[lane][i] = (w[lane][i - 3] ^ w[lane][i - 8] ^ w[lane][i - 14] ^ w[lane][i - 16])
+                .rotate_left(1);
         }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i / 20 {
-                0 => ((b & c) | (!b & d), 0x5a827999),
-                1 => (b ^ c ^ d, 0x6ed9eba1),
-                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
-                _ => (b ^ c ^ d, 0xca62c1d6u32),
+    }
+    let mut a: [u32; N] = std::array::from_fn(|l| states[l][0]);
+    let mut b: [u32; N] = std::array::from_fn(|l| states[l][1]);
+    let mut c: [u32; N] = std::array::from_fn(|l| states[l][2]);
+    let mut d: [u32; N] = std::array::from_fn(|l| states[l][3]);
+    let mut e: [u32; N] = std::array::from_fn(|l| states[l][4]);
+    // The round counter selects k/f AND indexes every lane's schedule;
+    // an enumerate over one lane's `w` would misread the lockstep shape.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..80 {
+        let k: u32 = match i / 20 {
+            0 => 0x5a827999,
+            1 => 0x6ed9eba1,
+            2 => 0x8f1bbcdc,
+            _ => 0xca62c1d6,
+        };
+        for l in 0..N {
+            let f = match i / 20 {
+                0 => (b[l] & c[l]) | (!b[l] & d[l]),
+                2 => (b[l] & c[l]) | (b[l] & d[l]) | (c[l] & d[l]),
+                _ => b[l] ^ c[l] ^ d[l],
             };
-            let tmp = a
+            let tmp = a[l]
                 .rotate_left(5)
                 .wrapping_add(f)
-                .wrapping_add(e)
+                .wrapping_add(e[l])
                 .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
+                .wrapping_add(w[l][i]);
+            e[l] = d[l];
+            d[l] = c[l];
+            c[l] = b[l].rotate_left(30);
+            b[l] = a[l];
+            a[l] = tmp;
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+    }
+    for l in 0..N {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
     }
 }
 
 /// Computes the SHA-1 digest of `data` in one shot.
+///
+/// Full blocks are compressed directly from `data` (no staging buffer);
+/// only the final padded block(s) are staged.
 ///
 /// # Examples
 ///
@@ -151,9 +183,66 @@ impl Sha1 {
 /// assert_eq!(Sha1::to_hex(&d), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
 /// ```
 pub fn sha1(data: &[u8]) -> [u8; 20] {
-    let mut ctx = Sha1::new();
-    ctx.update(data);
-    ctx.finalize()
+    let mut state = INIT;
+    let mut blocks = data.chunks_exact(64);
+    for block in blocks.by_ref() {
+        compress(&mut state, block.try_into().expect("64-byte chunk"));
+    }
+    let (tail_blocks, mut tail) = crate::md5::pad_tail(blocks.remainder());
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    for t in 0..tail_blocks {
+        compress(
+            &mut state,
+            tail[t * 64..t * 64 + 64].try_into().expect("64"),
+        );
+    }
+    state_digest(&state)
+}
+
+/// Digests `N` equal-length messages through the interleaved multi-lane
+/// compression, returning one 20-byte digest per lane.
+///
+/// # Panics
+///
+/// Panics if the messages are not all the same length.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::sha1::{sha1, sha1_multi};
+///
+/// let out = sha1_multi(&[b"aaaa", b"bbbb", b"cccc", b"dddd"]);
+/// assert_eq!(out[1], sha1(b"bbbb"));
+/// ```
+pub fn sha1_multi<const N: usize>(msgs: &[&[u8]; N]) -> [[u8; 20]; N] {
+    let len = msgs[0].len();
+    assert!(
+        msgs.iter().all(|m| m.len() == len),
+        "sha1_multi lanes must be equal length"
+    );
+    let mut states = [INIT; N];
+    let full = len / 64;
+    for blk in 0..full {
+        let blocks: [&[u8; 64]; N] =
+            std::array::from_fn(|l| msgs[l][blk * 64..blk * 64 + 64].try_into().expect("64"));
+        compress_multi(&mut states, &blocks);
+    }
+    let bit_len = (len as u64).wrapping_mul(8);
+    let mut tails = [[0u8; 128]; N];
+    let mut tail_blocks = 1;
+    for (lane, tail) in tails.iter_mut().enumerate() {
+        let (blocks, mut staged) = crate::md5::pad_tail(&msgs[lane][full * 64..]);
+        staged[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+        *tail = staged;
+        tail_blocks = blocks;
+    }
+    for t in 0..tail_blocks {
+        let blocks: [&[u8; 64]; N] =
+            std::array::from_fn(|l| tails[l][t * 64..t * 64 + 64].try_into().expect("64"));
+        compress_multi(&mut states, &blocks);
+    }
+    std::array::from_fn(|l| state_digest(&states[l]))
 }
 
 #[cfg(test)]
@@ -203,6 +292,26 @@ mod tests {
             ctx.update(&data[split..]);
             assert_eq!(ctx.finalize(), want, "split at {split}");
         }
+    }
+
+    #[test]
+    fn multi_lane_matches_scalar_across_padding_boundaries() {
+        for len in [0usize, 1, 7, 55, 56, 57, 63, 64, 65, 119, 120, 128, 200] {
+            let msgs: Vec<Vec<u8>> = (0..4u8)
+                .map(|lane| (0..len).map(|i| (i as u8).wrapping_mul(lane + 5)).collect())
+                .collect();
+            let refs: [&[u8]; 4] = std::array::from_fn(|l| &msgs[l][..]);
+            let got = sha1_multi(&refs);
+            for lane in 0..4 {
+                assert_eq!(got[lane], sha1(&msgs[lane]), "len {len} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn multi_lane_rejects_ragged_input() {
+        sha1_multi(&[&b"aa"[..], &b"bbb"[..]]);
     }
 
     #[test]

@@ -115,6 +115,20 @@ impl MemoryBus {
         self.stats = BusStats::default();
     }
 
+    /// Clears statistics only, preserving booked bus intervals — so
+    /// transactions issued after the reset still contend with in-flight
+    /// traffic exactly as in an uninterrupted run.
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
+    }
+
+    /// Bus-busy cycles that have *elapsed* by cycle `t` (a transfer
+    /// straddling `t` counts only up to `t`), for interval-exact
+    /// utilization attribution. See [`IntervalSchedule::busy_through`].
+    pub fn busy_cycles_through(&self, t: Cycle) -> u64 {
+        self.schedule.busy_through(t)
+    }
+
     /// Informs the arbiter that no future request will be ready before
     /// `time`, allowing old busy intervals to be discarded.
     pub fn advance_low_water(&mut self, time: Cycle) {
@@ -247,6 +261,53 @@ mod tests {
         assert_eq!(bus.stats().busy_cycles, 120);
         bus.reset();
         assert_eq!(bus.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn busy_through_splits_straddling_transfers() {
+        let mut bus = MemoryBus::new(MemoryBusConfig::default());
+        bus.write(100, 64, TrafficClass::DataWrite); // busy 100..140
+        assert_eq!(bus.busy_cycles_through(100), 0);
+        assert_eq!(bus.busy_cycles_through(120), 20);
+        assert_eq!(bus.busy_cycles_through(140), 40);
+        assert_eq!(bus.busy_cycles_through(10_000), 40);
+        // Interval deltas sum to the whole without double counting.
+        let total = bus.busy_cycles_through(10_000);
+        let split = bus.busy_cycles_through(120) + (total - bus.busy_cycles_through(120));
+        assert_eq!(split, total);
+    }
+
+    #[test]
+    fn saturated_bus_reports_exactly_one_utilization() {
+        let mut bus = MemoryBus::new(MemoryBusConfig::default());
+        // 100 back-to-back reads keep the bus busy without a gap from the
+        // first transfer's start (cycle 80) to the last completion.
+        for _ in 0..100 {
+            bus.read(0, 64, TrafficClass::DataRead);
+        }
+        let (start, end) = (80u64, 80 + 100 * 40);
+        let busy = bus.busy_cycles_through(end) - bus.busy_cycles_through(start);
+        let util = busy as f64 / (end - start) as f64;
+        assert_eq!(util, 1.0, "saturation must be exactly 1.0, unclamped");
+        // And never above 1.0, even for windows cutting through transfers.
+        for t in (start..end).step_by(7) {
+            let w = bus.busy_cycles_through(t + 13) - bus.busy_cycles_through(t);
+            assert!(w <= 13, "window busy {w} exceeds its 13-cycle span");
+        }
+    }
+
+    #[test]
+    fn reset_stats_preserves_bus_occupancy() {
+        let mut bus = MemoryBus::new(MemoryBusConfig::default());
+        let mut uninterrupted = MemoryBus::new(MemoryBusConfig::default());
+        bus.read(0, 64, TrafficClass::DataRead);
+        uninterrupted.read(0, 64, TrafficClass::DataRead);
+        bus.reset_stats();
+        assert_eq!(bus.stats().total_bytes(), 0);
+        // The next transfer still queues behind the in-flight one.
+        let a = bus.read(0, 64, TrafficClass::DataRead);
+        let b = uninterrupted.read(0, 64, TrafficClass::DataRead);
+        assert_eq!(a, b);
     }
 
     #[test]

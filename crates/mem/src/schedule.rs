@@ -34,6 +34,10 @@ pub struct IntervalSchedule {
     /// Adaptive prune trigger: doubled whenever pruning cannot shrink the
     /// map (avoids O(n) retain on every insert during booking bursts).
     prune_at: usize,
+    /// Total cycles of intervals dropped by pruning (all of which ended
+    /// before the low-water mark), so [`busy_through`](Self::busy_through)
+    /// stays exact across pruning.
+    pruned_cycles: u64,
 }
 
 impl Default for IntervalSchedule {
@@ -49,6 +53,7 @@ impl IntervalSchedule {
             busy: BTreeMap::new(),
             low_water: 0,
             prune_at: 4096,
+            pruned_cycles: 0,
         }
     }
 
@@ -115,16 +120,43 @@ impl IntervalSchedule {
         self.busy.len()
     }
 
+    /// Busy cycles that have *elapsed* by time `t`: each booked interval
+    /// contributes its overlap with `[0, t)`. Unlike summing bookings at
+    /// issue time, this attributes an interval straddling `t` only up to
+    /// `t`, so the delta between two queries never exceeds the wall-clock
+    /// cycles between them — exact utilization, no clamping.
+    ///
+    /// Exact for any `t` at or above the low-water mark when pruning last
+    /// ran (pruned intervals, counted in full, all ended before it).
+    pub fn busy_through(&self, t: u64) -> u64 {
+        self.pruned_cycles
+            + self
+                .busy
+                .range(..t)
+                .map(|(&start, &end)| end.min(t) - start)
+                .sum::<u64>()
+    }
+
     /// Clears everything (statistics-style reset).
     pub fn reset(&mut self) {
         self.busy.clear();
         self.low_water = 0;
         self.prune_at = 4096;
+        self.pruned_cycles = 0;
     }
 
     fn prune(&mut self) {
         let keep = self.low_water;
-        self.busy.retain(|_, end| *end >= keep);
+        let mut freed = 0u64;
+        self.busy.retain(|&start, end| {
+            if *end >= keep {
+                true
+            } else {
+                freed += *end - start;
+                false
+            }
+        });
+        self.pruned_cycles += freed;
     }
 }
 
@@ -185,6 +217,28 @@ mod tests {
             s.advance_low_water(i * 50);
         }
         assert!(s.retained() <= 4200, "pruned: {}", s.retained());
+    }
+
+    #[test]
+    fn busy_through_is_exact_across_pruning() {
+        let mut pruned = IntervalSchedule::new();
+        let mut unpruned = IntervalSchedule::new();
+        for i in 0..10_000u64 {
+            // Alternate gaps so intervals cannot all coalesce away.
+            let ready = i * 100 + (i % 2) * 7;
+            pruned.book(ready, 40);
+            unpruned.book(ready, 40);
+            pruned.advance_low_water(i * 100);
+        }
+        assert!(pruned.retained() < unpruned.retained());
+        // Exact at or above the low-water mark (the monotone query
+        // pattern utilization sampling uses).
+        for t in [999_900u64, 999_983, 1_000_200, 2_000_000] {
+            assert_eq!(pruned.busy_through(t), unpruned.busy_through(t), "t={t}");
+        }
+        // Monotone and bounded by elapsed time.
+        assert!(unpruned.busy_through(1000) <= 1000);
+        assert!(pruned.busy_through(2_000_000) >= pruned.busy_through(999_900));
     }
 
     #[test]

@@ -256,7 +256,15 @@ impl Options {
             let warm = (self.warmup as usize).min(insts.len());
             core.run(insts[..warm].iter().copied());
             core.port_mut().reset_stats();
+            let busy0 = {
+                let now = core.now();
+                core.port().l2().bus_busy_through(now)
+            };
             let stats = core.run(insts[warm..].iter().copied());
+            let busy = {
+                let now = core.now();
+                core.port().l2().bus_busy_through(now) - busy0
+            };
             let l2 = core.port().l2().l2_stats();
             let bus = core.port().l2().bus_stats();
             let checker = core.port().l2().stats();
@@ -298,7 +306,7 @@ impl Options {
                 bus_utilization: if stats.cycles == 0 {
                     0.0
                 } else {
-                    bus.busy_cycles as f64 / stats.cycles as f64
+                    busy as f64 / stats.cycles as f64
                 },
             }];
             Ok((result, samples))
