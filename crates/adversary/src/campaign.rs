@@ -89,7 +89,9 @@ impl CampaignSpec {
                             cycle: self.accesses * 75,
                         },
                         _ => Trigger::Random {
-                            per_access_ppm: ((2_000_000 / self.accesses) as u32).max(1),
+                            per_access_ppm: u32::try_from(2_000_000 / self.accesses)
+                                .expect("quotient of 2e6 fits u32")
+                                .max(1),
                         },
                     };
                     cells.push(CellConfig {
@@ -302,7 +304,7 @@ impl CampaignReport {
                     p50: percentile(&samples, 50.0),
                     p90: percentile(&samples, 90.0),
                     p99: percentile(&samples, 99.0),
-                    max: *samples.last().unwrap(),
+                    max: samples.last().copied().unwrap_or(0),
                     mean: sum as f64 / samples.len() as f64,
                     samples,
                 });

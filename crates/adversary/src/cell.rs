@@ -467,7 +467,8 @@ fn apply_attack(
             let layout = *ctl.layout().expect("timestamp attacks need a tree");
             let chunk = layout.data_chunk_for(target);
             let ts = timestamp_byte_addr(&layout, chunk).expect("in-memory parent slot");
-            let bit = (rng.gen_u8() as u32 % layout.blocks_per_chunk()) as u8;
+            let bit = u8::try_from(u32::from(rng.gen_u8()) % layout.blocks_per_chunk())
+                .expect("blocks_per_chunk fits u8");
             if let Some(vm) = vm.as_mut() {
                 vm.adversary().tamper(ts, TamperKind::BitFlip { bit });
             }

@@ -1,0 +1,122 @@
+//! `analyze` — run the miv static-analysis catalogue over the
+//! workspace.
+//!
+//! ```text
+//! cargo run -p miv-analyze --release -- --workspace [--json out.json]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on any unsuppressed finding, 2 on
+//! usage or I/O errors. Findings print as clickable `file:line:col`
+//! diagnostics; `--json` additionally writes the deterministic
+//! `miv-findings-v1` report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use miv_analyze::{analyze_workspace, discover_workspace_root, findings_json, CATALOGUE};
+
+const USAGE: &str = "\
+usage: analyze [--workspace | --root PATH] [--json PATH] [--list-rules]
+
+  --workspace    analyze the enclosing cargo workspace (default)
+  --root PATH    analyze the tree rooted at PATH instead
+  --json PATH    also write the miv-findings-v1 report to PATH
+  --list-rules   print the rule catalogue and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in CATALOGUE {
+            println!("{:<26} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("analyze: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match discover_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("analyze: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            f.path, f.line, f.col, f.rule, f.message
+        );
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+
+    if let Some(path) = json_out {
+        let rendered = findings_json(&report).render_pretty() + "\n";
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "miv-analyze: {} finding(s), {} suppressed, {} files scanned",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("analyze: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,327 @@
+//! The analysis driver: runs the catalogue over files, applies
+//! suppression directives, and renders the `miv-findings-v1` report.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use miv_obs::json::JsonValue;
+
+use crate::rules::{find_rule, RawFinding, CATALOGUE, FILE_SCOPE_RULES};
+use crate::scan::{FileContext, SourceFile};
+
+/// Pseudo-rule id for directive hygiene: malformed `allow(...)` forms
+/// and unknown rule ids are findings themselves (and cannot be
+/// suppressed — fix the directive).
+pub const DIRECTIVE_RULE: &str = "directive";
+
+/// One reportable violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id that fired.
+    pub rule: String,
+    /// Workspace-relative path (`/` separators).
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The trimmed source line, for context in reports.
+    pub snippet: String,
+}
+
+/// A finding that an `allow(rule, reason="...")` directive waived.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// Rule id that would have fired.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the suppressed finding.
+    pub line: usize,
+    /// The directive's justification.
+    pub reason: String,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed findings, sorted by (line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings, same order.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Runs the whole catalogue over one in-memory source file.
+pub fn check_source(ctx: &FileContext, src: &str) -> FileReport {
+    let file = SourceFile::new(src);
+    let mut report = FileReport::default();
+
+    for bad in &file.bad_directives {
+        report.findings.push(Finding {
+            rule: DIRECTIVE_RULE.to_string(),
+            path: ctx.rel_path.clone(),
+            line: bad.line,
+            col: 1,
+            message: format!("malformed miv-analyze directive: {}", bad.message),
+            snippet: line_snippet(src, bad.line),
+        });
+    }
+    for allow in &file.allows {
+        if find_rule(&allow.rule).is_none() {
+            report.findings.push(Finding {
+                rule: DIRECTIVE_RULE.to_string(),
+                path: ctx.rel_path.clone(),
+                line: allow.line,
+                col: 1,
+                message: format!("allow() names unknown rule `{}`", allow.rule),
+                snippet: line_snippet(src, allow.line),
+            });
+        }
+    }
+
+    for rule in CATALOGUE {
+        let mut raw: Vec<RawFinding> = Vec::new();
+        (rule.check)(ctx, &file, &mut raw);
+        let file_scope = FILE_SCOPE_RULES.contains(&rule.id);
+        for r in raw {
+            let (line, col) = file.line_col(r.pos);
+            let waiver = file.allows.iter().find(|a| {
+                a.rule == rule.id
+                    && find_rule(&a.rule).is_some()
+                    && (file_scope || a.line == line || a.line + 1 == line)
+            });
+            match waiver {
+                Some(a) => report.suppressed.push(Suppressed {
+                    rule: rule.id.to_string(),
+                    path: ctx.rel_path.clone(),
+                    line,
+                    reason: a.reason.clone(),
+                }),
+                None => report.findings.push(Finding {
+                    rule: rule.id.to_string(),
+                    path: ctx.rel_path.clone(),
+                    line,
+                    col,
+                    message: r.message,
+                    snippet: line_snippet(src, line),
+                }),
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    report
+}
+
+fn line_snippet(src: &str, line: usize) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// The aggregated result of analyzing a workspace tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// All suppressed findings, same order.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl WorkspaceReport {
+    /// Whether the tree is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Walks `root` and returns every `.rs` file as a sorted list of
+/// workspace-relative paths (`/` separators), skipping `target/`,
+/// VCS metadata and hidden directories — so the report order is
+/// deterministic by construction.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every `.rs` file under `root` with the full catalogue.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for rel in collect_rs_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let ctx = FileContext::from_rel_path(&rel);
+        let file_report = check_source(&ctx, &src);
+        report.findings.extend(file_report.findings);
+        report.suppressed.extend(file_report.suppressed);
+        report.files_scanned += 1;
+    }
+    // Files are visited in sorted order and per-file results are
+    // already sorted, so the aggregate is deterministic without a
+    // second sort — but sort anyway so the invariant does not rest on
+    // the walk order.
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn discover_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Renders the `miv-findings-v1` JSON report. Field order and array
+/// order are fixed, and no timestamps or absolute paths are included,
+/// so two runs over the same tree are byte-identical.
+pub fn findings_json(report: &WorkspaceReport) -> JsonValue {
+    let mut root = JsonValue::obj();
+    root.push("schema", "miv-findings-v1");
+    root.push("files_scanned", report.files_scanned as u64);
+    root.push("clean", report.is_clean());
+
+    let mut rules = Vec::new();
+    for rule in CATALOGUE {
+        let mut r = JsonValue::obj();
+        r.push("id", rule.id);
+        r.push("summary", rule.summary);
+        rules.push(r);
+    }
+    root.push("rules", JsonValue::Array(rules));
+
+    let mut findings = Vec::new();
+    for f in &report.findings {
+        let mut j = JsonValue::obj();
+        j.push("rule", f.rule.as_str());
+        j.push("path", f.path.as_str());
+        j.push("line", f.line as u64);
+        j.push("col", f.col as u64);
+        j.push("message", f.message.as_str());
+        j.push("snippet", f.snippet.as_str());
+        findings.push(j);
+    }
+    root.push("findings", JsonValue::Array(findings));
+
+    let mut suppressed = Vec::new();
+    for s in &report.suppressed {
+        let mut j = JsonValue::obj();
+        j.push("rule", s.rule.as_str());
+        j.push("path", s.path.as_str());
+        j.push("line", s.line as u64);
+        j.push("reason", s.reason.as_str());
+        suppressed.push(j);
+    }
+    root.push("suppressed", JsonValue::Array(suppressed));
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileContext {
+        FileContext::from_rel_path("crates/core/src/fake.rs")
+    }
+
+    #[test]
+    fn unwrap_finding_and_suppression() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = check_source(&lib_ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "no-unwrap-in-lib");
+        assert_eq!(r.findings[0].line, 1);
+
+        let src = "// miv-analyze: allow(no-unwrap-in-lib, reason=\"demo\")\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = check_source(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "demo");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let src = "// miv-analyze: allow(no-such-rule, reason=\"x\")\n";
+        let r = check_source(&lib_ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, DIRECTIVE_RULE);
+    }
+
+    #[test]
+    fn findings_json_is_deterministic() {
+        let mut report = WorkspaceReport {
+            files_scanned: 2,
+            ..WorkspaceReport::default()
+        };
+        report.findings.push(Finding {
+            rule: "no-wall-clock".to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+        });
+        let a = findings_json(&report).render_pretty();
+        let b = findings_json(&report).render_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("miv-findings-v1"));
+    }
+}

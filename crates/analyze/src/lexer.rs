@@ -1,0 +1,366 @@
+//! A hand-rolled, span-preserving Rust lexer.
+//!
+//! The analyzer needs to know whether a pattern like `Instant::now` or
+//! `.unwrap()` occurs in *code* — not in a comment, a doc example, or a
+//! string literal holding a rule description. A full parser is overkill
+//! (and an offline workspace cannot pull one in, see DESIGN.md §6
+//! decision 12), so this module lexes Rust source into a flat token
+//! stream that is exact about the four things that matter:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals: regular (`"..."` with escapes), byte (`b"..."`),
+//!   and raw (`r"..."`, `r#"..."#`, `br##"..."##` at any `#` depth),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`, including `'\''`),
+//! * identifiers, numbers and punctuation for everything else.
+//!
+//! The lexer is **infallible** and **lossless**: every input byte lands
+//! in exactly one token, so re-concatenating the token spans reproduces
+//! the file byte for byte (property-tested against every `.rs` file in
+//! the workspace). Malformed input (unterminated strings or comments)
+//! is absorbed into the current token rather than rejected — the
+//! analyzer's job is to scan source, not to validate it.
+
+/// The classification of one lexed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// A `//` comment up to (not including) the newline. Doc comments
+    /// (`///`, `//!`) are line comments too — rules must never match
+    /// inside documentation examples.
+    LineComment,
+    /// A `/* ... */` comment, nested to arbitrary depth.
+    BlockComment,
+    /// A `"..."` or `b"..."` literal, escapes handled.
+    Str,
+    /// A raw `r"..."` / `r#"..."#` / `br#"..."#` literal at any depth.
+    RawStr,
+    /// A character or byte-character literal (`'x'`, `b'\n'`, `'\''`).
+    Char,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#type`).
+    Ident,
+    /// A numeric literal (integer or the simple float forms).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, …).
+    Punct,
+}
+
+/// One token: a classification plus the half-open byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the span is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a lossless token stream.
+///
+/// Concatenating `src[t.start..t.end]` over the returned tokens always
+/// reproduces `src` exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let start = i;
+        let kind = match b[i] {
+            c if c.is_ascii_whitespace() => {
+                while i < n && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = scan_string(b, i);
+                TokenKind::Str
+            }
+            b'\'' => scan_quote(b, &mut i),
+            c if c.is_ascii_digit() => {
+                i = scan_number(b, i);
+                TokenKind::Number
+            }
+            c if is_ident_start(c) => scan_ident_or_prefixed(src, b, &mut i),
+            _ => {
+                i += 1;
+                TokenKind::Punct
+            }
+        };
+        debug_assert!(i > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: i.min(n),
+        });
+    }
+    out
+}
+
+/// Scans a `"..."` body starting at the opening quote; returns the index
+/// one past the closing quote (or `len` if unterminated).
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scans a raw string starting at the first `#` or `"` after the `r`
+/// prefix; returns the index one past the closing quote+hashes.
+fn scan_raw_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    let mut hashes = 0usize;
+    while i < n && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < n && b[i] == b'"' {
+        i += 1;
+        while i < n {
+            if b[i] == b'"' && i + hashes < n && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+    }
+    n
+}
+
+/// Classifies a `'` as a char literal or a lifetime and advances `i`.
+fn scan_quote(b: &[u8], i: &mut usize) -> TokenKind {
+    let n = b.len();
+    let j = *i + 1;
+    if j < n && b[j] == b'\\' {
+        // Escaped char: skip the backslash + escape head, then scan to
+        // the closing quote ('\n', '\'', '\u{1F600}' all end this way).
+        let mut k = (j + 2).min(n);
+        while k < n && b[k] != b'\'' {
+            k += 1;
+        }
+        *i = (k + 1).min(n);
+        return TokenKind::Char;
+    }
+    if j < n {
+        // Width of the (possibly multi-byte) char after the quote.
+        let w = utf8_len(b[j]);
+        if j + w < n && b[j + w] == b'\'' {
+            *i = j + w + 1;
+            return TokenKind::Char;
+        }
+    }
+    // No closing quote in reach: a lifetime ('a, 'static, '_).
+    let mut k = j;
+    while k < n && is_ident_continue(b[k]) {
+        k += 1;
+    }
+    *i = k.max(j).max(*i + 1);
+    TokenKind::Lifetime
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Scans a numeric literal: `123`, `0xff_u32`, `1_000`, `3.25`, `1e9`.
+/// Exponent signs (`1e-9`) lex as Number/Punct/Number, which still
+/// roundtrips; the analyzer's rules only need integer forms.
+fn scan_number(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    // A fractional part: '.' followed by a digit ("0..5" stays a range).
+    if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Scans an identifier, handling string-literal prefixes (`r"`, `r#"`,
+/// `b"`, `br#"`, `b'`) and raw identifiers (`r#type`).
+fn scan_ident_or_prefixed(src: &str, b: &[u8], i: &mut usize) -> TokenKind {
+    let n = b.len();
+    let at = *i;
+    // Raw-string / byte-string prefixes must be checked before the
+    // identifier rule swallows the prefix letter.
+    let rest = &src[at..];
+    if rest.starts_with("r\"") || rest.starts_with("r#\"") || rest.starts_with("r##") {
+        *i = scan_raw_string(b, at + 1);
+        return TokenKind::RawStr;
+    }
+    if rest.starts_with("br\"") || rest.starts_with("br#") {
+        *i = scan_raw_string(b, at + 2);
+        return TokenKind::RawStr;
+    }
+    if rest.starts_with("b\"") {
+        *i = scan_string(b, at + 1);
+        return TokenKind::Str;
+    }
+    if rest.starts_with("b'") {
+        let mut j = at + 1;
+        let kind = scan_quote(b, &mut j);
+        if kind == TokenKind::Char {
+            *i = j;
+            return TokenKind::Char;
+        }
+        // `b'x` with no closing quote: fall through to a plain ident.
+    }
+    if rest.starts_with("r#") && at + 2 < n && is_ident_start(b[at + 2]) {
+        // Raw identifier r#type: the `r#` belongs to the ident token.
+        let mut j = at + 2;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        *i = j;
+        return TokenKind::Ident;
+    }
+    let mut j = at;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    *i = j;
+    TokenKind::Ident
+}
+
+/// The 1-based line and column of byte offset `pos` in `src`.
+pub fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let upto = &src.as_bytes()[..pos.min(src.len())];
+    let line = 1 + upto.iter().filter(|&&c| c == b'\n').count();
+    let col = 1 + upto.iter().rev().take_while(|&&c| c != b'\n').count();
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_basic_forms() {
+        for src in [
+            "fn main() { let x = 1; }",
+            "// line\n/* block /* nested */ still */ fn f() {}",
+            r##"let s = r#"raw "quoted" body"#;"##,
+            "let c = '\"'; let l: &'static str = \"//not a comment\";",
+            "let b = b\"bytes\\\"esc\"; let bc = b'x';",
+            "let f = 3.25e-9; let r = 0..5; let h = 0xff_u32;",
+            "let raw_id = r#type;",
+            "unterminated \"string never closes",
+            "/* unterminated /* nested comment",
+        ] {
+            assert_eq!(roundtrip(src), src, "lossless lex of {src:?}");
+        }
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let src = "// Instant::now()\n/* HashMap */ real_ident";
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, ["real_ident"]);
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let src = r#"let p = "Instant::now"; let q = 'h';"#;
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, ["let", "p", "let", "q"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(
+            kinds("'a' 'a '\\'' '_ '✓'"),
+            [
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_col_math() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 6), (3, 1));
+    }
+}

@@ -1,0 +1,62 @@
+//! `miv-analyze` — workspace-native static analysis for the miv
+//! reproduction.
+//!
+//! The workspace's strongest guarantees — byte-identical output at any
+//! `--jobs` count, adversary-campaign soundness, and split-run timing
+//! equivalence — are dynamic properties protected by end-to-end CI
+//! gates. Those gates tell you *that* a PR broke determinism, hours
+//! after the fact; they do not tell you *where*, and they cannot stop
+//! the classes of bug that only fire on specific inputs. This crate
+//! turns the project's documented invariants (INVARIANTS.md) into a
+//! machine-checked catalogue that runs in milliseconds:
+//!
+//! * a hand-rolled, comment- and string-literal-aware Rust
+//!   [`lexer`] (lossless: token spans reproduce the file byte for
+//!   byte, property-tested over every `.rs` file in the workspace),
+//! * a [`scan`] layer that classifies files (lib / bin / test),
+//!   detects `#[cfg(test)]` item spans, and parses suppression
+//!   directives,
+//! * a [`rules`] catalogue of project-specific invariants that
+//!   `clippy -D warnings` cannot express (no wall clocks in the sim,
+//!   no hash-ordered iteration near output, reset methods must not
+//!   clear interval schedules, …),
+//! * an [`engine`] that applies suppressions and renders the
+//!   deterministic `miv-findings-v1` JSON report.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p miv-analyze --release -- --workspace [--json out.json]
+//! ```
+//!
+//! The binary exits non-zero on any unsuppressed finding.
+//!
+//! # Suppressing a finding
+//!
+//! Justification is mandatory; a directive without a reason is itself
+//! a finding:
+//!
+//! ```text
+//! // miv-analyze: allow(no-wall-clock, reason="bench harness measures real time")
+//! let t0 = Instant::now();
+//! ```
+//!
+//! The directive waives the named rule on its own line and the line
+//! below it. File-scoped rules (like `forbid-unsafe-header`) accept a
+//! directive anywhere in the file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use engine::{
+    analyze_workspace, check_source, collect_rs_files, discover_workspace_root, findings_json,
+    FileReport, Finding, Suppressed, WorkspaceReport,
+};
+pub use lexer::{lex, Token, TokenKind};
+pub use rules::{find_rule, Rule, CATALOGUE};
+pub use scan::{FileContext, FileKind, SourceFile};

@@ -1,0 +1,458 @@
+//! The rule catalogue: every project invariant the analyzer enforces.
+//!
+//! Each rule encodes a *real* past or latent footgun from this
+//! workspace's history (see INVARIANTS.md for the mapping from prose
+//! subtlety to rule id). Rules work on the significant-token stream of
+//! a [`SourceFile`] — comments, doc examples and string literals can
+//! never trigger them — and scope themselves by [`FileKind`] and crate
+//! id. Suppression is per-line via
+//! `// miv-analyze: allow(rule-id, reason="...")` with a mandatory
+//! justification.
+
+use crate::lexer::TokenKind;
+use crate::scan::{FileContext, FileKind, SourceFile};
+
+/// A raw finding before suppression and line/col resolution: a byte
+/// offset into the file plus a message.
+#[derive(Debug)]
+pub struct RawFinding {
+    /// Byte offset the finding anchors to.
+    pub pos: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// One rule: id, one-line summary, and the checker itself.
+pub struct Rule {
+    /// Stable kebab-case id, used in directives and the findings JSON.
+    pub id: &'static str,
+    /// One-line summary shown by `--list-rules` and embedded in the
+    /// `miv-findings-v1` report.
+    pub summary: &'static str,
+    /// The checker: pushes raw findings for one file.
+    pub check: fn(&FileContext, &SourceFile, &mut Vec<RawFinding>),
+}
+
+/// Rules whose findings are file-scoped (an `allow` anywhere in the
+/// file suppresses them), because the violation is the *absence* of
+/// something rather than a line of code.
+pub const FILE_SCOPE_RULES: &[&str] = &["forbid-unsafe-header"];
+
+/// The full catalogue, in the order findings are reported.
+pub const CATALOGUE: &[Rule] = &[
+    Rule {
+        id: "no-wall-clock",
+        summary: "Instant::now/SystemTime are forbidden outside tests and benches: sim results \
+                  must be bit-reproducible; miv-bench's Harness is the one justified site",
+        check: check_no_wall_clock,
+    },
+    Rule {
+        id: "deterministic-iteration",
+        summary: "HashMap/HashSet are forbidden in library and binary code: randomized iteration \
+                  order has previously leaked into reports; use BTreeMap/BTreeSet or justify \
+                  lookup-only use",
+        check: check_deterministic_iteration,
+    },
+    Rule {
+        id: "no-unwrap-in-lib",
+        summary: ".unwrap() and panic!/todo!/unimplemented! are forbidden in library code \
+                  (tests, benches and binaries exempt); use ? or .expect(\"documented \
+                  invariant\")",
+        check: check_no_unwrap_in_lib,
+    },
+    Rule {
+        id: "forbid-unsafe-header",
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+        check: check_forbid_unsafe_header,
+    },
+    Rule {
+        id: "no-truncating-cast",
+        summary: "`as u8/u16/u32` narrowing is forbidden in the address/size crates (core, mem, \
+                  sim, adversary) except on literals and SCREAMING_CASE constants; use \
+                  try_into/checked helpers (the parse_size overflow class)",
+        check: check_no_truncating_cast,
+    },
+    Rule {
+        id: "reset-preserves-schedules",
+        summary: "a reset* method must not .clear() a schedule field: booked bus/hash-unit \
+                  transfers would be forgotten and split runs would diverge from unsplit runs",
+        check: check_reset_preserves_schedules,
+    },
+    Rule {
+        id: "rc-not-sent",
+        summary: "std::rc is non-Send and breaks the parallel sweep unless crossed as a \
+                  plain-data snapshot; justify every use against the snapshot-absorb pattern",
+        check: check_rc_not_sent,
+    },
+    Rule {
+        id: "doc-comment-required",
+        summary: "every pub item in miv-core and miv-mem needs a doc comment (pub(crate), \
+                  pub use, pub mod declarations and struct fields exempt)",
+        check: check_doc_comment_required,
+    },
+];
+
+/// Looks a rule up by id (used to validate directives).
+pub fn find_rule(id: &str) -> Option<&'static Rule> {
+    CATALOGUE.iter().find(|r| r.id == id)
+}
+
+fn code_kinds(kind: FileKind) -> bool {
+    matches!(kind, FileKind::Lib | FileKind::Bin)
+}
+
+/// Rule 1: no wall clocks outside tests/benches. The simulator's whole
+/// value rests on bit-reproducible runs; a stray `Instant::now` turns a
+/// figure into a flake.
+fn check_no_wall_clock(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !code_kinds(ctx.kind) {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        if f.match_seq(k, &["Instant", ":", ":", "now"]) {
+            out.push(RawFinding {
+                pos,
+                message: "wall-clock read (Instant::now) in deterministic code".to_string(),
+            });
+        } else if f.sig_text(k) == "SystemTime" {
+            out.push(RawFinding {
+                pos,
+                message: "wall-clock type (SystemTime) in deterministic code".to_string(),
+            });
+        }
+    }
+}
+
+/// Rule 2: no hash-ordered containers in non-test code. A `HashMap`
+/// that is only ever *looked up* is safe, but history shows the
+/// iteration creeps in later — so the type itself is the lint, and a
+/// justified `allow` documents the lookup-only contract.
+fn check_deterministic_iteration(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !code_kinds(ctx.kind) {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        let t = f.sig_text(k);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        out.push(RawFinding {
+            pos,
+            message: format!(
+                "{t} iterates in a randomized order; use BTree{} or justify lookup-only use",
+                &t[4..]
+            ),
+        });
+    }
+}
+
+/// Rule 3: no `.unwrap()` / `panic!` / `todo!` / `unimplemented!` in
+/// library code. `.expect("message")` is the sanctioned form for
+/// internal invariants — the message *is* the justification — so it is
+/// deliberately not flagged.
+fn check_no_unwrap_in_lib(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        if f.match_seq(k, &[".", "unwrap", "(", ")"]) {
+            out.push(RawFinding {
+                pos,
+                message: ".unwrap() in library code; use ? or .expect(\"documented invariant\")"
+                    .to_string(),
+            });
+        } else {
+            let t = f.sig_text(k);
+            if (t == "panic" || t == "todo" || t == "unimplemented") && f.sig_text(k + 1) == "!" {
+                out.push(RawFinding {
+                    pos,
+                    message: format!("{t}! in library code; return an error instead"),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: every crate root keeps `#![forbid(unsafe_code)]`. The
+/// security claim of the whole reproduction rests on the type system;
+/// one dropped header silently re-opens the door.
+fn check_forbid_unsafe_header(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        if f.match_seq(k, &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]) {
+            return;
+        }
+    }
+    out.push(RawFinding {
+        pos: 0,
+        message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+    });
+}
+
+const CAST_SCOPED_CRATES: &[&str] = &["core", "mem", "sim", "adversary"];
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32"];
+
+/// Rule 5: no silent narrowing casts in address/size arithmetic. The
+/// PR-2 `parse_size` bug was exactly this shape: a u64 quietly folded
+/// into a smaller type. Casting a literal or a SCREAMING_CASE constant
+/// is exempt (the value is in view); everything else needs
+/// `try_into`/`u32::try_from` or a justified allow.
+fn check_no_truncating_cast(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if ctx.kind != FileKind::Lib || !CAST_SCOPED_CRATES.contains(&ctx.crate_id.as_str()) {
+        return;
+    }
+    for k in 1..f.sig_len() {
+        if f.sig_text(k) != "as" || !NARROW_TARGETS.contains(&f.sig_text(k + 1)) {
+            continue;
+        }
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        let prev = f.sig_text(k - 1);
+        let prev_kind = f.sig_kind(k - 1);
+        let literal = prev_kind == Some(TokenKind::Number) || prev == "true" || prev == "false";
+        let screaming = prev_kind == Some(TokenKind::Ident)
+            && prev.len() > 1
+            && prev.chars().any(|c| c.is_ascii_uppercase())
+            && prev
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+        if literal || screaming {
+            continue;
+        }
+        out.push(RawFinding {
+            pos,
+            message: format!(
+                "narrowing `as {}` on a non-literal value; use try_into/checked conversion",
+                f.sig_text(k + 1)
+            ),
+        });
+    }
+}
+
+/// Rule 6: a `reset*` method must not clear a schedule. This is the
+/// PR-4 bug as a rule: `L2Controller::reset_stats` once cleared the
+/// bus `IntervalSchedule`, forgetting booked background-verification
+/// transfers, so a split run timed differently from an unsplit run.
+fn check_reset_preserves_schedules(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let mut k = 0;
+    while k + 1 < f.sig_len() {
+        if f.sig_text(k) != "fn" || !f.sig_text(k + 1).contains("reset") {
+            k += 1;
+            continue;
+        }
+        if f.in_test_span(f.sig_start(k)) {
+            k += 1;
+            continue;
+        }
+        // Find the body: first `{` after the signature.
+        let mut open = k + 2;
+        while open < f.sig_len() && f.sig_text(open) != "{" && f.sig_text(open) != ";" {
+            open += 1;
+        }
+        if f.sig_text(open) != "{" {
+            k = open + 1;
+            continue;
+        }
+        let close = f.matching_brace(open);
+        for j in open..close {
+            let ident = f.sig_text(j);
+            if f.sig_kind(j) != Some(TokenKind::Ident) || !ident.to_lowercase().contains("sched") {
+                continue;
+            }
+            // A `.clear(` within the next few tokens of the schedule
+            // field catches `self.sched.clear()` and
+            // `self.sched.inner.clear()` alike.
+            for m in j + 1..(j + 5).min(close) {
+                if f.sig_text(m) == "clear" && f.sig_text(m - 1) == "." && f.sig_text(m + 1) == "("
+                {
+                    out.push(RawFinding {
+                        pos: f.sig_start(j),
+                        message: format!(
+                            "reset method `{}` clears schedule field `{ident}`: booked \
+                             transfers would be forgotten (split-run divergence)",
+                            f.sig_text(k + 1)
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        k = close + 1;
+    }
+}
+
+/// Rule 7: `std::rc` types are non-Send; the parallel sweep crosses
+/// telemetry between threads as plain-data snapshots instead. Any Rc
+/// must either live behind that pattern (justified allow) or not exist.
+fn check_rc_not_sent(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !code_kinds(ctx.kind) {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        if f.sig_text(k) != "rc" || !f.match_seq(k + 1, &[":", ":"]) {
+            continue;
+        }
+        if f.sig_kind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        out.push(RawFinding {
+            pos,
+            message: "std::rc type in non-test code: non-Send, breaks the parallel sweep \
+                      unless crossed as a plain-data snapshot"
+                .to_string(),
+        });
+    }
+}
+
+const DOC_SCOPED_CRATES: &[&str] = &["core", "mem"];
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "union", "trait", "type", "static", "const",
+];
+
+/// Rule 8: public API of the paper-contribution crates stays
+/// documented. `pub(crate)`/`pub(super)`, `pub use` re-exports and
+/// struct fields are exempt, as is `pub mod x;` (a module documents
+/// itself with inner `//!` docs in its own file); attributes between
+/// the doc comment and the item are fine.
+fn check_doc_comment_required(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if ctx.kind != FileKind::Lib || !DOC_SCOPED_CRATES.contains(&ctx.crate_id.as_str()) {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        if f.sig_text(k) != "pub" || f.sig_kind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        if f.sig_text(k + 1) == "(" {
+            continue; // pub(crate)/pub(super)/pub(in ...) are internal.
+        }
+        // Scan past modifiers to the item keyword; `pub const fn` is a
+        // fn, `pub const NAME` is a const.
+        let mut j = k + 1;
+        let mut item = None;
+        while j < k + 5 {
+            let t = f.sig_text(j);
+            if t == "const" && f.sig_text(j + 1) == "fn" {
+                j += 1;
+                continue;
+            }
+            if ITEM_KEYWORDS.contains(&t) {
+                item = Some((t, f.sig_text(j + 1).to_string()));
+                break;
+            }
+            if t == "use" {
+                break; // re-exports are exempt
+            }
+            if !matches!(t, "unsafe" | "async" | "extern") {
+                break; // a field or something unexpected — not an item
+            }
+            j += 1;
+        }
+        let Some((item_kw, name)) = item else {
+            continue;
+        };
+        if !has_doc_before(f, k) {
+            out.push(RawFinding {
+                pos,
+                message: format!("undocumented pub {item_kw} `{name}`"),
+            });
+        }
+    }
+}
+
+/// Whether the `pub` at significant index `k` is preceded (skipping
+/// whitespace and attributes) by a doc comment or a `#[doc...]`.
+fn has_doc_before(f: &SourceFile, k: usize) -> bool {
+    let Some(&mut_start) = f.sig.get(k) else {
+        return true;
+    };
+    let mut i = mut_start;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        let t = &f.tokens[i];
+        match t.kind {
+            TokenKind::Whitespace => continue,
+            TokenKind::LineComment => {
+                // `//!` is an *inner* doc: it documents the enclosing
+                // module, not the following item.
+                if t.text(f.src).starts_with("///") {
+                    return true;
+                }
+                continue; // plain comments don't document, keep looking
+            }
+            TokenKind::BlockComment => {
+                if t.text(f.src).starts_with("/**") {
+                    return true;
+                }
+                continue;
+            }
+            _ => {
+                // An attribute ends with `]`; walk back to its `#`,
+                // check for #[doc...], then keep scanning before it.
+                if t.text(f.src) == "]" {
+                    let mut depth = 1usize;
+                    let mut saw_doc = false;
+                    while i > 0 && depth > 0 {
+                        i -= 1;
+                        match f.tokens[i].kind {
+                            TokenKind::Punct => match f.tokens[i].text(f.src) {
+                                "]" => depth += 1,
+                                "[" => depth -= 1,
+                                _ => {}
+                            },
+                            TokenKind::Ident if f.tokens[i].text(f.src) == "doc" => {
+                                saw_doc = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if saw_doc {
+                        return true;
+                    }
+                    // Step back over the `#` (and `!` for inner attrs).
+                    while i > 0 {
+                        let prev = &f.tokens[i - 1];
+                        if matches!(prev.kind, TokenKind::Punct)
+                            && matches!(prev.text(f.src), "#" | "!")
+                        {
+                            i -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                return false;
+            }
+        }
+    }
+}

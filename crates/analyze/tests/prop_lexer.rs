@@ -1,0 +1,144 @@
+//! Property tests for the lexer: tricky syntactic corners, randomized
+//! token soup, and a byte-for-byte roundtrip over every `.rs` file in
+//! the workspace.
+
+use std::path::Path;
+
+use miv_analyze::lexer::{lex, TokenKind};
+use miv_obs::Rng;
+
+fn roundtrip(src: &str) -> String {
+    lex(src).iter().map(|t| t.text(src)).collect()
+}
+
+fn code_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src).to_string())
+        .collect()
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "a /* one /* two /* three */ two */ one */ b";
+    assert_eq!(roundtrip(src), src);
+    assert_eq!(code_idents(src), ["a", "b"]);
+
+    // Unbalanced: the comment swallows the rest of the file.
+    let src = "a /* open /* deep */ still open";
+    assert_eq!(roundtrip(src), src);
+    assert_eq!(code_idents(src), ["a"]);
+}
+
+#[test]
+fn raw_strings_at_every_hash_depth() {
+    let src = r####"let a = r"plain"; let b = r#"has "quotes""#; ident"####;
+    assert_eq!(roundtrip(src), src);
+    assert!(code_idents(src).contains(&"ident".to_string()));
+    assert!(!code_idents(src).contains(&"quotes".to_string()));
+
+    let src = "let s = r##\"inner \"# almost\"## done";
+    assert_eq!(roundtrip(src), src);
+    assert!(code_idents(src).contains(&"done".to_string()));
+    assert!(!code_idents(src).contains(&"almost".to_string()));
+
+    let src = "let b = br#\"bytes \" raw\"# after";
+    assert_eq!(roundtrip(src), src);
+    assert!(code_idents(src).contains(&"after".to_string()));
+}
+
+#[test]
+fn char_literals_containing_quotes_and_slashes() {
+    // '"' must not open a string; '/' must not start a comment; '\''
+    // must terminate correctly.
+    let src = r#"let q = '"'; let s = '/'; let e = '\''; let bs = '\\'; trailing"#;
+    assert_eq!(roundtrip(src), src);
+    let idents = code_idents(src);
+    assert!(idents.contains(&"trailing".to_string()));
+
+    // A string containing // and /* must stay a string.
+    let src = r#"let s = "// not /* a comment"; real"#;
+    assert_eq!(roundtrip(src), src);
+    assert!(code_idents(src).contains(&"real".to_string()));
+
+    // Lifetimes must not swallow the following token.
+    let src = "fn f<'a>(x: &'a str, y: &'static u8) {}";
+    assert_eq!(roundtrip(src), src);
+    assert!(code_idents(src).contains(&"str".to_string()));
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    let src = "/// Instant::now() example\n//! HashMap in crate docs\nfn ok() {}";
+    assert_eq!(roundtrip(src), src);
+    let idents = code_idents(src);
+    assert_eq!(idents, ["fn", "ok"]);
+}
+
+/// Randomized "token soup": concatenate random fragments (including
+/// pathological ones) and require the lossless-lex property to hold on
+/// every composition.
+#[test]
+fn prop_random_fragment_soup_roundtrips() {
+    const FRAGMENTS: &[&str] = &[
+        "ident ",
+        "x.unwrap()",
+        "\"str with \\\" escape\"",
+        "r#\"raw \" body\"#",
+        "'c'",
+        "'\\n'",
+        "'a ",
+        "&'static ",
+        "// line comment\n",
+        "/* block /* nested */ */",
+        "0xff_u32 ",
+        "3.25 ",
+        "0..5 ",
+        "b\"bytes\"",
+        "b'q'",
+        "::<>(){}[];,#!",
+        "\n    ",
+        "r#type ",
+        "1e-9 ",
+        "/* unbalanced",
+        "\"unterminated",
+    ];
+    let mut rng = Rng::seed_from_u64(0x5eed_1ece);
+    for _case in 0..500 {
+        let n = 1 + (rng.next_u64() % 12) as usize;
+        let mut src = String::new();
+        for _ in 0..n {
+            let pick = (rng.next_u64() % FRAGMENTS.len() as u64) as usize;
+            src.push_str(FRAGMENTS[pick]);
+        }
+        assert_eq!(roundtrip(&src), src, "lossless lex of {src:?}");
+    }
+}
+
+/// The headline property: every `.rs` file in the workspace lexes to a
+/// token stream whose concatenated spans reproduce the file exactly.
+#[test]
+fn prop_workspace_sources_roundtrip() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = miv_analyze::collect_rs_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 80,
+        "expected the whole workspace, found {} files",
+        files.len()
+    );
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let rebuilt = roundtrip(&src);
+        assert_eq!(rebuilt, src, "lossless lex of {rel}");
+        // And the stream must be contiguous: each token starts where
+        // the previous one ended.
+        let toks = lex(&src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap in token stream of {rel}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "token stream of {rel} ends early");
+    }
+}

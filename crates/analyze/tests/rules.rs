@@ -1,0 +1,321 @@
+//! Regression tests for the rule engine: for every rule in the
+//! catalogue, one fixture proving it fires and one proving a justified
+//! `allow(rule, reason="...")` suppresses it — plus scope negatives
+//! (test code, out-of-scope crates) and directive hygiene.
+
+use miv_analyze::{check_source, FileContext, FileReport, CATALOGUE};
+
+const LIB: &str = "crates/sim/src/fixture.rs";
+const CORE_LIB: &str = "crates/core/src/fixture.rs";
+
+fn check(rel_path: &str, src: &str) -> FileReport {
+    check_source(&FileContext::from_rel_path(rel_path), src)
+}
+
+fn fired(report: &FileReport) -> Vec<String> {
+    report.findings.iter().map(|f| f.rule.clone()).collect()
+}
+
+/// Prepends an allow directive for `rule` to `line` and asserts the
+/// fixture flips from firing to suppressed-with-reason.
+fn assert_fires_and_suppresses(rel_path: &str, rule: &str, src: &str) {
+    let report = check(rel_path, src);
+    assert!(
+        fired(&report).contains(&rule.to_string()),
+        "{rule} should fire on {src:?}, got {:?}",
+        report.findings
+    );
+
+    // Same source with a directive above every line: here we rebuild
+    // the fixture with the allow comment attached to each line, which
+    // must suppress every finding of this rule.
+    let allowed: String = src
+        .lines()
+        .map(|l| format!("// miv-analyze: allow({rule}, reason=\"fixture\")\n{l}\n"))
+        .collect();
+    let report = check(rel_path, &allowed);
+    assert!(
+        !fired(&report).contains(&rule.to_string()),
+        "{rule} should be suppressed in {allowed:?}, got {:?}",
+        report.findings
+    );
+    assert!(
+        report.suppressed.iter().any(|s| s.rule == rule),
+        "{rule} suppression should be recorded"
+    );
+    assert!(
+        report.suppressed.iter().all(|s| !s.reason.is_empty()),
+        "suppressions carry their justification"
+    );
+}
+
+#[test]
+fn no_wall_clock_fires_and_suppresses() {
+    assert_fires_and_suppresses(LIB, "no-wall-clock", "fn t() { let t0 = Instant::now(); }");
+    assert_fires_and_suppresses(
+        LIB,
+        "no-wall-clock",
+        "fn t() { let s = SystemTime::now(); }",
+    );
+}
+
+#[test]
+fn no_wall_clock_scope_negatives() {
+    // Test files may use clocks.
+    let r = check(
+        "crates/sim/tests/fixture.rs",
+        "fn t() { let t0 = Instant::now(); }",
+    );
+    assert!(fired(&r).is_empty());
+    // #[cfg(test)] items may too.
+    let r = check(
+        LIB,
+        "#[cfg(test)]\nmod tests {\n fn t() { let t0 = Instant::now(); } }\n",
+    );
+    assert!(fired(&r).is_empty());
+    // Mentions in strings and docs are not code.
+    let r = check(LIB, "/// Instant::now() is forbidden\nfn doc() {}\n");
+    assert!(fired(&r).is_empty());
+    let r = check(LIB, "fn f() -> &'static str { \"Instant::now\" }\n");
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn deterministic_iteration_fires_and_suppresses() {
+    assert_fires_and_suppresses(
+        LIB,
+        "deterministic-iteration",
+        "use std::collections::HashMap;",
+    );
+    assert_fires_and_suppresses(
+        LIB,
+        "deterministic-iteration",
+        "fn f() { let s: HashSet<u64> = HashSet::new(); }",
+    );
+}
+
+#[test]
+fn deterministic_iteration_scope_negatives() {
+    let r = check(LIB, "use std::collections::BTreeMap;\n");
+    assert!(fired(&r).is_empty());
+    let r = check(
+        "crates/sim/benches/fixture.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn no_unwrap_in_lib_fires_and_suppresses() {
+    assert_fires_and_suppresses(
+        LIB,
+        "no-unwrap-in-lib",
+        "fn f(x: Option<u8>) { x.unwrap(); }",
+    );
+    assert_fires_and_suppresses(LIB, "no-unwrap-in-lib", "fn f() { panic!(\"boom\"); }");
+    assert_fires_and_suppresses(LIB, "no-unwrap-in-lib", "fn f() { todo!(); }");
+}
+
+#[test]
+fn no_unwrap_scope_negatives() {
+    // .expect("message") is the sanctioned invariant form.
+    let r = check(
+        LIB,
+        "fn f(x: Option<u8>) { x.expect(\"invariant holds\"); }",
+    );
+    assert!(fired(&r).is_empty());
+    // unwrap_or and friends are fine.
+    let r = check(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }");
+    assert!(fired(&r).is_empty());
+    // Binaries may unwrap (fn main reports errors by aborting).
+    let r = check(
+        "crates/sim/src/bin/fixture.rs",
+        "fn main() { std::fs::read(\"x\").unwrap(); }",
+    );
+    assert!(fired(&r).is_empty());
+    // Test modules may unwrap.
+    let r = check(
+        LIB,
+        "#[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }",
+    );
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn forbid_unsafe_header_fires_and_suppresses() {
+    // A crate root without the header fires at line 1...
+    let r = check("crates/sim/src/lib.rs", "//! Crate docs.\npub mod x;\n");
+    assert_eq!(fired(&r), ["forbid-unsafe-header"]);
+    assert_eq!(r.findings[0].line, 1);
+    // ...and not at all when the header is present.
+    let r = check(
+        "crates/sim/src/lib.rs",
+        "//! Crate docs.\n#![forbid(unsafe_code)]\npub mod x;\n",
+    );
+    assert!(fired(&r).is_empty());
+    // Non-roots don't need the header.
+    let r = check(LIB, "pub fn f() {}\n");
+    assert!(fired(&r).is_empty());
+    // File-scoped suppression: a directive anywhere in the file works.
+    let r = check(
+        "crates/sim/src/lib.rs",
+        "//! Docs.\n// miv-analyze: allow(forbid-unsafe-header, reason=\"fixture\")\npub mod x;\n",
+    );
+    assert!(fired(&r).is_empty());
+    assert_eq!(r.suppressed.len(), 1);
+}
+
+#[test]
+fn no_truncating_cast_fires_and_suppresses() {
+    assert_fires_and_suppresses(
+        CORE_LIB,
+        "no-truncating-cast",
+        "fn f(x: u64) -> u32 { x as u32 }",
+    );
+    assert_fires_and_suppresses(
+        CORE_LIB,
+        "no-truncating-cast",
+        "fn f(x: u64) -> u8 { (x % m()) as u8 }",
+    );
+}
+
+#[test]
+fn no_truncating_cast_scope_negatives() {
+    // Literals and SCREAMING_CASE constants are in view — exempt.
+    let r = check(CORE_LIB, "fn f() -> u32 { 64 as u32 }");
+    assert!(fired(&r).is_empty());
+    let r = check(CORE_LIB, "fn f() -> u32 { DIGEST_BYTES as u32 }");
+    assert!(fired(&r).is_empty());
+    // Widening is not narrowing.
+    let r = check(CORE_LIB, "fn f(x: u32) -> u64 { x as u64 }");
+    assert!(fired(&r).is_empty());
+    // Out-of-scope crates (no address arithmetic) are exempt.
+    let r = check(
+        "crates/hash/src/fixture.rs",
+        "fn f(x: u64) -> u32 { x as u32 }",
+    );
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn reset_preserves_schedules_fires_and_suppresses() {
+    assert_fires_and_suppresses(
+        LIB,
+        "reset-preserves-schedules",
+        "impl C { fn reset_stats(&mut self) { self.bus_schedule.clear(); } }",
+    );
+    assert_fires_and_suppresses(
+        LIB,
+        "reset-preserves-schedules",
+        "impl C { fn reset(&mut self) { self.sched.inner.clear(); } }",
+    );
+}
+
+#[test]
+fn reset_preserves_schedules_scope_negatives() {
+    // Clearing non-schedule state in a reset is fine.
+    let r = check(
+        LIB,
+        "impl C { fn reset_stats(&mut self) { self.counters.clear(); } }",
+    );
+    assert!(fired(&r).is_empty());
+    // Clearing a schedule outside a reset method is fine (quiesce etc).
+    let r = check(
+        LIB,
+        "impl C { fn rebuild(&mut self) { self.bus_schedule.clear(); } }",
+    );
+    assert!(fired(&r).is_empty());
+    // Reading a schedule in a reset is fine.
+    let r = check(
+        LIB,
+        "impl C { fn reset_stats(&mut self) { let n = self.bus_schedule.len(); } }",
+    );
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn rc_not_sent_fires_and_suppresses() {
+    assert_fires_and_suppresses(LIB, "rc-not-sent", "use std::rc::Rc;");
+    assert_fires_and_suppresses(
+        LIB,
+        "rc-not-sent",
+        "fn f() { let x = std::rc::Rc::new(1); }",
+    );
+}
+
+#[test]
+fn rc_not_sent_scope_negatives() {
+    let r = check(LIB, "use std::sync::Arc;\n");
+    assert!(fired(&r).is_empty());
+    let r = check("crates/sim/tests/fixture.rs", "use std::rc::Rc;\n");
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn doc_comment_required_fires_and_suppresses() {
+    assert_fires_and_suppresses(CORE_LIB, "doc-comment-required", "pub fn undocumented() {}");
+    assert_fires_and_suppresses(
+        CORE_LIB,
+        "doc-comment-required",
+        "pub struct Bare { x: u8 }",
+    );
+}
+
+#[test]
+fn doc_comment_required_scope_negatives() {
+    // Documented items pass, attributes between doc and item are fine.
+    let r = check(
+        CORE_LIB,
+        "/// Documented.\n#[derive(Debug)]\npub struct S { x: u8 }\n",
+    );
+    assert!(fired(&r).is_empty());
+    // pub(crate) is internal API.
+    let r = check(CORE_LIB, "pub(crate) fn internal() {}\n");
+    assert!(fired(&r).is_empty());
+    // pub use re-exports and pub mod declarations are exempt.
+    let r = check(
+        CORE_LIB,
+        "pub use crate::engine::VerifiedMemory;\npub mod x;\n",
+    );
+    assert!(fired(&r).is_empty());
+    // Out-of-scope crates are exempt.
+    let r = check(LIB, "pub fn undocumented() {}\n");
+    assert!(fired(&r).is_empty());
+    // `pub const fn` is a fn, not an undocumented const.
+    let r = check(CORE_LIB, "/// Doc.\npub const fn f() -> u8 { 0 }\n");
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
+fn directive_hygiene() {
+    // Reason-less allow: itself a finding.
+    let r = check(LIB, "// miv-analyze: allow(no-wall-clock)\n");
+    assert_eq!(fired(&r), ["directive"]);
+    // Empty reason: rejected.
+    let r = check(LIB, "// miv-analyze: allow(no-wall-clock, reason=\"\")\n");
+    assert_eq!(fired(&r), ["directive"]);
+    // Unknown rule id: rejected.
+    let r = check(LIB, "// miv-analyze: allow(no-such-rule, reason=\"x\")\n");
+    assert_eq!(fired(&r), ["directive"]);
+    // A malformed directive does not suppress the finding it precedes.
+    let r = check(
+        LIB,
+        "// miv-analyze: allow(no-wall-clock)\nfn f() { let t = Instant::now(); }\n",
+    );
+    let rules = fired(&r);
+    assert!(rules.contains(&"directive".to_string()));
+    assert!(rules.contains(&"no-wall-clock".to_string()));
+}
+
+#[test]
+fn catalogue_has_at_least_eight_rules_with_unique_ids() {
+    assert!(
+        CATALOGUE.len() >= 8,
+        "catalogue shrank to {}",
+        CATALOGUE.len()
+    );
+    let mut ids: Vec<&str> = CATALOGUE.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CATALOGUE.len(), "duplicate rule ids");
+}

@@ -1,0 +1,37 @@
+//! The analyzer must pass on the workspace that ships it — including
+//! its own sources — and its JSON report must be deterministic.
+
+use std::path::Path;
+
+use miv_analyze::{analyze_workspace, findings_json};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = analyze_workspace(&workspace_root()).expect("analyze workspace");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has unsuppressed findings:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report.files_scanned > 80,
+        "expected the whole workspace, scanned {}",
+        report.files_scanned
+    );
+    // Every suppression that shipped carries a justification.
+    assert!(report.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn findings_json_is_deterministic() {
+    let root = workspace_root();
+    let a = findings_json(&analyze_workspace(&root).expect("first pass")).render_pretty();
+    let b = findings_json(&analyze_workspace(&root).expect("second pass")).render_pretty();
+    assert_eq!(a, b, "findings JSON must be byte-identical across runs");
+    assert!(a.contains("\"schema\""), "report carries its schema tag");
+    assert!(a.contains("miv-findings-v1"));
+}

@@ -267,7 +267,10 @@ impl MemoryBuilder {
             cache: TrustedCache::new(self.cache_blocks, layout.block_bytes() as usize),
             secure: vec![
                 [0u8; DIGEST_BYTES];
-                layout.arity().min(layout.total_chunks() as u32) as usize
+                layout
+                    .arity()
+                    .min(layout.total_chunks().try_into().unwrap_or(u32::MAX))
+                    as usize
             ],
             protection: match self.protection {
                 Protection::HashTree => ProtImpl::Hash(self.hasher),
@@ -1021,6 +1024,7 @@ impl VerifiedMemory {
         static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         if *PARANOID.get_or_init(|| std::env::var_os("MIV_PARANOID").is_some()) {
             if let Err(e) = self.audit_invariant() {
+                // miv-analyze: allow(no-unwrap-in-lib, reason="MIV_PARANOID is an opt-in stress-audit mode; aborting at the first broken invariant is its contract")
                 panic!("after {what}: {e}");
             }
         }
@@ -1117,7 +1121,8 @@ impl VerifiedMemory {
     fn write_back_block_mac(&mut self, victim: u64) -> Result<()> {
         let chunk = self.layout.chunk_of_addr(victim);
         let block_len = self.layout.block_bytes() as usize;
-        let j = ((victim - self.layout.chunk_addr(chunk)) / block_len as u64) as u32;
+        let j = u32::try_from((victim - self.layout.chunk_addr(chunk)) / block_len as u64)
+            .expect("block index within chunk");
 
         self.cache.pin(victim);
         let result = (|| -> Result<()> {

@@ -190,7 +190,7 @@ impl TreeLayout {
     pub fn parent(&self, chunk: u64) -> ParentRef {
         assert!(chunk < self.total_chunks, "chunk {chunk} out of range");
         let m = self.arity as u64;
-        let index = (chunk % m) as u32;
+        let index = u32::try_from(chunk % m).expect("index < arity");
         if chunk < m {
             ParentRef::Secure { index }
         } else {
@@ -315,7 +315,9 @@ pub fn render_tree(layout: &TreeLayout) -> String {
     out.push_str(&format!("{layout}\n"));
     out.push_str(&format!(
         "secure root: {} digests on chip\n",
-        layout.arity().min(layout.total_chunks() as u32)
+        layout
+            .arity()
+            .min(layout.total_chunks().try_into().unwrap_or(u32::MAX))
     ));
     if layout.total_chunks() > 64 {
         out.push_str("(tree too large to draw; showing counts only)\n");

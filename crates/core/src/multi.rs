@@ -22,7 +22,7 @@
 //! byte is detected by the owning tree exactly as in the single-segment
 //! case.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use miv_hash::md5::Md5;
@@ -55,7 +55,7 @@ impl fmt::Display for CompartmentId {
 /// ```
 pub struct SecureContextManager {
     secret: [u8; 16],
-    compartments: HashMap<CompartmentId, VerifiedMemory>,
+    compartments: BTreeMap<CompartmentId, VerifiedMemory>,
     current: Option<CompartmentId>,
     /// Context switches performed (each costs a cache flush).
     switches: u64,
@@ -76,7 +76,7 @@ impl SecureContextManager {
     pub fn new(secret: [u8; 16]) -> Self {
         SecureContextManager {
             secret,
-            compartments: HashMap::new(),
+            compartments: BTreeMap::new(),
             current: None,
             switches: 0,
         }

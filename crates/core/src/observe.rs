@@ -50,7 +50,9 @@ impl HashUnitObserver {
             self.events.record(
                 now,
                 SimEvent::HashEnqueue {
-                    bytes: bytes as u32,
+                    // One op never moves 4 GiB; saturate rather than
+                    // truncate if that ever changes.
+                    bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
                 },
             );
             self.events

@@ -105,8 +105,14 @@ pub fn restore(
     let word =
         |i: usize| u64::from_le_bytes(b[8 + 8 * i..16 + 8 * i].try_into().expect("header word"));
     let data_bytes = word(0);
-    let chunk_bytes = word(1) as u32;
-    let block_bytes = word(2) as u32;
+    // A forged header with an over-u32 geometry must fail loudly, not
+    // silently truncate into some other (possibly valid) geometry.
+    let chunk_bytes: u32 = word(1)
+        .try_into()
+        .expect("malformed image header: chunk_bytes");
+    let block_bytes: u32 = word(2)
+        .try_into()
+        .expect("malformed image header: block_bytes");
     let body = &b[32..];
 
     // Rebuild an engine with the same geometry, then overwrite its

@@ -21,7 +21,7 @@
 //! issued checks finish — which crypto-barrier instructions wait for.
 //! The `block_on_verify` option disables speculation (an ablation).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use miv_cache::{
     Cache, CacheConfig, CacheObserver, CacheStats, Eviction, LineKind, ReplacementPolicy,
@@ -356,10 +356,10 @@ pub struct L2Controller {
     /// Adversary-corrupted memory blocks not yet overwritten by a
     /// write-back (the timing model carries no bytes, so tampering is
     /// tracked as taint; membership-only use keeps runs deterministic).
-    tainted: HashSet<u64>,
+    tainted: BTreeSet<u64>,
     /// Chunks whose incremental MAC was updated from a tainted old value
     /// (the §5.4 unchecked read): every later full check of them fails.
-    mac_inconsistent: HashSet<u64>,
+    mac_inconsistent: BTreeSet<u64>,
     /// Tamper detections recorded so far, in recording order.
     detections: Vec<TamperDetection>,
     /// Telemetry: uncached tree levels walked per demand-miss check.
@@ -409,8 +409,8 @@ impl L2Controller {
             stats: CheckerStats::default(),
             pending: Vec::new(),
             probe: None,
-            tainted: HashSet::new(),
-            mac_inconsistent: HashSet::new(),
+            tainted: BTreeSet::new(),
+            mac_inconsistent: BTreeSet::new(),
             detections: Vec::new(),
             walk_depth: Histogram::disabled(),
             events: EventSink::disabled(),

@@ -9,6 +9,7 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+// miv-analyze: allow(rc-not-sent, reason="recorders are deliberately non-Send (zero-overhead when disabled); the sweep crosses threads via plain-data EventTraceSnapshot absorb")
 use std::rc::Rc;
 
 use crate::json::JsonValue;

@@ -39,6 +39,7 @@ impl JsonValue {
     pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
         match self {
             JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            // miv-analyze: allow(no-unwrap-in-lib, reason="documented '# Panics' contract: pushing onto a non-object is a programming error, never data-dependent")
             other => panic!("push on non-object JsonValue: {other:?}"),
         }
         self
@@ -436,7 +437,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8 in number".to_string())?;
         if float {
             text.parse::<f64>()
                 .map(JsonValue::Float)

@@ -9,6 +9,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+// miv-analyze: allow(rc-not-sent, reason="recorders are deliberately non-Send (zero-overhead when disabled); the sweep crosses threads via plain-data TelemetrySnapshot absorb")
 use std::rc::Rc;
 
 use crate::json::JsonValue;

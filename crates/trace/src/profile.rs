@@ -105,6 +105,7 @@ impl Profile {
     /// on the first invalid parameter.
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // miv-analyze: allow(no-unwrap-in-lib, reason="documented '# Panics' assert API; try_validate is the non-panicking form")
             panic!("{msg}");
         }
     }

@@ -39,6 +39,8 @@
 //! assert!(mem.read_vec(0x1000, 12).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use miv_cache as cache;
 pub use miv_core as core;
 pub use miv_cpu as cpu;
