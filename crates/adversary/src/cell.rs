@@ -25,7 +25,7 @@ use miv_core::engine::{MemoryBuilder, Protection, VerifiedMemory};
 use miv_core::timing::{CheckerConfig, L2Controller};
 use miv_core::{Scheme, TamperKind};
 use miv_mem::MemoryBusConfig;
-use miv_obs::{EventTrace, EventTraceSnapshot, Registry, Rng};
+use miv_obs::{EventTrace, EventTraceSnapshot, Registry, Rng, SpanTracer};
 
 use crate::attack::{AttackClass, Trigger};
 
@@ -158,6 +158,18 @@ impl CellOutcome {
 
 /// Runs one cell to completion.
 pub fn run_cell(cfg: &CellConfig) -> CellOutcome {
+    run_cell_traced(cfg, &SpanTracer::disabled())
+}
+
+/// Runs one cell with a cycle-attribution tracer attached. The timing
+/// controller books every core-visible cycle of the cell's access
+/// stream under its access-class roots (`hit` / `clean_miss` /
+/// `verified_miss` / `flush`), and the detection path adds spans under
+/// a `detect` root: one `detect;<detector>` leaf per caught violation
+/// whose cycles are the injection-to-detection latency, plus a
+/// `detect;undetected` count for violations no detector caught. Control
+/// cells (no injection) book nothing under `detect`.
+pub fn run_cell_traced(cfg: &CellConfig, spans: &SpanTracer) -> CellOutcome {
     let mut outcome = CellOutcome {
         scheme: cfg.scheme,
         attack: cfg.attack,
@@ -181,6 +193,7 @@ pub fn run_cell(cfg: &CellConfig) -> CellOutcome {
         CacheConfig::l2(cfg.l2_bytes, cfg.line_bytes),
         MemoryBusConfig::default(),
     );
+    ctl.attach_spans(spans);
 
     // Functional ground truth (absent under `base`, which stores no tree
     // and can't verify anything). Random initial contents make splice
@@ -329,6 +342,13 @@ pub fn run_cell(cfg: &CellConfig) -> CellOutcome {
         }
     }
 
+    match (outcome.injection, outcome.detection) {
+        (Some(_), Some(det)) => {
+            spans.attribute_path(&["detect", det.detector.label()], det.latency);
+        }
+        (Some(_), None) => spans.attribute_path(&["detect", "undetected"], 0),
+        _ => {}
+    }
     outcome.events = trace.map(|t| t.snapshot());
     outcome
 }
@@ -517,6 +537,43 @@ mod tests {
             assert_eq!(det.latency, det.cycle - inj.cycle);
             assert!(!out.false_alarm);
         }
+    }
+
+    #[test]
+    fn traced_cells_attribute_detection_latency() {
+        let cfg = quick_cfg(Scheme::CHash, AttackClass::DataBitFlip);
+        let spans = SpanTracer::enabled();
+        let traced = run_cell_traced(&cfg, &spans);
+        let det = traced.detection.expect("CHash catches a bit flip");
+        let snap = spans.snapshot();
+        let path = vec!["detect".to_string(), det.detector.label().to_string()];
+        let leaf = snap
+            .spans
+            .iter()
+            .find(|s| s.path == path)
+            .expect("detect span recorded");
+        assert_eq!(leaf.cycles, det.latency);
+        assert_eq!(leaf.count, 1);
+        assert!(
+            snap.total_cycles() > snap.cycles_under("detect"),
+            "access stream cycles were attributed too"
+        );
+        assert_eq!(
+            run_cell(&cfg),
+            traced,
+            "tracing must not perturb the simulation"
+        );
+        let control = SpanTracer::enabled();
+        run_cell_traced(&quick_cfg(Scheme::CHash, AttackClass::Control), &control);
+        assert_eq!(control.snapshot().cycles_under("detect"), 0);
+        let missed = SpanTracer::enabled();
+        run_cell_traced(&quick_cfg(Scheme::Base, AttackClass::DataBitFlip), &missed);
+        let snap = missed.snapshot();
+        let undetected = vec!["detect".to_string(), "undetected".to_string()];
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == undetected && s.count == 1));
     }
 
     #[test]

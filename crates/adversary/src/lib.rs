@@ -41,4 +41,6 @@ pub mod cell;
 
 pub use attack::{AttackClass, Trigger};
 pub use campaign::{cell_seed, percentile, CampaignReport, CampaignSpec, LatencyStats, MatrixCell};
-pub use cell::{run_cell, CellConfig, CellOutcome, Detection, Detector, Injection};
+pub use cell::{
+    run_cell, run_cell_traced, CellConfig, CellOutcome, Detection, Detector, Injection,
+};

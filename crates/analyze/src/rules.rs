@@ -85,6 +85,13 @@ pub const CATALOGUE: &[Rule] = &[
         check: check_rc_not_sent,
     },
     Rule {
+        id: "span-balance",
+        summary: "span_enter/span_exit are forbidden outside miv-obs: an unbalanced manual \
+                  span (early return, ?) silently re-parents later attribution; use the RAII \
+                  SpanTracer::span guard",
+        check: check_span_balance,
+    },
+    Rule {
         id: "doc-comment-required",
         summary: "every pub item in miv-core and miv-mem needs a doc comment (pub(crate), \
                   pub use, pub mod declarations and struct fields exempt)",
@@ -323,6 +330,37 @@ fn check_rc_not_sent(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding
             message: "std::rc type in non-test code: non-Send, breaks the parallel sweep \
                       unless crossed as a plain-data snapshot"
                 .to_string(),
+        });
+    }
+}
+
+/// Rule 9: manual span bracketing stays inside the tracer's own crate.
+/// A `span_enter` whose `span_exit` is skipped by an early return or a
+/// `?` silently re-parents every later attribution in the run; the
+/// RAII guard from `SpanTracer::span` cannot unbalance, so it is the
+/// only sanctioned form in instrumented code.
+fn check_span_balance(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !code_kinds(ctx.kind) || ctx.crate_id == "obs" {
+        return;
+    }
+    for k in 0..f.sig_len() {
+        let t = f.sig_text(k);
+        if t != "span_enter" && t != "span_exit" {
+            continue;
+        }
+        if f.sig_kind(k) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let pos = f.sig_start(k);
+        if f.in_test_span(pos) {
+            continue;
+        }
+        out.push(RawFinding {
+            pos,
+            message: format!(
+                "manual `{t}` outside miv-obs: unbalanced spans skew cycle attribution; use \
+                 the RAII SpanTracer::span guard"
+            ),
         });
     }
 }

@@ -287,6 +287,47 @@ fn doc_comment_required_scope_negatives() {
 }
 
 #[test]
+fn span_balance_fires_and_suppresses() {
+    assert_fires_and_suppresses(
+        LIB,
+        "span-balance",
+        "fn f(t: &SpanTracer) { t.span_enter(\"x\"); work(); t.span_exit(); }",
+    );
+    assert_fires_and_suppresses(
+        LIB,
+        "span-balance",
+        "fn f(t: &SpanTracer) { t.span_exit(); }",
+    );
+}
+
+#[test]
+fn span_balance_scope_negatives() {
+    // The RAII guard is the sanctioned form.
+    let r = check(LIB, "fn f(t: &SpanTracer) { let _g = t.span(\"x\"); }");
+    assert!(fired(&r).is_empty());
+    // miv-obs defines the manual form; it may reference it freely.
+    let r = check(
+        "crates/obs/src/spans.rs",
+        "pub fn span_enter(&self, name: &str) {}\n",
+    );
+    assert!(fired(&r).is_empty());
+    // Test code may bracket manually.
+    let r = check(
+        "crates/sim/tests/fixture.rs",
+        "fn t(s: &SpanTracer) { s.span_enter(\"x\"); }",
+    );
+    assert!(fired(&r).is_empty());
+    let r = check(
+        LIB,
+        "#[cfg(test)]\nmod tests { fn t(s: &SpanTracer) { s.span_enter(\"x\"); } }",
+    );
+    assert!(fired(&r).is_empty());
+    // Mentions in docs and strings are not code.
+    let r = check(LIB, "/// span_enter is forbidden here\nfn doc() {}\n");
+    assert!(fired(&r).is_empty());
+}
+
+#[test]
 fn directive_hygiene() {
     // Reason-less allow: itself a finding.
     let r = check(LIB, "// miv-analyze: allow(no-wall-clock)\n");

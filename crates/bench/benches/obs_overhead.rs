@@ -10,14 +10,39 @@
 //! path also performs zero allocations and records nothing.
 
 use miv_bench::{Harness, BENCH_MEASURE, BENCH_WARMUP};
-use miv_core::timing::Scheme;
-use miv_obs::{Counter, EventSink, Histogram, Registry, SimEvent};
+use miv_cache::CacheConfig;
+use miv_core::timing::{CheckerConfig, L2Controller, Scheme};
+use miv_mem::MemoryBusConfig;
+use miv_obs::{Counter, EventSink, Histogram, Registry, Rng, SimEvent, SpanTracer};
 use miv_sim::{System, SystemConfig, Telemetry};
 use miv_trace::Benchmark;
 
 fn sim() -> System {
     let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64);
     System::for_benchmark(cfg, Benchmark::Gzip, 42)
+}
+
+/// The profiler's workload pass shape: an L2 controller with (or
+/// without) a span tracer attached, driven by a seeded access stream.
+fn controller() -> L2Controller {
+    let mut checker = CheckerConfig::hpca03(Scheme::CHash);
+    checker.protected_bytes = 256 << 10;
+    L2Controller::new(
+        checker,
+        CacheConfig::l2(32 << 10, 64),
+        MemoryBusConfig::default(),
+    )
+}
+
+fn drive(ctl: &mut L2Controller, accesses: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(42);
+    let mut now = 0u64;
+    for _ in 0..accesses {
+        let addr = rng.gen_range_u64(0, 2048) * 64;
+        let write = rng.gen_bool(0.3);
+        now = ctl.access(now, addr, write, false);
+    }
+    ctl.quiesce(now)
 }
 
 fn main() {
@@ -53,6 +78,44 @@ fn main() {
         cycle += 1;
         enabled.record(cycle, SimEvent::HashEnqueue { bytes: 64 });
     });
+
+    // Span enter/exit + attribution: the disabled path must stay a
+    // single branch per call (the conservation-profiled hot path keeps
+    // these compiled in permanently).
+    let disabled = SpanTracer::disabled();
+    let mut cyc = 0u64;
+    h.bench("span/disabled_enter_exit", || {
+        cyc = cyc.wrapping_add(13);
+        let _g = disabled.span("hit");
+        disabled.attribute(cyc & 0xff);
+    });
+    let enabled = SpanTracer::enabled();
+    h.bench("span/enabled_enter_exit", || {
+        cyc = cyc.wrapping_add(13);
+        let _g = enabled.span("hit");
+        enabled.attribute(cyc & 0xff);
+    });
+
+    // End to end on the profiler's workload pass: the same controller
+    // stream with no tracer (default) versus a tracer attributing every
+    // cycle — the number to hold next to the ~9% full-telemetry figure.
+    h.bench_with_setup("l2_stream/spans_disabled", controller, |mut ctl| {
+        drive(&mut ctl, 4_000)
+    });
+    h.bench_with_setup(
+        "l2_stream/spans_enabled",
+        || {
+            let mut ctl = controller();
+            let spans = SpanTracer::enabled();
+            ctl.attach_spans(&spans);
+            (ctl, spans)
+        },
+        |(mut ctl, spans)| {
+            let done = drive(&mut ctl, 4_000);
+            drop(spans);
+            done
+        },
+    );
 
     // End to end: the same simulation with all recorders disabled
     // (default) versus a fully attached telemetry bundle.

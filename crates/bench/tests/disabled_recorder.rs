@@ -72,6 +72,25 @@ fn disabled_handles_allocate_nothing_and_record_nothing() {
 }
 
 #[test]
+fn disabled_span_tracer_allocates_nothing_and_records_nothing() {
+    use miv_obs::{ProfileSnapshot, SpanTracer};
+
+    let tracer = SpanTracer::disabled();
+    assert!(!tracer.is_enabled());
+
+    let before = allocations();
+    for i in 0..100_000u64 {
+        let _guard = tracer.span("hit");
+        tracer.attribute(i & 0xff);
+        tracer.attribute_path(&["background", "bus", "data_read"], i & 0xff);
+    }
+    let after = allocations();
+
+    assert_eq!(after - before, 0, "disabled span path allocated");
+    assert_eq!(tracer.snapshot(), ProfileSnapshot::default());
+}
+
+#[test]
 fn disabled_cache_observer_adds_no_counters() {
     use miv_cache::{Cache, CacheConfig, LineKind};
 

@@ -27,11 +27,11 @@ use miv_cache::{
     Cache, CacheConfig, CacheObserver, CacheStats, Eviction, LineKind, ReplacementPolicy,
 };
 use miv_hash::engine::HashEngineConfig;
-use miv_obs::{EventSink, Histogram, LineClass, Registry, SimEvent};
+use miv_obs::{EventSink, Histogram, LineClass, Registry, SimEvent, SpanTracer};
 
 use crate::hash_unit::HashEngine;
 use crate::observe::HashUnitObserver;
-use miv_mem::{BusObserver, MemoryBus, MemoryBusConfig, TrafficClass};
+use miv_mem::{BusObserver, BusTiming, MemoryBus, MemoryBusConfig, TrafficClass};
 
 use crate::layout::{ParentRef, TreeLayout};
 
@@ -281,6 +281,38 @@ struct BufferPool {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SlotId(usize);
 
+/// Core-latency decomposition of one serviced miss, handed back by the
+/// per-scheme miss paths so [`L2Controller::access`] can attribute every
+/// cycle of `ready - now` to exactly one leaf span (the conservation
+/// invariant asserted by `miv-sim`'s profiler tests).
+#[derive(Debug, Clone, Copy)]
+struct MissShape {
+    /// Whether this miss ran the verification machinery (classifies the
+    /// access as a verified miss rather than a clean one).
+    verified: bool,
+    /// Bus timing of the demand-block fetch; `None` when the miss needed
+    /// no memory read (write-allocate-no-fetch).
+    demand: Option<BusTiming>,
+    /// Cycle the full chunk image had arrived (equals the demand
+    /// completion when no sibling blocks were gathered).
+    chunk_arrival: Cycle,
+    /// Cycle the demand data was accepted into the read buffer and
+    /// returned to the core (speculative return point).
+    data_ready: Cycle,
+}
+
+impl MissShape {
+    /// A miss serviced entirely inside the L2 (no memory traffic).
+    fn local(verified: bool, t0: Cycle) -> Self {
+        MissShape {
+            verified,
+            demand: None,
+            chunk_arrival: t0,
+            data_ready: t0,
+        }
+    }
+}
+
 impl BufferPool {
     fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer needs at least one entry");
@@ -366,6 +398,18 @@ pub struct L2Controller {
     walk_depth: Histogram,
     /// Telemetry: typed event stream (misses, walks, write-backs).
     events: EventSink,
+    /// Telemetry: per-access-class service-latency histograms
+    /// (`checker.latency.{hit,clean_miss,verified_miss,flush}`).
+    lat_hit: Histogram,
+    lat_clean_miss: Histogram,
+    lat_verified_miss: Histogram,
+    lat_flush: Histogram,
+    /// Cycle-attribution tracer (disabled unless a profiler attaches).
+    spans: SpanTracer,
+    /// Core-visible cycles serviced so far: Σ `ready - now` per access
+    /// plus Σ `done - now` per quiesce. The span profiler attributes
+    /// exactly these cycles under its access-class roots.
+    profiled_cycles: Cycle,
 }
 
 impl L2Controller {
@@ -414,6 +458,12 @@ impl L2Controller {
             detections: Vec::new(),
             walk_depth: Histogram::disabled(),
             events: EventSink::disabled(),
+            lat_hit: Histogram::disabled(),
+            lat_clean_miss: Histogram::disabled(),
+            lat_verified_miss: Histogram::disabled(),
+            lat_flush: Histogram::disabled(),
+            spans: SpanTracer::disabled(),
+            profiled_cycles: 0,
             config,
             layout,
         }
@@ -435,7 +485,37 @@ impl L2Controller {
             events.clone(),
         ));
         self.walk_depth = registry.histogram("checker.walk_depth");
+        self.lat_hit = registry.histogram("checker.latency.hit");
+        self.lat_clean_miss = registry.histogram("checker.latency.clean_miss");
+        self.lat_verified_miss = registry.histogram("checker.latency.verified_miss");
+        self.lat_flush = registry.histogram("checker.latency.flush");
         self.events = events;
+    }
+
+    /// Attaches a cycle-attribution tracer. Every serviced access then
+    /// attributes its full core-visible latency to leaf spans under an
+    /// access-class root (`hit` / `clean_miss` / `verified_miss` /
+    /// `flush`), and resource occupancy (hash-unit busy windows, bus
+    /// transfers) is booked under `background;*` — those windows overlap
+    /// the accesses they serve, so they form a separate accounting
+    /// domain cross-checked against [`HashUnitStats::busy_cycles`] and
+    /// [`bus_busy_through`](Self::bus_busy_through).
+    ///
+    /// [`HashUnitStats::busy_cycles`]: crate::hash_unit::HashUnitStats::busy_cycles
+    pub fn attach_spans(&mut self, spans: &SpanTracer) {
+        self.spans = spans.clone();
+    }
+
+    /// Core-visible cycles serviced so far: the sum over every
+    /// [`access`](Self::access) of `ready - now`, plus every
+    /// [`quiesce`](Self::quiesce)'s `done - now`. An attached span
+    /// tracer attributes exactly these cycles under its access-class
+    /// roots (the profiler's conservation invariant). Cumulative for the
+    /// controller's lifetime — deliberately *not* cleared by
+    /// [`reset_stats`](Self::reset_stats), matching the tracer, which is
+    /// never reset either.
+    pub fn total_cycles(&self) -> Cycle {
+        self.profiled_cycles
     }
 
     /// Starts recording [`CheckerEvent`]s (clears any previous log).
@@ -562,7 +642,15 @@ impl L2Controller {
             }
         }
         self.drain_writebacks();
-        self.verify_horizon.max(now)
+        let done = self.verify_horizon.max(now);
+        self.profiled_cycles += done - now;
+        self.lat_flush.record(done - now);
+        if self.spans.is_enabled() {
+            let _root = self.spans.span("flush");
+            let _leaf = self.spans.span("verify_drain");
+            self.spans.attribute(done - now);
+        }
+        done
     }
 
     /// Clears all statistics for warm-up/measurement separation. Cache
@@ -596,6 +684,13 @@ impl L2Controller {
         self.bus.advance_low_water(now);
         self.engine.advance_low_water(now);
         if self.l2.lookup(phys, LineKind::Data, write).is_hit() {
+            self.profiled_cycles += t0 - now;
+            self.lat_hit.record(t0 - now);
+            if self.spans.is_enabled() {
+                let _root = self.spans.span("hit");
+                let _leaf = self.spans.span("l2_lookup");
+                self.spans.attribute(t0 - now);
+            }
             return t0;
         }
         self.events.record(
@@ -606,7 +701,7 @@ impl L2Controller {
                 addr: phys,
             },
         );
-        let ready = match self.config.scheme {
+        let (ready, shape) = match self.config.scheme {
             Scheme::Base => self.miss_base(t0, phys, write, full_line),
             Scheme::Naive => self.miss_naive(t0, phys, write, full_line),
             Scheme::CHash | Scheme::MHash | Scheme::IHash => {
@@ -615,8 +710,66 @@ impl L2Controller {
         };
         self.stats.miss_latency += ready - now;
         self.stats.misses_timed += 1;
+        self.profile_miss(now, t0, ready, &shape);
         self.drain_writebacks();
         ready
+    }
+
+    /// Records a miss's service latency into its class histogram and —
+    /// when a tracer is attached — attributes every cycle of
+    /// `ready - now` to exactly one leaf span. The decomposition
+    /// telescopes: L2 lookup, then (when a demand fetch went to memory)
+    /// DRAM access, bus queueing and the transfer itself, then sibling
+    /// gathering for multi-block chunks, the read-buffer wait, and
+    /// finally the verify stall (nonzero only under `block_on_verify`).
+    fn profile_miss(&mut self, now: Cycle, t0: Cycle, ready: Cycle, shape: &MissShape) {
+        let total = ready - now;
+        self.profiled_cycles += total;
+        if shape.verified {
+            self.lat_verified_miss.record(total);
+        } else {
+            self.lat_clean_miss.record(total);
+        }
+        if !self.spans.is_enabled() {
+            return;
+        }
+        let _root = self.spans.span(if shape.verified {
+            "verified_miss"
+        } else {
+            "clean_miss"
+        });
+        {
+            let _leaf = self.spans.span("l2_lookup");
+            self.spans.attribute(t0 - now);
+        }
+        if let Some(demand) = &shape.demand {
+            let _fetch = self.spans.span("demand_fetch");
+            let dram_ready = t0 + self.bus.config().dram_latency;
+            {
+                let _leaf = self.spans.span("dram");
+                self.spans.attribute(dram_ready - t0);
+            }
+            {
+                let _leaf = self.spans.span("bus_queue");
+                self.spans.attribute(demand.start - dram_ready);
+            }
+            {
+                let _leaf = self.spans.span("bus_transfer");
+                self.spans.attribute(demand.complete - demand.start);
+            }
+            {
+                let _leaf = self.spans.span("chunk_gather");
+                self.spans.attribute(shape.chunk_arrival - demand.complete);
+            }
+        }
+        {
+            let _leaf = self.spans.span("read_buffer_wait");
+            self.spans.attribute(shape.data_ready - shape.chunk_arrival);
+        }
+        if ready > shape.data_ready {
+            let _leaf = self.spans.span("verify_stall");
+            self.spans.attribute(ready - shape.data_ready);
+        }
     }
 
     /// Processes queued dirty evictions until none remain. Write-backs may
@@ -635,8 +788,7 @@ impl L2Controller {
             );
             match self.config.scheme {
                 Scheme::Base => {
-                    self.bus
-                        .write(t, self.line_bytes(), class_for(ev.kind, false));
+                    self.bus_write(t, class_for(ev.kind, false));
                     self.clear_taint(ev.addr);
                 }
                 Scheme::Naive => self.writeback_naive(t, ev.addr),
@@ -657,23 +809,43 @@ impl L2Controller {
     // Base scheme
     // ------------------------------------------------------------------
 
-    fn miss_base(&mut self, t0: Cycle, phys: u64, write: bool, full_line: bool) -> Cycle {
+    fn miss_base(
+        &mut self,
+        t0: Cycle,
+        phys: u64,
+        write: bool,
+        full_line: bool,
+    ) -> (Cycle, MissShape) {
         if write && full_line && self.config.write_allocate_no_fetch {
             self.stats.alloc_no_fetch += 1;
             self.fill_and_handle_eviction(t0, phys, LineKind::Data, true);
-            return t0;
+            return (t0, MissShape::local(false, t0));
         }
         self.stats.data_fetches += 1;
-        let timing = self.bus.read(t0, self.line_bytes(), TrafficClass::DataRead);
+        let timing = self.bus_read(t0, TrafficClass::DataRead);
         self.fill_and_handle_eviction(timing.complete, phys, LineKind::Data, write);
-        timing.complete
+        (
+            timing.complete,
+            MissShape {
+                verified: false,
+                demand: Some(timing),
+                chunk_arrival: timing.complete,
+                data_ready: timing.complete,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
     // Naive scheme: full path walked in memory on every miss
     // ------------------------------------------------------------------
 
-    fn miss_naive(&mut self, t0: Cycle, phys: u64, write: bool, full_line: bool) -> Cycle {
+    fn miss_naive(
+        &mut self,
+        t0: Cycle,
+        phys: u64,
+        write: bool,
+        full_line: bool,
+    ) -> (Cycle, MissShape) {
         let layout = *self.layout.as_ref().expect("naive has a layout");
         let chunk = layout.chunk_of_addr(phys);
         if write && full_line && self.config.write_allocate_no_fetch {
@@ -681,7 +853,7 @@ impl L2Controller {
             // check (§5.3). The write-back will update the tree.
             self.stats.alloc_no_fetch += 1;
             self.fill_and_handle_eviction(t0, phys, LineKind::Data, true);
-            return t0;
+            return (t0, MissShape::local(false, t0));
         }
 
         // Demand block: the memory read is issued immediately; the hash
@@ -690,7 +862,7 @@ impl L2Controller {
         // data hurts memory latency only when read/write buffers are
         // full"), not the issue of the request.
         self.stats.data_fetches += 1;
-        let data = self.bus.read(t0, self.line_bytes(), TrafficClass::DataRead);
+        let data = self.bus_read(t0, TrafficClass::DataRead);
         self.emit(CheckerEvent::DemandFetch {
             addr: phys,
             arrives: data.complete,
@@ -702,7 +874,7 @@ impl L2Controller {
         self.events.record(vstart, SimEvent::WalkStart { chunk });
         let mut depth = 0u32;
         let mut level_arrival = vstart;
-        let mut verify_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
+        let mut verify_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes(), "verify");
         self.stats.verifications += 1;
         let mut covered = vec![self.block_addr(phys)];
         for ancestor in layout.path_to_root(chunk) {
@@ -711,11 +883,11 @@ impl L2Controller {
             let mut chunk_arrival = level_arrival;
             for j in 0..self.blocks_per_chunk() {
                 covered.push(layout.chunk_addr(ancestor) + j * self.line_bytes());
-                let t = self.bus.read(t0, self.line_bytes(), TrafficClass::HashRead);
+                let t = self.bus_read(t0, TrafficClass::HashRead);
                 chunk_arrival = chunk_arrival.max(t.complete);
             }
             self.stats.verifications += 1;
-            let h = self.schedule_chunk_hash(chunk_arrival, layout.chunk_bytes());
+            let h = self.schedule_chunk_hash(chunk_arrival, layout.chunk_bytes(), "verify");
             verify_done = verify_done.max(h);
             level_arrival = chunk_arrival;
         }
@@ -736,10 +908,16 @@ impl L2Controller {
 
         let data_ready = data.complete.max(vstart);
         self.fill_and_handle_eviction(data_ready, phys, LineKind::Data, write);
+        let shape = MissShape {
+            verified: true,
+            demand: Some(data),
+            chunk_arrival: data.complete,
+            data_ready,
+        };
         if self.config.block_on_verify {
-            verify_done
+            (verify_done, shape)
         } else {
-            data_ready
+            (data_ready, shape)
         }
     }
 
@@ -749,10 +927,8 @@ impl L2Controller {
         let chunk = layout.chunk_of_addr(phys);
         let (start, slot) = self.acquire_write_buf(t);
         // New hash of the written chunk.
-        let mut prev_hash_done = self.schedule_chunk_hash(start, layout.chunk_bytes());
-        let data_written = self
-            .bus
-            .write(start, self.line_bytes(), TrafficClass::DataWrite);
+        let mut prev_hash_done = self.schedule_chunk_hash(start, layout.chunk_bytes(), "writeback");
+        let data_written = self.bus_write(start, TrafficClass::DataWrite);
         let block = self.block_addr(phys);
         self.clear_taint(block);
         let mut done = data_written.complete.max(prev_hash_done);
@@ -764,24 +940,23 @@ impl L2Controller {
             let mut blocks = Vec::new();
             for j in 0..self.blocks_per_chunk() {
                 blocks.push(layout.chunk_addr(ancestor) + j * self.line_bytes());
-                let t = self
-                    .bus
-                    .read(start, self.line_bytes(), TrafficClass::HashRead);
+                let t = self.bus_read(start, TrafficClass::HashRead);
                 arrival = arrival.max(t.complete);
             }
             self.stats.verifications += 1;
-            let verified = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
+            let verified = self.schedule_chunk_hash(arrival, layout.chunk_bytes(), "verify");
             // The old ancestor content is checked before the rewrite, so
             // taint on it is detected *before* the write-back heals it.
             self.verify_tamper(verified, ancestor, &blocks);
             for &b in &blocks {
                 self.clear_taint(b);
             }
-            let rehash =
-                self.schedule_chunk_hash(verified.max(prev_hash_done), layout.chunk_bytes());
-            let wb = self
-                .bus
-                .write(rehash, self.line_bytes(), TrafficClass::HashWrite);
+            let rehash = self.schedule_chunk_hash(
+                verified.max(prev_hash_done),
+                layout.chunk_bytes(),
+                "writeback",
+            );
+            let wb = self.bus_write(rehash, TrafficClass::HashWrite);
             prev_hash_done = rehash;
             done = done.max(wb.complete).max(rehash);
         }
@@ -793,7 +968,13 @@ impl L2Controller {
     // Cached-tree schemes (chash / mhash / ihash)
     // ------------------------------------------------------------------
 
-    fn miss_cached_tree(&mut self, t0: Cycle, phys: u64, write: bool, full_line: bool) -> Cycle {
+    fn miss_cached_tree(
+        &mut self,
+        t0: Cycle,
+        phys: u64,
+        write: bool,
+        full_line: bool,
+    ) -> (Cycle, MissShape) {
         let layout = *self.layout.as_ref().expect("scheme has a layout");
         if write
             && full_line
@@ -803,7 +984,7 @@ impl L2Controller {
             // Whole-chunk overwrite: allocate dirty, no fetch, no check.
             self.stats.alloc_no_fetch += 1;
             self.fill_and_handle_eviction(t0, phys, LineKind::Data, true);
-            return t0;
+            return (t0, MissShape::local(false, t0));
         }
         let chunk = layout.chunk_of_addr(phys);
         let block = self.block_addr(phys);
@@ -814,7 +995,7 @@ impl L2Controller {
             // at write-back when the full image is assembled.
             self.stats.alloc_no_fetch += 1;
             self.fill_and_handle_eviction(t0, phys, LineKind::Data, true);
-            return t0;
+            return (t0, MissShape::local(false, t0));
         }
 
         // ReadAndCheckChunk: fetch the demand block plus any chunk blocks
@@ -824,6 +1005,7 @@ impl L2Controller {
         // until its hash completes, so a full buffer delays acceptance of
         // the arriving data, not the issue of the request.
         let mut demand_arrival = t0;
+        let mut demand_timing = None;
         let mut chunk_arrival = t0;
         let mut gathered = Vec::new();
         for j in 0..layout.blocks_per_chunk() {
@@ -838,9 +1020,10 @@ impl L2Controller {
                     self.stats.extra_data_fetches += 1;
                     TrafficClass::DataRead
                 };
-                let t = self.bus.read(t0, self.line_bytes(), class);
+                let t = self.bus_read(t0, class);
                 if b == block {
                     demand_arrival = t.complete;
+                    demand_timing = Some(t);
                     self.emit(CheckerEvent::DemandFetch {
                         addr: b,
                         arrives: t.complete,
@@ -867,7 +1050,7 @@ impl L2Controller {
         // block while it is hashed; the parent fetch acquires its own
         // entries, so the slot is released at hash completion.
         self.stats.verifications += 1;
-        let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
+        let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes(), "verify");
         self.emit(CheckerEvent::HashScheduled {
             chunk,
             done: hash_done,
@@ -895,10 +1078,16 @@ impl L2Controller {
         self.verify_tamper(verify_done, chunk, &gathered);
         self.note_verification(verify_done);
 
+        let shape = MissShape {
+            verified: true,
+            demand: demand_timing,
+            chunk_arrival,
+            data_ready,
+        };
         if self.config.block_on_verify {
-            verify_done
+            (verify_done, shape)
         } else {
-            data_ready
+            (data_ready, shape)
         }
     }
 
@@ -938,7 +1127,7 @@ impl L2Controller {
                     if b == slot_block || !resident_clean {
                         gathered.push(b);
                         self.stats.hash_fetches += 1;
-                        let bt = self.bus.read(t, self.line_bytes(), TrafficClass::HashRead);
+                        let bt = self.bus_read(t, TrafficClass::HashRead);
                         self.emit(CheckerEvent::HashFetch {
                             addr: b,
                             arrives: bt.complete,
@@ -961,7 +1150,7 @@ impl L2Controller {
                 // Verify the parent chunk itself (recursing toward the
                 // root until a cached node or the root register is found).
                 self.stats.verifications += 1;
-                let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes());
+                let hash_done = self.schedule_chunk_hash(vstart, layout.chunk_bytes(), "verify");
                 self.emit(CheckerEvent::HashScheduled {
                     chunk: parent,
                     done: hash_done,
@@ -994,9 +1183,7 @@ impl L2Controller {
             // the block, store the new MAC.
             let (slot_at, _, _) = self.fetch_slot(start, chunk, true);
             self.stats.extra_data_fetches += 1;
-            let old = self
-                .bus
-                .read(start, self.line_bytes(), class_for(ev.kind, true));
+            let old = self.bus_read(start, class_for(ev.kind, true));
             // The old-value read is *unchecked* (the scheme's whole
             // advantage): a tainted old value silently poisons the
             // incremental MAC update, so the corruption migrates from the
@@ -1007,13 +1194,12 @@ impl L2Controller {
             // h(old) and h(new): two independent block-sized hashes,
             // issued as one multi-lane batch (timing-identical to a fused
             // 2-block hash; accounted as two ops).
-            let upd = self.engine.schedule_batch(
+            let upd = self.schedule_hash_batch(
                 old.complete.max(slot_at),
                 &[self.line_bytes(), self.line_bytes()],
+                "mac_update",
             );
-            let wb = self
-                .bus
-                .write(upd, self.line_bytes(), class_for(ev.kind, false));
+            let wb = self.bus_write(upd, class_for(ev.kind, false));
             let done = wb.complete.max(upd);
             self.write_buf.occupy(slot, done);
             self.emit(CheckerEvent::WriteBack {
@@ -1036,16 +1222,14 @@ impl L2Controller {
                 self.stats.extra_data_fetches += 1;
                 fetched += 1;
                 gathered.push(b);
-                let bt = self
-                    .bus
-                    .read(start, self.line_bytes(), class_for(ev.kind, true));
+                let bt = self.bus_read(start, class_for(ev.kind, true));
                 arrival = arrival.max(bt.complete);
             }
         }
         if fetched > 0 {
             // The gathered old image must itself be verified (§5.3).
             self.stats.verifications += 1;
-            let h = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
+            let h = self.schedule_chunk_hash(arrival, layout.chunk_bytes(), "verify");
             let (p, _, _) = self.fetch_slot(arrival, chunk, false);
             let checked = h.max(p);
             self.verify_tamper(checked, chunk, &gathered);
@@ -1063,10 +1247,8 @@ impl L2Controller {
         // cached and are written on their own evictions — the hardware
         // marks them clean, but the timing effect of grouping is minor and
         // per-block write-back keeps the cache model simple.
-        let hash_done = self.schedule_chunk_hash(arrival, layout.chunk_bytes());
-        let wb = self
-            .bus
-            .write(arrival, self.line_bytes(), class_for(ev.kind, false));
+        let hash_done = self.schedule_chunk_hash(arrival, layout.chunk_bytes(), "writeback");
+        let wb = self.bus_write(arrival, class_for(ev.kind, false));
         self.write_buf.occupy(slot, wb.complete.max(hash_done));
         let (slot_at, _, _) = self.fetch_slot(hash_done, chunk, true);
         let done = wb.complete.max(hash_done).max(slot_at);
@@ -1098,8 +1280,55 @@ impl L2Controller {
         }
     }
 
-    fn schedule_chunk_hash(&mut self, t: Cycle, chunk_bytes: u32) -> Cycle {
-        self.engine.schedule(t, chunk_bytes as u64)
+    /// Issues a line-sized bus read, booking its bus occupancy
+    /// (`complete - start`) under the `background;bus;<class>` resource
+    /// span. The sum over those spans equals the bus's busy cycles — the
+    /// profiler's resource-domain cross-check.
+    fn bus_read(&mut self, t: Cycle, class: TrafficClass) -> BusTiming {
+        let timing = self.bus.read(t, self.line_bytes(), class);
+        self.spans.attribute_path(
+            &["background", "bus", traffic_label(class)],
+            timing.complete - timing.start,
+        );
+        timing
+    }
+
+    /// Issues a line-sized bus write; same resource accounting as
+    /// [`bus_read`](Self::bus_read).
+    fn bus_write(&mut self, t: Cycle, class: TrafficClass) -> BusTiming {
+        let timing = self.bus.write(t, self.line_bytes(), class);
+        self.spans.attribute_path(
+            &["background", "bus", traffic_label(class)],
+            timing.complete - timing.start,
+        );
+        timing
+    }
+
+    /// Schedules a chunk hash, booking the hash unit's occupancy delta
+    /// under `background;hash_unit;<ctx>` (`ctx` names why the digest is
+    /// computed: demand `verify`, write-back rehash, incremental MAC
+    /// update). Those spans sum to [`HashUnitStats::busy_cycles`].
+    ///
+    /// [`HashUnitStats::busy_cycles`]: crate::hash_unit::HashUnitStats::busy_cycles
+    fn schedule_chunk_hash(&mut self, t: Cycle, chunk_bytes: u32, ctx: &'static str) -> Cycle {
+        let before = self.engine.stats().busy_cycles;
+        let done = self.engine.schedule(t, chunk_bytes as u64);
+        self.spans.attribute_path(
+            &["background", "hash_unit", ctx],
+            self.engine.stats().busy_cycles - before,
+        );
+        done
+    }
+
+    /// Batched variant of [`schedule_chunk_hash`](Self::schedule_chunk_hash).
+    fn schedule_hash_batch(&mut self, t: Cycle, blocks: &[u64], ctx: &'static str) -> Cycle {
+        let before = self.engine.stats().busy_cycles;
+        let done = self.engine.schedule_batch(t, blocks);
+        self.spans.attribute_path(
+            &["background", "hash_unit", ctx],
+            self.engine.stats().busy_cycles - before,
+        );
+        done
     }
 
     fn acquire_read_buf(&mut self, t: Cycle) -> (Cycle, SlotId) {
@@ -1171,6 +1400,16 @@ fn line_class(kind: LineKind) -> LineClass {
     match kind {
         LineKind::Data => LineClass::Data,
         LineKind::Hash => LineClass::Hash,
+    }
+}
+
+/// Stable span-path label for a bus traffic class.
+fn traffic_label(class: TrafficClass) -> &'static str {
+    match class {
+        TrafficClass::DataRead => "data_read",
+        TrafficClass::DataWrite => "data_write",
+        TrafficClass::HashRead => "hash_read",
+        TrafficClass::HashWrite => "hash_write",
     }
 }
 
@@ -1623,5 +1862,95 @@ mod tests {
         assert!(!Scheme::Base.verifies());
         assert!(Scheme::IHash.verifies());
         assert_eq!(Scheme::ALL.len(), 5);
+    }
+
+    #[test]
+    fn span_attribution_conserves_core_cycles() {
+        // Every simulated core-visible cycle lands in exactly one leaf
+        // span: the sum under the four access-class roots equals the
+        // controller's total, for every scheme, with and without the
+        // block-on-verify ablation. The background resource domains
+        // reconcile against the component stats independently.
+        for scheme in Scheme::ALL {
+            for block_on_verify in [false, true] {
+                let mut cfg = CheckerConfig::hpca03(scheme);
+                cfg.chunk_bytes = match scheme {
+                    Scheme::MHash | Scheme::IHash => 128,
+                    _ => 64,
+                };
+                cfg.protected_bytes = 16 << 20;
+                cfg.block_on_verify = block_on_verify;
+                let mut c = L2Controller::new(
+                    cfg,
+                    CacheConfig::l2(256 << 10, 64),
+                    MemoryBusConfig::default(),
+                );
+                let spans = SpanTracer::enabled();
+                c.attach_spans(&spans);
+                let mut now = 0;
+                for i in 0..3000u64 {
+                    let addr = (i * 64 * 769) % (8 << 20);
+                    now = c.access(now, addr, i % 3 == 0, i % 6 == 0);
+                    if i % 500 == 499 {
+                        now = c.quiesce(now);
+                    }
+                }
+                let snap = spans.snapshot();
+                let under = |prefix: &[&str]| {
+                    snap.spans
+                        .iter()
+                        .filter(|s| {
+                            s.path.len() >= prefix.len()
+                                && s.path.iter().zip(prefix).all(|(a, b)| a == b)
+                        })
+                        .map(|s| s.cycles)
+                        .sum::<u64>()
+                };
+                let attributed = under(&["hit"])
+                    + under(&["clean_miss"])
+                    + under(&["verified_miss"])
+                    + under(&["flush"]);
+                assert_eq!(
+                    attributed,
+                    c.total_cycles(),
+                    "conservation for {scheme} block_on_verify={block_on_verify}"
+                );
+                assert!(c.total_cycles() > 0);
+                if scheme.verifies() {
+                    assert!(under(&["verified_miss"]) > 0, "{scheme} verifies misses");
+                } else {
+                    assert_eq!(under(&["verified_miss"]), 0);
+                }
+                // Resource domains: hash-unit spans sum to the engine's
+                // busy cycles; bus spans sum to the bus's total busy time.
+                assert_eq!(
+                    under(&["background", "hash_unit"]),
+                    c.engine_stats().busy_cycles,
+                    "{scheme} hash-unit occupancy"
+                );
+                assert_eq!(
+                    under(&["background", "bus"]),
+                    c.bus_busy_through(u64::MAX / 2),
+                    "{scheme} bus occupancy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_cycles_accumulates_without_spans() {
+        // The conservation anchor is maintained even when no tracer is
+        // attached (the profiler can attach late or never).
+        let mut c = controller(Scheme::CHash, 256, 64);
+        let mut now = 0;
+        let mut expect = 0;
+        for i in 0..50u64 {
+            let ready = c.access(now, i * 64 * 57, false, false);
+            expect += ready - now;
+            now = ready;
+        }
+        let done = c.quiesce(now);
+        expect += done - now;
+        assert_eq!(c.total_cycles(), expect);
     }
 }

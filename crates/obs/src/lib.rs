@@ -24,6 +24,10 @@
 //! back, and the aggregator folds them in with [`Registry::absorb`] /
 //! [`EventTrace::absorb`]. Absorbing in a fixed order makes the merged
 //! result deterministic at any worker count.
+//! * [`spans`] — hierarchical cycle-attribution spans ([`SpanTracer`])
+//!   keyed on simulated cycles, with the same disabled-is-a-branch hot
+//!   path and the same plain-data snapshot merge ([`ProfileSnapshot`])
+//!   so profiled sweeps stay deterministic at any worker count.
 //! * [`json`] — a hand-rolled JSON value type, emitter and parser so the
 //!   workspace stays buildable offline with zero external dependencies.
 //! * [`rng`] — a small deterministic xoshiro256++ PRNG used by the trace
@@ -39,8 +43,10 @@ pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod rng;
+pub mod spans;
 
 pub use events::{EventRecord, EventSink, EventTrace, EventTraceSnapshot, LineClass, SimEvent};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use rng::Rng;
+pub use spans::{ProfileSnapshot, SpanGuard, SpanSnapshot, SpanTracer};

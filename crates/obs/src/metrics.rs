@@ -129,15 +129,17 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
-/// Inclusive value range covered by a bucket.
+/// Inclusive value range covered by a bucket. The top bucket (64) is
+/// saturated: it covers `[2^63, u64::MAX]` — note `saturating_mul(2)`
+/// on `2^63` already yields `u64::MAX`, so subtracting 1 afterwards
+/// would wrongly exclude `u64::MAX` from its own bucket.
 fn bucket_bounds(i: usize) -> (u64, u64) {
     if i == 0 {
         (0, 0)
+    } else if i >= BUCKETS - 1 {
+        (1u64 << 63, u64::MAX)
     } else {
-        (
-            1u64 << (i - 1),
-            (1u64 << (i - 1)).saturating_mul(2).saturating_sub(1),
-        )
+        (1u64 << (i - 1), (1u64 << i) - 1)
     }
 }
 
@@ -485,11 +487,74 @@ mod tests {
         assert_eq!(bucket_index(3), 2);
         assert_eq!(bucket_index(4), 3);
         assert_eq!(bucket_index(u64::MAX), 64);
-        for i in 1..64 {
+        // Every bucket's bounds — including the saturated top bucket —
+        // must map back to the same bucket index.
+        for i in 1..=64 {
             let (lo, hi) = bucket_bounds(i);
             assert_eq!(bucket_index(lo), i);
             assert_eq!(bucket_index(hi), i);
         }
+        assert_eq!(bucket_bounds(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn singleton_histogram_quantiles_are_exact() {
+        // One observation: every quantile must return exactly that value
+        // (the [min, max] clamp pins the in-bucket interpolation).
+        for v in [0u64, 1, 2, 3, 64, 1000, u64::MAX] {
+            let reg = Registry::new();
+            let h = reg.histogram("one");
+            h.record(v);
+            let snap = h.snapshot();
+            for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(snap.quantile(p), v as f64, "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_in_one_bucket_quantiles_stay_in_observed_range() {
+        // Many identical observations deep inside one bucket: the
+        // estimate must not leak past the observed min/max even though
+        // the bucket spans [64, 127].
+        let reg = Registry::new();
+        let h = reg.histogram("same");
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        let snap = h.snapshot();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(p), 100.0, "p={p}");
+        }
+        // Mixed values in the same bucket: estimates stay inside
+        // [min, max] and are monotone in p.
+        let reg = Registry::new();
+        let h = reg.histogram("mixed");
+        for v in [64u64, 80, 127, 127] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p99) = (snap.quantile(0.5), snap.quantile(0.99));
+        assert!((64.0..=127.0).contains(&p50), "p50 {p50}");
+        assert!((64.0..=127.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn saturated_top_bucket_quantiles() {
+        // Values in bucket 64 ([2^63, u64::MAX]): before the bounds fix
+        // the bucket's upper bound excluded u64::MAX itself.
+        let reg = Registry::new();
+        let h = reg.histogram("top");
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 1u64 << 63);
+        assert_eq!(snap.max, u64::MAX);
+        let p99 = snap.quantile(0.99);
+        assert_eq!(p99, u64::MAX as f64, "p99 must reach the top value");
+        assert!(snap.quantile(0.0) >= (1u64 << 63) as f64);
     }
 
     #[test]

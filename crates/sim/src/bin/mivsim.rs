@@ -31,6 +31,9 @@ use miv_hash::Throughput;
 use miv_obs::JsonValue;
 use miv_sim::attack::{attack_document, attack_events_jsonl, render_report, run_campaign};
 use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
+use miv_sim::profile::{
+    folded_output, profile_document, render_profile, run_drift_check, run_profile, ProfileSpec,
+};
 use miv_sim::report::{f2, f3, pct, Table};
 use miv_sim::telemetry::Sample;
 use miv_sim::{RunRequest, RunResult, SweepRunner, System, SystemConfig, Telemetry, Workload};
@@ -43,6 +46,8 @@ commands (default: run):
   run      simulate one configuration
   sweep    simulate every scheme on one configuration
   attack   run the scripted adversary campaign (coverage + latency)
+  profile  cycle-attribution profile: per-class latency percentiles and
+           span trees for every scheme (plus campaign detect spans)
   record   write a synthetic benchmark trace to a file
 
 options:
@@ -65,8 +70,13 @@ options:
   --count N / --out FILE  (record)
   --quick                 (attack) CI-sized campaign: 2 trials/cell,
                           2500 accesses (default: 5 trials, 20000)
+                          (profile) short stream + quick campaign
+  --folded FILE           (profile) write flamegraph folded stacks
+  --drift-check           (profile) rerun the campaign over derived
+                          seeds; exit nonzero if any detection metric
+                          drifts outside the stated tolerance
   --json                  emit results as JSON instead of a table
-                          (attack: the miv-attack-v1 document)
+                          (attack: miv-attack-v1; profile: miv-profile-v1)
   --metrics-out PATH      write a miv-metrics-v1 JSON summary (registry
                           counters, histograms with quantiles, samples)
   --trace-events PATH     write the simulation event stream as JSONL
@@ -96,6 +106,8 @@ struct Options {
     count: u64,
     out: Option<String>,
     quick: bool,
+    folded: Option<String>,
+    drift_check: bool,
     json: bool,
     metrics_out: Option<String>,
     trace_events: Option<String>,
@@ -133,6 +145,8 @@ impl Options {
             count: 1_000_000,
             out: None,
             quick: false,
+            folded: None,
+            drift_check: false,
             json: false,
             metrics_out: None,
             trace_events: None,
@@ -196,6 +210,8 @@ impl Options {
                 "--count" => o.count = value("--count")?.parse().map_err(|_| "bad --count")?,
                 "--out" => o.out = Some(value("--out")?),
                 "--quick" => o.quick = true,
+                "--folded" => o.folded = Some(value("--folded")?),
+                "--drift-check" => o.drift_check = true,
                 "--json" => o.json = true,
                 "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
                 "--trace-events" => o.trace_events = Some(value("--trace-events")?),
@@ -492,6 +508,36 @@ fn main() -> ExitCode {
                     report.missed_expected, report.false_alarms
                 ))
             }
+        })(),
+        "profile" => (|| {
+            let spec = if opts.quick {
+                ProfileSpec::quick(opts.seed)
+            } else {
+                ProfileSpec::full(opts.seed)
+            };
+            let runner = SweepRunner::new(opts.jobs);
+            if opts.drift_check {
+                let report = run_drift_check(&spec, &runner)?;
+                print!("{report}");
+                return Ok(());
+            }
+            let profiles = run_profile(&spec, &runner);
+            if opts.json {
+                println!("{}", profile_document(&spec, &profiles).render_pretty());
+            } else {
+                print!("{}", render_profile(&spec, &profiles));
+            }
+            if let Some(path) = &opts.metrics_out {
+                let doc = profile_document(&spec, &profiles);
+                std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = &opts.folded {
+                std::fs::write(path, folded_output(&profiles))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            Ok(())
         })(),
         "record" => (|| {
             let bench = opts.bench.ok_or("record needs --bench")?;

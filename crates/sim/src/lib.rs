@@ -28,6 +28,7 @@ pub mod cli;
 pub mod config;
 pub mod experiments;
 pub mod hierarchy;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod system;

@@ -1,0 +1,75 @@
+//! The profiler's mirror of `parallel_sweep.rs`: the `miv-profile-v1`
+//! document, the rendered report and the folded stacks must be
+//! byte-identical at any worker count, because span snapshots merge as
+//! plain data in task order (the `ProfileSnapshot::merge` analogue of
+//! `Registry::absorb`). Also pins the conservation invariant end to
+//! end: every scheme's access-class leaves sum exactly to its
+//! controller's core-visible cycle total.
+
+use miv_sim::profile::{folded_output, profile_document, render_profile, run_profile, ProfileSpec};
+use miv_sim::SweepRunner;
+
+/// A CI-sized spec with the campaign shrunk the same way the attack
+/// tests shrink it, so the whole grid runs in a couple of seconds.
+fn quick_spec() -> ProfileSpec {
+    let mut spec = ProfileSpec::quick(42);
+    spec.campaign.trials = 1;
+    spec.campaign.accesses = 800;
+    spec.campaign.data_bytes = 128 << 10;
+    spec.campaign.l2_bytes = 16 << 10;
+    spec.campaign.working_set = 64 << 10;
+    spec
+}
+
+#[test]
+fn profile_outputs_identical_at_any_job_count() {
+    let spec = quick_spec();
+    let documents = |jobs: usize| {
+        let profiles = run_profile(&spec, &SweepRunner::new(jobs));
+        (
+            profile_document(&spec, &profiles).render_pretty(),
+            render_profile(&spec, &profiles),
+            folded_output(&profiles),
+        )
+    };
+    let (json1, text1, folded1) = documents(1);
+    assert!(json1.contains("\"schema\": \"miv-profile-v1\""));
+    assert!(text1.contains("cycle attribution"));
+    assert!(folded1.contains("chash;"));
+    for jobs in [2, 4] {
+        let (json, text, folded) = documents(jobs);
+        assert_eq!(json, json1, "JSON document diverged at --jobs {jobs}");
+        assert_eq!(text, text1, "text report diverged at --jobs {jobs}");
+        assert_eq!(folded, folded1, "folded stacks diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn profile_document_reports_exact_conservation() {
+    let spec = quick_spec();
+    let profiles = run_profile(&spec, &SweepRunner::new(2));
+    for p in &profiles {
+        assert_eq!(
+            p.attributed_cycles(),
+            p.total_cycles,
+            "{}: access-class leaf spans must sum exactly to the controller total",
+            p.scheme
+        );
+        // The latency histograms and the span tree describe the same
+        // accesses: per-class histogram counts match the span counts.
+        for (class, hist) in &p.latency {
+            let span_count: u64 = p
+                .spans
+                .spans
+                .iter()
+                .filter(|s| s.path.len() == 1 && s.path[0] == *class)
+                .map(|s| s.count)
+                .sum();
+            assert_eq!(
+                hist.count, span_count,
+                "{}: {class} histogram and span disagree on access count",
+                p.scheme
+            );
+        }
+    }
+}
