@@ -81,7 +81,9 @@ pub const CATALOGUE: &[Rule] = &[
     Rule {
         id: "rc-not-sent",
         summary: "std::rc is non-Send and breaks the parallel sweep unless crossed as a \
-                  plain-data snapshot; justify every use against the snapshot-absorb pattern",
+                  plain-data snapshot; justify every use against the snapshot-absorb pattern. \
+                  In the serving layer (serve*.rs) the bar is stricter: no Rc/RefCell ident at \
+                  all, so no aliased handle can leak into a shard task signature",
         check: check_rc_not_sent,
     },
     Rule {
@@ -310,27 +312,48 @@ fn check_reset_preserves_schedules(ctx: &FileContext, f: &SourceFile, out: &mut 
 /// Rule 7: `std::rc` types are non-Send; the parallel sweep crosses
 /// telemetry between threads as plain-data snapshots instead. Any Rc
 /// must either live behind that pattern (justified allow) or not exist.
+///
+/// The serving layer gets a stricter boundary: its shard tasks are the
+/// one place whole engines cross into a worker pool, and the
+/// compile-time `assert_send` there only covers the task types
+/// themselves. In a `serve*.rs` file *any* `Rc`/`RefCell` ident fires —
+/// including uses the path check cannot see, such as `Rc::new(...)`
+/// after a `use std::rc::Rc;` — so no aliased non-Send handle can leak
+/// into a task signature.
 fn check_rc_not_sent(ctx: &FileContext, f: &SourceFile, out: &mut Vec<RawFinding>) {
     if !code_kinds(ctx.kind) {
         return;
     }
+    let serving_layer = ctx
+        .rel_path
+        .rsplit('/')
+        .next()
+        .is_some_and(|name| name.starts_with("serve") && name.ends_with(".rs"));
     for k in 0..f.sig_len() {
-        if f.sig_text(k) != "rc" || !f.match_seq(k + 1, &[":", ":"]) {
+        if f.sig_kind(k) != Some(TokenKind::Ident) {
             continue;
         }
-        if f.sig_kind(k) != Some(TokenKind::Ident) {
+        let t = f.sig_text(k);
+        let path_use = t == "rc" && f.match_seq(k + 1, &[":", ":"]);
+        let serve_handle = serving_layer && (t == "Rc" || t == "RefCell");
+        if !path_use && !serve_handle {
             continue;
         }
         let pos = f.sig_start(k);
         if f.in_test_span(pos) {
             continue;
         }
-        out.push(RawFinding {
-            pos,
-            message: "std::rc type in non-test code: non-Send, breaks the parallel sweep \
-                      unless crossed as a plain-data snapshot"
-                .to_string(),
-        });
+        let message = if path_use {
+            "std::rc type in non-test code: non-Send, breaks the parallel sweep unless \
+             crossed as a plain-data snapshot"
+                .to_string()
+        } else {
+            format!(
+                "`{t}` in the serving layer: shard tasks must cross the worker pool as \
+                 plain Send data, never as Rc-family handles"
+            )
+        };
+        out.push(RawFinding { pos, message });
     }
 }
 

@@ -251,6 +251,46 @@ fn rc_not_sent_scope_negatives() {
     assert!(fired(&r).is_empty());
 }
 
+const SERVE_LIB: &str = "crates/sim/src/serve.rs";
+
+#[test]
+fn rc_not_sent_serving_layer_fires_and_suppresses() {
+    // In serve*.rs the bare `Rc`/`RefCell` idents fire even without an
+    // `rc::` path in sight — the aliased-handle case the base rule
+    // cannot see.
+    assert_fires_and_suppresses(SERVE_LIB, "rc-not-sent", "fn f(shard: Rc<Shard>) {}");
+    assert_fires_and_suppresses(
+        SERVE_LIB,
+        "rc-not-sent",
+        "struct Task { state: RefCell<State> }",
+    );
+    assert_fires_and_suppresses(
+        "crates/sim/src/serve_pool.rs",
+        "rc-not-sent",
+        "fn spawn() { let h = Rc::new(Pool::new()); }",
+    );
+}
+
+#[test]
+fn rc_not_sent_serving_layer_scope_negatives() {
+    // The stricter check is path-scoped: a bare `Rc` ident elsewhere
+    // (e.g. in a doc string or an unrelated type name) stays legal.
+    let r = check(LIB, "fn f(shard: Rc<Shard>) {}\n");
+    assert!(fired(&r).is_empty());
+    // Plain Send data in the serving layer is fine.
+    let r = check(
+        SERVE_LIB,
+        "fn f(spec: ShardSpec) -> ShardOutcome { run(spec) }\n",
+    );
+    assert!(fired(&r).is_empty());
+    // Serving-layer test spans keep the usual exemption.
+    let r = check(
+        SERVE_LIB,
+        "#[cfg(test)]\nmod tests {\n    fn t() { let x = Rc::new(1); }\n}\n",
+    );
+    assert!(fired(&r).is_empty());
+}
+
 #[test]
 fn doc_comment_required_fires_and_suppresses() {
     assert_fires_and_suppresses(CORE_LIB, "doc-comment-required", "pub fn undocumented() {}");

@@ -30,7 +30,7 @@ use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, DIGEST_BYTES};
 use miv_hash::narrow::{Mac120, XorMac120, NARROW_MAC_BYTES};
 use miv_obs::{EventSink, Histogram, Registry, SimEvent};
 
-use crate::error::IntegrityError;
+use crate::error::{ConfigError, IntegrityError};
 use crate::layout::{ParentRef, TreeLayout};
 use crate::storage::{Adversary, UntrustedMemory};
 use crate::trusted_cache::TrustedCache;
@@ -240,22 +240,39 @@ impl MemoryBuilder {
     ///
     /// Panics on inconsistent geometry (see [`TreeLayout::new`]) or if the
     /// cache is too small to guarantee forward progress of write-back
-    /// cascades.
+    /// cascades. Fallible callers (anything validating a user-supplied
+    /// spec) use [`try_build`](Self::try_build) instead.
     pub fn build(self) -> VerifiedMemory {
-        let layout = TreeLayout::new(self.data_bytes, self.chunk_bytes, self.block_bytes);
-        let layout_chunks = layout.total_chunks() as usize;
+        self.try_build().expect("documented invariant")
+    }
+
+    /// Validates the builder's geometry without constructing the engine
+    /// (no segment allocation, no tree build): the cheap pre-flight
+    /// check for user-supplied specs dispatched to worker threads.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        let layout = TreeLayout::try_new(self.data_bytes, self.chunk_bytes, self.block_bytes)?;
         let min_cache = Self::min_cache_blocks(&layout);
-        assert!(
-            self.cache_blocks >= min_cache,
-            "trusted cache of {} blocks is too small: this layout needs at least {min_cache}",
-            self.cache_blocks
-        );
-        if self.protection == Protection::IncrementalMac {
-            assert!(
-                layout.blocks_per_chunk() <= 8,
-                "incremental MAC supports at most 8 blocks per chunk (8 timestamp bits per slot)"
-            );
+        if self.cache_blocks < min_cache {
+            return Err(ConfigError::CacheTooSmall {
+                blocks: self.cache_blocks,
+                min_blocks: min_cache,
+            });
         }
+        if self.protection == Protection::IncrementalMac && layout.blocks_per_chunk() > 8 {
+            return Err(ConfigError::MacChunkTooWide {
+                blocks_per_chunk: layout.blocks_per_chunk(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The fallible form of [`build`](Self::build): returns a
+    /// [`ConfigError`] instead of panicking on inconsistent geometry or
+    /// an undersized trusted cache.
+    pub fn try_build(self) -> std::result::Result<VerifiedMemory, ConfigError> {
+        self.validate()?;
+        let layout = TreeLayout::try_new(self.data_bytes, self.chunk_bytes, self.block_bytes)?;
+        let layout_chunks = layout.total_chunks() as usize;
         let mut mem = UntrustedMemory::new(layout.physical_bytes());
         if let Some(data) = &self.initial_data {
             let base = layout.data_phys_addr(0);
@@ -292,7 +309,7 @@ impl MemoryBuilder {
             masked: std::collections::BTreeSet::new(),
         };
         engine.rebuild_tree();
-        engine
+        Ok(engine)
     }
 
     /// Minimum trusted-cache capacity for a layout: enough headroom that a
@@ -395,6 +412,14 @@ impl VerifiedMemory {
     // ------------------------------------------------------------------
     // Public API
     // ------------------------------------------------------------------
+
+    /// Fallible construction from a configured [`MemoryBuilder`]: the
+    /// `Result` twin of [`MemoryBuilder::build`], for callers holding a
+    /// user-supplied spec (`mivsim serve` builds every shard's engine
+    /// through this on its worker thread).
+    pub fn try_new(builder: MemoryBuilder) -> std::result::Result<Self, ConfigError> {
+        builder.try_build()
+    }
 
     /// The tree layout.
     pub fn layout(&self) -> &TreeLayout {

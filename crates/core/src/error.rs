@@ -1,6 +1,136 @@
-//! Integrity-violation errors.
+//! Integrity-violation and configuration errors.
 
 use std::fmt;
+
+use crate::timing::Scheme;
+
+/// Raised by the fallible constructors ([`TreeLayout::try_new`],
+/// [`L2Controller::try_new`], [`MemoryBuilder::try_build`]) when a
+/// requested geometry cannot produce a working engine.
+///
+/// The panicking constructors are thin `.expect("documented
+/// invariant")` wrappers over the `try_*` forms, so library callers
+/// with hard-coded geometries keep the terse API while anything that
+/// parses a user-supplied spec (the `mivsim` subcommands, shard specs)
+/// routes through the `Result` path and reports a proper error.
+///
+/// [`TreeLayout::try_new`]: crate::layout::TreeLayout::try_new
+/// [`L2Controller::try_new`]: crate::timing::L2Controller::try_new
+/// [`MemoryBuilder::try_build`]: crate::engine::MemoryBuilder::try_build
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The protected data segment is zero bytes.
+    EmptySegment,
+    /// A chunk or block size is not a power of two.
+    NotPowerOfTwo {
+        /// Which size was malformed (`"chunk"` or `"block"`).
+        what: &'static str,
+        /// The offending byte count.
+        bytes: u64,
+    },
+    /// The chunk size is not a whole positive multiple of the block
+    /// size.
+    ChunkNotBlockMultiple {
+        /// Chunk size in bytes.
+        chunk_bytes: u32,
+        /// Block size in bytes.
+        block_bytes: u32,
+    },
+    /// The chunk is too small to hold at least two child digests.
+    ArityTooSmall {
+        /// Chunk size in bytes.
+        chunk_bytes: u32,
+    },
+    /// A single-block-chunk scheme (`naive`/`chash`) was given a chunk
+    /// that is not exactly one cache line.
+    ChunkLineMismatch {
+        /// The scheme being configured.
+        scheme: Scheme,
+        /// Chunk size in bytes.
+        chunk_bytes: u32,
+        /// L2 line size in bytes.
+        line_bytes: u32,
+    },
+    /// A multi-block-chunk scheme (`mhash`/`ihash`) was given a chunk
+    /// that does not span several whole cache lines (the `ProfileSpec`
+    /// subtlety: these schemes need `chunk_bytes = 2 * line_bytes` or
+    /// more).
+    SingleBlockChunk {
+        /// The scheme being configured.
+        scheme: Scheme,
+        /// Chunk size in bytes.
+        chunk_bytes: u32,
+        /// L2 line size in bytes.
+        line_bytes: u32,
+    },
+    /// The trusted cache cannot guarantee forward progress of
+    /// write-back cascades for this layout.
+    CacheTooSmall {
+        /// Requested capacity in blocks.
+        blocks: usize,
+        /// Minimum capacity the layout needs.
+        min_blocks: usize,
+    },
+    /// The incremental MAC's per-slot timestamp field is 8 bits, so a
+    /// chunk may span at most 8 blocks.
+    MacChunkTooWide {
+        /// Requested blocks per chunk.
+        blocks_per_chunk: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptySegment => write!(f, "cannot protect an empty segment"),
+            ConfigError::NotPowerOfTwo { what, bytes } => {
+                write!(f, "{what} size must be a power of two, got {bytes}")
+            }
+            ConfigError::ChunkNotBlockMultiple {
+                chunk_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "chunk must be a whole number of blocks ({chunk_bytes} B chunk, \
+                 {block_bytes} B block)"
+            ),
+            ConfigError::ArityTooSmall { chunk_bytes } => write!(
+                f,
+                "chunk of {chunk_bytes} B is too small: arity must be at least 2"
+            ),
+            ConfigError::ChunkLineMismatch {
+                scheme,
+                chunk_bytes,
+                line_bytes,
+            } => write!(
+                f,
+                "{scheme} uses one cache block per chunk: chunk must equal the \
+                 {line_bytes} B line, got {chunk_bytes} B"
+            ),
+            ConfigError::SingleBlockChunk {
+                scheme,
+                chunk_bytes,
+                line_bytes,
+            } => write!(
+                f,
+                "{scheme} needs a chunk spanning several whole {line_bytes} B blocks, \
+                 got {chunk_bytes} B (use chunk_bytes = 2 * line_bytes or more)"
+            ),
+            ConfigError::CacheTooSmall { blocks, min_blocks } => write!(
+                f,
+                "trusted cache of {blocks} blocks is too small: this layout needs at \
+                 least {min_blocks}"
+            ),
+            ConfigError::MacChunkTooWide { blocks_per_chunk } => write!(
+                f,
+                "incremental MAC supports at most 8 blocks per chunk (8 timestamp bits \
+                 per slot), got {blocks_per_chunk}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Raised when a chunk's contents do not match the hash (or MAC) stored
 /// in its parent — the memory-tampering exception of §5.8.

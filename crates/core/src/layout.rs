@@ -25,6 +25,8 @@ use std::fmt;
 
 use miv_hash::digest::DIGEST_BYTES;
 
+use crate::error::ConfigError;
+
 /// Where a chunk's hash is stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParentRef {
@@ -82,23 +84,44 @@ impl TreeLayout {
     ///
     /// Panics if the sizes are not powers of two, if `block_bytes` does
     /// not divide `chunk_bytes`, if the arity would be less than 2, or if
-    /// `data_bytes` is zero.
+    /// `data_bytes` is zero. Fallible callers (anything validating a
+    /// user-supplied spec) use [`try_new`](Self::try_new) instead.
     pub fn new(data_bytes: u64, chunk_bytes: u32, block_bytes: u32) -> Self {
-        assert!(data_bytes > 0, "cannot protect an empty segment");
-        assert!(
-            chunk_bytes.is_power_of_two(),
-            "chunk size must be a power of two"
-        );
-        assert!(
-            block_bytes.is_power_of_two(),
-            "block size must be a power of two"
-        );
-        assert!(
-            chunk_bytes.is_multiple_of(block_bytes) && chunk_bytes >= block_bytes,
-            "chunk must be a whole number of blocks"
-        );
+        Self::try_new(data_bytes, chunk_bytes, block_bytes).expect("documented invariant")
+    }
+
+    /// The fallible form of [`new`](Self::new): returns a
+    /// [`ConfigError`] instead of panicking on inconsistent geometry.
+    pub fn try_new(
+        data_bytes: u64,
+        chunk_bytes: u32,
+        block_bytes: u32,
+    ) -> Result<Self, ConfigError> {
+        if data_bytes == 0 {
+            return Err(ConfigError::EmptySegment);
+        }
+        if !chunk_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "chunk",
+                bytes: chunk_bytes as u64,
+            });
+        }
+        if !block_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "block",
+                bytes: block_bytes as u64,
+            });
+        }
+        if !chunk_bytes.is_multiple_of(block_bytes) || chunk_bytes < block_bytes {
+            return Err(ConfigError::ChunkNotBlockMultiple {
+                chunk_bytes,
+                block_bytes,
+            });
+        }
         let arity = chunk_bytes / DIGEST_BYTES as u32;
-        assert!(arity >= 2, "chunk too small: arity must be at least 2");
+        if arity < 2 {
+            return Err(ConfigError::ArityTooSmall { chunk_bytes });
+        }
 
         let data_chunks = data_bytes.div_ceil(chunk_bytes as u64);
         let m = arity as u64;
@@ -112,14 +135,14 @@ impl TreeLayout {
             total = data_chunks + hash;
         }
         let hash_chunks = (total - 1) / m;
-        TreeLayout {
+        Ok(TreeLayout {
             chunk_bytes,
             block_bytes,
             arity,
             total_chunks: total,
             hash_chunks,
             data_bytes,
-        }
+        })
     }
 
     /// Chunk size in bytes (the hashing unit).
@@ -541,15 +564,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty segment")]
     fn zero_data_rejected() {
-        let _ = TreeLayout::new(0, 64, 64);
+        assert_eq!(
+            TreeLayout::try_new(0, 64, 64),
+            Err(ConfigError::EmptySegment)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "arity")]
     fn tiny_chunk_rejected() {
-        let _ = TreeLayout::new(4096, 16, 16);
+        assert_eq!(
+            TreeLayout::try_new(4096, 16, 16),
+            Err(ConfigError::ArityTooSmall { chunk_bytes: 16 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "documented invariant")]
+    fn panicking_constructor_is_a_thin_wrapper() {
+        let _ = TreeLayout::new(0, 64, 64);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod xom;
 
 pub use adversary::{parent_slot_addr, timestamp_byte_addr, Adversary, Snapshot, TamperKind};
 pub use engine::{EngineStats, MemoryBuilder, Protection, VerifiedMemory};
-pub use error::IntegrityError;
+pub use error::{ConfigError, IntegrityError};
 pub use layout::{ParentRef, TreeLayout};
 pub use observe::HashUnitObserver;
 pub use storage::UntrustedMemory;

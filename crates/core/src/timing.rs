@@ -33,6 +33,7 @@ use crate::hash_unit::HashEngine;
 use crate::observe::HashUnitObserver;
 use miv_mem::{BusObserver, BusTiming, MemoryBus, MemoryBusConfig, TrafficClass};
 
+use crate::error::ConfigError;
 use crate::layout::{ParentRef, TreeLayout};
 
 /// A simulation timestamp in core clock cycles.
@@ -418,32 +419,54 @@ impl L2Controller {
     /// # Panics
     ///
     /// Panics if the chunk geometry is inconsistent with the scheme or
-    /// the L2 line size.
+    /// the L2 line size. Fallible callers (anything validating a
+    /// user-supplied spec) use [`try_new`](Self::try_new) instead.
     pub fn new(config: CheckerConfig, l2: CacheConfig, bus: MemoryBusConfig) -> Self {
+        Self::try_new(config, l2, bus).expect("documented invariant")
+    }
+
+    /// The fallible form of [`new`](Self::new): returns a
+    /// [`ConfigError`] instead of panicking when the chunk geometry is
+    /// inconsistent with the scheme or the L2 line size. This is the
+    /// construction path for user-supplied specs (`mivsim serve` shard
+    /// specs, `mivsim profile` geometry).
+    pub fn try_new(
+        config: CheckerConfig,
+        l2: CacheConfig,
+        bus: MemoryBusConfig,
+    ) -> Result<Self, ConfigError> {
         let layout = if config.scheme.verifies() {
             let line = l2.line_bytes;
             match config.scheme {
-                Scheme::Naive | Scheme::CHash => assert_eq!(
-                    config.chunk_bytes, line,
-                    "{} uses one cache block per chunk",
-                    config.scheme
-                ),
-                Scheme::MHash | Scheme::IHash => assert!(
-                    config.chunk_bytes > line && config.chunk_bytes.is_multiple_of(line),
-                    "{} needs a chunk spanning several blocks",
-                    config.scheme
-                ),
-                Scheme::Base => unreachable!(),
+                Scheme::Naive | Scheme::CHash => {
+                    if config.chunk_bytes != line {
+                        return Err(ConfigError::ChunkLineMismatch {
+                            scheme: config.scheme,
+                            chunk_bytes: config.chunk_bytes,
+                            line_bytes: line,
+                        });
+                    }
+                }
+                Scheme::MHash | Scheme::IHash => {
+                    if config.chunk_bytes <= line || !config.chunk_bytes.is_multiple_of(line) {
+                        return Err(ConfigError::SingleBlockChunk {
+                            scheme: config.scheme,
+                            chunk_bytes: config.chunk_bytes,
+                            line_bytes: line,
+                        });
+                    }
+                }
+                Scheme::Base => unreachable!("Base never verifies"),
             }
-            Some(TreeLayout::new(
+            Some(TreeLayout::try_new(
                 config.protected_bytes,
                 config.chunk_bytes,
                 line,
-            ))
+            )?)
         } else {
             None
         };
-        L2Controller {
+        Ok(L2Controller {
             l2: Cache::with_policy(l2, config.l2_policy),
             bus: MemoryBus::new(bus),
             engine: HashEngine::new(config.hash),
@@ -466,7 +489,7 @@ impl L2Controller {
             profiled_cycles: 0,
             config,
             layout,
-        }
+        })
     }
 
     /// Attaches telemetry to every component the controller owns: L2
@@ -1702,14 +1725,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one cache block per chunk")]
     fn chash_geometry_enforced() {
         let mut cfg = CheckerConfig::hpca03(Scheme::CHash);
         cfg.chunk_bytes = 128;
-        let _ = L2Controller::new(
+        let err = L2Controller::try_new(
             cfg,
             CacheConfig::l2(1 << 20, 64),
             MemoryBusConfig::default(),
+        )
+        .expect_err("chash requires one cache block per chunk");
+        assert_eq!(
+            err,
+            crate::error::ConfigError::ChunkLineMismatch {
+                scheme: Scheme::CHash,
+                chunk_bytes: 128,
+                line_bytes: 64,
+            }
         );
     }
 

@@ -30,11 +30,17 @@ use miv_core::timing::Scheme;
 use miv_hash::Throughput;
 use miv_obs::JsonValue;
 use miv_sim::attack::{attack_document, attack_events_jsonl, render_report, run_campaign};
-use miv_sim::cli::{parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size};
+use miv_sim::cli::{
+    parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size, CommonOpts,
+};
 use miv_sim::profile::{
     folded_output, profile_document, render_profile, run_drift_check, run_profile, ProfileSpec,
 };
 use miv_sim::report::{f2, f3, pct, Table};
+use miv_sim::serve::{
+    fold_telemetry, render_serve, run_serve, serve_document, ServeSpec, ServiceSummary,
+    TamperPolicy,
+};
 use miv_sim::telemetry::Sample;
 use miv_sim::{RunRequest, RunResult, SweepRunner, System, SystemConfig, Telemetry, Workload};
 use miv_trace::{Benchmark, Profile};
@@ -48,6 +54,8 @@ commands (default: run):
   attack   run the scripted adversary campaign (coverage + latency)
   profile  cycle-attribution profile: per-class latency percentiles and
            span trees for every scheme (plus campaign detect spans)
+  serve    sharded multi-tenant integrity service: one engine shard per
+           tenant on a worker pool, ops/sec + per-class latency report
   record   write a synthetic benchmark trace to a file
 
 options:
@@ -68,15 +76,22 @@ options:
   --block-on-verify       disable speculative use of unverified data
   --no-write-alloc-opt    disable the whole-line overwrite optimization
   --count N / --out FILE  (record)
+  --shards N              (serve) tenant count (default: quick 4, full 8)
+  --requests N            (serve) requests per tenant stream
+  --tamper all|off|N      (serve) end-of-stream tamper probes: every
+                          tenant, none, or tenant N only (default all)
   --quick                 (attack) CI-sized campaign: 2 trials/cell,
                           2500 accesses (default: 5 trials, 20000)
                           (profile) short stream + quick campaign
+                          (serve) CI-sized service: 4 tenants, short
+                          streams
   --folded FILE           (profile) write flamegraph folded stacks
   --drift-check           (profile) rerun the campaign over derived
                           seeds; exit nonzero if any detection metric
                           drifts outside the stated tolerance
   --json                  emit results as JSON instead of a table
-                          (attack: miv-attack-v1; profile: miv-profile-v1)
+                          (attack: miv-attack-v1; profile: miv-profile-v1;
+                          serve: miv-serve-v1)
   --metrics-out PATH      write a miv-metrics-v1 JSON summary (registry
                           counters, histograms with quantiles, samples)
   --trace-events PATH     write the simulation event stream as JSONL
@@ -95,23 +110,28 @@ struct Options {
     line: u32,
     warmup: u64,
     measure: u64,
-    seed: u64,
     hash_gbps: f64,
     buffers: u32,
     policy: miv_cache::ReplacementPolicy,
-    jobs: usize,
     protected: u64,
     block_on_verify: bool,
     write_alloc_opt: bool,
     count: u64,
     out: Option<String>,
-    quick: bool,
     folded: Option<String>,
     drift_check: bool,
-    json: bool,
-    metrics_out: Option<String>,
-    trace_events: Option<String>,
     sample_interval: u64,
+    shards: Option<u32>,
+    requests: Option<u64>,
+    tamper: TamperPolicy,
+    // Whether --l2 / --line were given explicitly: serve has its own
+    // spec-sized defaults, so only an explicit flag overrides them.
+    l2_set: bool,
+    line_set: bool,
+    /// The cross-subcommand flags (`--quick`, `--seed`, `--jobs`,
+    /// `--json`, `--metrics-out`, `--trace-events`), parsed by the
+    /// shared [`CommonOpts`] parser.
+    common: CommonOpts,
 }
 
 impl Options {
@@ -134,23 +154,23 @@ impl Options {
             line: 64,
             warmup: 50_000,
             measure: 500_000,
-            seed: 42,
             hash_gbps: 3.2,
             buffers: 16,
             policy: miv_cache::ReplacementPolicy::Lru,
-            jobs: 0,
             protected: 256 << 20,
             block_on_verify: false,
             write_alloc_opt: true,
             count: 1_000_000,
             out: None,
-            quick: false,
             folded: None,
             drift_check: false,
-            json: false,
-            metrics_out: None,
-            trace_events: None,
             sample_interval: 50_000,
+            shards: None,
+            requests: None,
+            tamper: TamperPolicy::EveryTenant,
+            l2_set: false,
+            line_set: false,
+            common: CommonOpts::new(),
         };
         let mut it = rest.iter();
         while let Some(arg) = it.next() {
@@ -181,13 +201,16 @@ impl Options {
                 "--l2" => {
                     let v = value("--l2")?;
                     o.l2 = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
+                    o.l2_set = true;
                 }
-                "--line" => o.line = value("--line")?.parse().map_err(|_| "bad --line")?,
+                "--line" => {
+                    o.line = value("--line")?.parse().map_err(|_| "bad --line")?;
+                    o.line_set = true;
+                }
                 "--warmup" => o.warmup = value("--warmup")?.parse().map_err(|_| "bad --warmup")?,
                 "--measure" => {
                     o.measure = value("--measure")?.parse().map_err(|_| "bad --measure")?
                 }
-                "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
                 "--hash-gbps" => {
                     o.hash_gbps = value("--hash-gbps")?
                         .parse()
@@ -200,7 +223,6 @@ impl Options {
                     let v = value("--policy")?;
                     o.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy {v}"))?;
                 }
-                "--jobs" => o.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
                 "--protected" => {
                     let v = value("--protected")?;
                     o.protected = parse_size(&v).ok_or_else(|| format!("bad size {v}"))?;
@@ -209,19 +231,34 @@ impl Options {
                 "--no-write-alloc-opt" => o.write_alloc_opt = false,
                 "--count" => o.count = value("--count")?.parse().map_err(|_| "bad --count")?,
                 "--out" => o.out = Some(value("--out")?),
-                "--quick" => o.quick = true,
                 "--folded" => o.folded = Some(value("--folded")?),
                 "--drift-check" => o.drift_check = true,
-                "--json" => o.json = true,
-                "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
-                "--trace-events" => o.trace_events = Some(value("--trace-events")?),
                 "--sample-interval" => {
                     o.sample_interval = value("--sample-interval")?
                         .parse()
                         .map_err(|_| "bad --sample-interval")?
                 }
+                "--shards" => {
+                    o.shards = Some(value("--shards")?.parse().map_err(|_| "bad --shards")?)
+                }
+                "--requests" => {
+                    o.requests = Some(value("--requests")?.parse().map_err(|_| "bad --requests")?)
+                }
+                "--tamper" => {
+                    o.tamper = match value("--tamper")?.as_str() {
+                        "all" => TamperPolicy::EveryTenant,
+                        "off" | "none" => TamperPolicy::Off,
+                        v => TamperPolicy::Tenant(
+                            v.parse().map_err(|_| format!("bad --tamper {v}"))?,
+                        ),
+                    }
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
-                other => return Err(format!("unknown option {other}\n{USAGE}")),
+                other => {
+                    if !o.common.accept(other, &mut value)? {
+                        return Err(format!("unknown option {other}\n{USAGE}"));
+                    }
+                }
             }
         }
         // `run`/`sweep` default to the gzip benchmark so that a bare
@@ -328,10 +365,10 @@ impl Options {
             Ok((result, samples))
         } else {
             let mut sys = if let Some(profile) = self.custom {
-                System::new(self.system_config(scheme), profile, self.seed)
+                System::new(self.system_config(scheme), profile, self.common.seed)
             } else {
                 let bench = self.bench.ok_or("need --bench, --custom or --trace")?;
-                System::for_benchmark(self.system_config(scheme), bench, self.seed)
+                System::for_benchmark(self.system_config(scheme), bench, self.common.seed)
             };
             if let Some(t) = telemetry {
                 sys.attach_telemetry(t);
@@ -347,7 +384,7 @@ impl Options {
         run: Option<&RunResult>,
         samples: &[Sample],
     ) -> Result<(), String> {
-        if let Some(path) = &self.metrics_out {
+        if let Some(path) = &self.common.metrics_out {
             let doc = match run {
                 Some(r) => telemetry.metrics_document(r, samples),
                 None => telemetry.aggregate_document(),
@@ -355,7 +392,7 @@ impl Options {
             std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote {path}");
         }
-        if let Some(path) = &self.trace_events {
+        if let Some(path) = &self.common.trace_events {
             std::fs::write(path, telemetry.events_jsonl()).map_err(|e| format!("{path}: {e}"))?;
             eprintln!(
                 "wrote {path} ({} events, {} dropped)",
@@ -367,7 +404,7 @@ impl Options {
     }
 
     fn wants_telemetry(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_events.is_some()
+        self.common.metrics_out.is_some() || self.common.trace_events.is_some()
     }
 }
 
@@ -416,7 +453,7 @@ fn main() -> ExitCode {
             let telemetry = opts.wants_telemetry().then(Telemetry::new);
             opts.run_one(opts.scheme, telemetry.as_ref())
                 .and_then(|(r, samples)| {
-                    print_results(std::slice::from_ref(&r), opts.json);
+                    print_results(std::slice::from_ref(&r), opts.common.json);
                     match &telemetry {
                         Some(t) => opts.write_telemetry(t, Some(&r), &samples),
                         None => Ok(()),
@@ -452,12 +489,12 @@ fn main() -> ExitCode {
                             workload,
                             opts.warmup,
                             opts.measure,
-                            opts.seed,
+                            opts.common.seed,
                         )
                         .with_sample_interval(opts.sample_interval)
                     })
                     .collect();
-                let mut runner = SweepRunner::new(opts.jobs);
+                let mut runner = SweepRunner::new(opts.common.jobs);
                 if let Some(t) = &telemetry {
                     runner = runner.capture_telemetry(t.events().capacity());
                 }
@@ -470,32 +507,32 @@ fn main() -> ExitCode {
                 }
                 results
             };
-            print_results(&results, opts.json);
+            print_results(&results, opts.common.json);
             match &telemetry {
                 Some(t) => opts.write_telemetry(t, None, &[]),
                 None => Ok(()),
             }
         })(),
         "attack" => (|| {
-            let mut spec = if opts.quick {
-                CampaignSpec::quick(opts.seed)
+            let mut spec = if opts.common.quick {
+                CampaignSpec::quick(opts.common.seed)
             } else {
-                CampaignSpec::full(opts.seed)
+                CampaignSpec::full(opts.common.seed)
             };
-            spec.capture_events = opts.trace_events.is_some();
-            let runner = SweepRunner::new(opts.jobs);
+            spec.capture_events = opts.common.trace_events.is_some();
+            let runner = SweepRunner::new(opts.common.jobs);
             let (outcomes, report) = run_campaign(&spec, &runner);
-            if opts.json {
+            if opts.common.json {
                 println!("{}", attack_document(&spec, &report).render_pretty());
             } else {
                 print!("{}", render_report(&spec, &report));
             }
-            if let Some(path) = &opts.metrics_out {
+            if let Some(path) = &opts.common.metrics_out {
                 let doc = attack_document(&spec, &report);
                 std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
-            if let Some(path) = &opts.trace_events {
+            if let Some(path) = &opts.common.trace_events {
                 std::fs::write(path, attack_events_jsonl(&outcomes))
                     .map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("wrote {path}");
@@ -510,24 +547,26 @@ fn main() -> ExitCode {
             }
         })(),
         "profile" => (|| {
-            let spec = if opts.quick {
-                ProfileSpec::quick(opts.seed)
+            let spec = if opts.common.quick {
+                ProfileSpec::quick(opts.common.seed)
             } else {
-                ProfileSpec::full(opts.seed)
+                ProfileSpec::full(opts.common.seed)
             };
-            let runner = SweepRunner::new(opts.jobs);
+            spec.validate()
+                .map_err(|e| format!("invalid profile configuration: {e}"))?;
+            let runner = SweepRunner::new(opts.common.jobs);
             if opts.drift_check {
                 let report = run_drift_check(&spec, &runner)?;
                 print!("{report}");
                 return Ok(());
             }
             let profiles = run_profile(&spec, &runner);
-            if opts.json {
+            if opts.common.json {
                 println!("{}", profile_document(&spec, &profiles).render_pretty());
             } else {
                 print!("{}", render_profile(&spec, &profiles));
             }
-            if let Some(path) = &opts.metrics_out {
+            if let Some(path) = &opts.common.metrics_out {
                 let doc = profile_document(&spec, &profiles);
                 std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("wrote {path}");
@@ -539,11 +578,63 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
+        "serve" => (|| {
+            let mut spec = if opts.common.quick {
+                ServeSpec::quick(opts.common.seed)
+            } else {
+                ServeSpec::full(opts.common.seed)
+            };
+            if let Some(shards) = opts.shards {
+                spec.shards = shards;
+            }
+            if let Some(requests) = opts.requests {
+                spec.requests = requests;
+            }
+            if opts.l2_set {
+                spec.l2_bytes = opts.l2;
+            }
+            if opts.line_set {
+                spec.line_bytes = opts.line;
+            }
+            spec.tamper = opts.tamper;
+            // Pre-flight through the fallible constructors: a bad
+            // geometry is a CLI error, not a worker panic.
+            spec.validate()
+                .map_err(|e| format!("invalid serve configuration: {e}"))?;
+            let runner = SweepRunner::new(opts.common.jobs);
+            let outcomes = run_serve(&spec, &runner)
+                .map_err(|e| format!("invalid serve configuration: {e}"))?;
+            if opts.common.json {
+                println!("{}", serve_document(&spec, &outcomes).render_pretty());
+            } else {
+                print!("{}", render_serve(&spec, &outcomes));
+            }
+            if let Some(path) = &opts.common.metrics_out {
+                let doc = serve_document(&spec, &outcomes);
+                std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = &opts.common.trace_events {
+                let fold = fold_telemetry(&outcomes);
+                std::fs::write(path, fold.events_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            let summary = ServiceSummary::from_outcomes(&outcomes);
+            if summary.clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "serve failed: {} of {} tamper probes missed",
+                    summary.probes - summary.probes_detected,
+                    summary.probes
+                ))
+            }
+        })(),
         "record" => (|| {
             let bench = opts.bench.ok_or("record needs --bench")?;
             let path = opts.out.clone().ok_or("record needs --out FILE")?;
             let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-            let trace = bench.trace(opts.seed).take(opts.count as usize);
+            let trace = bench.trace(opts.common.seed).take(opts.count as usize);
             let n = miv_trace::file::write_trace(BufWriter::new(file), trace)
                 .map_err(|e| format!("{path}: {e}"))?;
             let _: Profile = bench.profile();

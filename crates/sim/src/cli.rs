@@ -5,6 +5,105 @@ use miv_cache::ReplacementPolicy;
 use miv_core::timing::Scheme;
 use miv_trace::{Benchmark, Profile};
 
+/// Options shared by every campaign-style `mivsim` subcommand
+/// (`attack`, `profile`, `serve`): one parser instead of three
+/// hand-rolled copies of the same six flags.
+///
+/// The embedding parser calls [`accept`](Self::accept) for each
+/// argument; a `true` return means the flag (and its value, if any)
+/// was consumed. Flags outside [`FLAGS`](Self::FLAGS) are left to the
+/// caller, so subcommand-specific options coexist untouched.
+///
+/// # Examples
+///
+/// ```
+/// use miv_sim::cli::CommonOpts;
+///
+/// let mut o = CommonOpts::new();
+/// assert!(o.accept("--quick", |_| unreachable!()).unwrap());
+/// assert!(o.accept("--seed", |_| Ok("7".into())).unwrap());
+/// assert!(!o.accept("--scheme", |_| unreachable!()).unwrap());
+/// assert!(o.quick);
+/// assert_eq!(o.seed, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonOpts {
+    /// CI-sized run (`--quick`).
+    pub quick: bool,
+    /// Master seed (`--seed`, default 42).
+    pub seed: u64,
+    /// Worker threads (`--jobs`, default 0 = one per core).
+    pub jobs: usize,
+    /// Emit JSON instead of a table (`--json`).
+    pub json: bool,
+    /// Write the subcommand's JSON document here (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Write the event stream as JSONL here (`--trace-events`).
+    pub trace_events: Option<String>,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts::new()
+    }
+}
+
+impl CommonOpts {
+    /// The exact flag set this parser owns — the same six flags the
+    /// subcommands hand-parsed before the extraction.
+    pub const FLAGS: [&'static str; 6] = [
+        "--quick",
+        "--seed",
+        "--jobs",
+        "--json",
+        "--metrics-out",
+        "--trace-events",
+    ];
+
+    /// Defaults matching the historical subcommand parsers: seed 42,
+    /// jobs 0 (one worker per core), everything else off.
+    pub fn new() -> Self {
+        CommonOpts {
+            quick: false,
+            seed: 42,
+            jobs: 0,
+            json: false,
+            metrics_out: None,
+            trace_events: None,
+        }
+    }
+
+    /// Tries to consume `arg`. `next(flag)` yields the following
+    /// argument for value-taking flags (and errors when it is
+    /// missing). Returns `Ok(true)` when the flag was one of
+    /// [`FLAGS`](Self::FLAGS), `Ok(false)` when it belongs to the
+    /// caller, and `Err` on a malformed value.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        mut next: impl FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--quick" => self.quick = true,
+            "--seed" => {
+                self.seed = next("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--jobs" => {
+                self.jobs = next("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs".to_string())?
+            }
+            "--json" => self.json = true,
+            "--metrics-out" => self.metrics_out = Some(next("--metrics-out")?),
+            "--trace-events" => self.trace_events = Some(next("--trace-events")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 /// Parses a size with an optional `K`/`M`/`G` suffix (powers of two).
 ///
 /// # Examples
@@ -107,6 +206,69 @@ pub fn parse_custom_profile(spec: &str) -> Result<Profile, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn common_opts_flag_set_is_unchanged() {
+        // The exact set `attack`, `profile` (and now `serve`) each
+        // hand-parsed before the extraction; parity is the acceptance
+        // criterion for sharing one parser.
+        let legacy = [
+            "--quick",
+            "--seed",
+            "--jobs",
+            "--json",
+            "--metrics-out",
+            "--trace-events",
+        ];
+        assert_eq!(CommonOpts::FLAGS, legacy);
+        let mut o = CommonOpts::new();
+        for flag in legacy {
+            assert!(
+                o.accept(flag, |_| Ok("7".into())).unwrap(),
+                "{flag} must be accepted"
+            );
+        }
+        // Subcommand-specific flags stay with the caller.
+        for flag in [
+            "--scheme",
+            "--l2",
+            "--bench",
+            "--folded",
+            "--drift-check",
+            "--shards",
+            "--requests",
+            "--tamper",
+            "--sample-interval",
+        ] {
+            assert!(
+                !o.accept(flag, |_| Ok("x".into())).unwrap(),
+                "{flag} must be left to the subcommand"
+            );
+        }
+    }
+
+    #[test]
+    fn common_opts_values_and_errors() {
+        let mut o = CommonOpts::new();
+        assert_eq!((o.quick, o.seed, o.jobs, o.json), (false, 42, 0, false));
+        o.accept("--seed", |_| Ok("9".into())).unwrap();
+        o.accept("--jobs", |_| Ok("3".into())).unwrap();
+        o.accept("--metrics-out", |_| Ok("m.json".into())).unwrap();
+        o.accept("--trace-events", |_| Ok("e.jsonl".into()))
+            .unwrap();
+        o.accept("--quick", |_| unreachable!()).unwrap();
+        o.accept("--json", |_| unreachable!()).unwrap();
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.trace_events.as_deref(), Some("e.jsonl"));
+        assert!(o.quick && o.json);
+        // Malformed values and missing values surface as errors.
+        assert!(o.accept("--seed", |_| Ok("x".into())).is_err());
+        assert!(o
+            .accept("--jobs", |f| Err(format!("{f} needs a value")))
+            .is_err());
+    }
 
     #[test]
     fn sizes() {

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod hierarchy;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 pub mod system;
 pub mod telemetry;

@@ -39,7 +39,7 @@
 use miv_adversary::{cell_seed, run_cell_traced, CampaignSpec};
 use miv_cache::CacheConfig;
 use miv_core::timing::{CheckerConfig, L2Controller};
-use miv_core::Scheme;
+use miv_core::{ConfigError, Scheme};
 use miv_mem::MemoryBusConfig;
 use miv_obs::{
     EventSink, HistogramSnapshot, JsonValue, ProfileSnapshot, Registry, Rng, SpanTracer,
@@ -129,6 +129,35 @@ impl ProfileSpec {
             drift_epochs: 5,
         }
     }
+
+    /// The cycle-level checker configuration the workload pass builds
+    /// for `scheme` — multi-block chunks for the schemes that hash
+    /// several cache lines per tree node (same shaping as the
+    /// campaign's cells).
+    fn checker_config(&self, scheme: Scheme) -> CheckerConfig {
+        let mut checker = CheckerConfig::hpca03(scheme);
+        checker.protected_bytes = self.protected_bytes;
+        checker.chunk_bytes = match scheme {
+            Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
+            _ => self.line_bytes,
+        };
+        checker
+    }
+
+    /// Checks that every profiled scheme's checker can be built from
+    /// this spec, through the fallible constructor — the CLI's
+    /// pre-flight, so a bad geometry comes back as a [`ConfigError`]
+    /// instead of a mid-profile panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for &scheme in &Scheme::ALL {
+            L2Controller::try_new(
+                self.checker_config(scheme),
+                CacheConfig::l2(self.l2_bytes, self.line_bytes),
+                MemoryBusConfig::default(),
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// One scheme's profile: span tree, conservation totals and per-class
@@ -163,19 +192,12 @@ impl SchemeProfile {
 
 /// Runs the workload pass for one scheme.
 fn profile_scheme(spec: &ProfileSpec, scheme: Scheme) -> SchemeProfile {
-    let mut checker = CheckerConfig::hpca03(scheme);
-    checker.protected_bytes = spec.protected_bytes;
-    // Multi-block chunks for the schemes that hash several cache lines
-    // per tree node (same shaping as the campaign's cells).
-    checker.chunk_bytes = match scheme {
-        Scheme::MHash | Scheme::IHash => spec.line_bytes * 2,
-        _ => spec.line_bytes,
-    };
-    let mut ctl = L2Controller::new(
-        checker,
+    let mut ctl = L2Controller::try_new(
+        spec.checker_config(scheme),
         CacheConfig::l2(spec.l2_bytes, spec.line_bytes),
         MemoryBusConfig::default(),
-    );
+    )
+    .expect("profile spec validated before dispatch");
     let spans = SpanTracer::enabled();
     ctl.attach_spans(&spans);
     let registry = Registry::new();

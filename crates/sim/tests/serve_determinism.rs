@@ -1,0 +1,104 @@
+//! The serving layer's contract: byte-identical output at any worker
+//! count, per-tenant isolation of tamper detection, and readable
+//! configuration errors instead of worker panics.
+
+use miv_core::ConfigError;
+use miv_sim::serve::{
+    render_serve, run_serve, serve_document, ServeSpec, ServiceSummary, TamperPolicy,
+};
+use miv_sim::SweepRunner;
+
+/// A CI-sized fleet, shortened so the whole suite stays fast.
+fn spec() -> ServeSpec {
+    let mut spec = ServeSpec::quick(42);
+    spec.requests = 600;
+    spec
+}
+
+#[test]
+fn serve_is_byte_identical_at_any_worker_count() {
+    let spec = spec();
+    assert!(spec.shards >= 4, "the service must be genuinely sharded");
+
+    let sequential = run_serve(&spec, &SweepRunner::new(1)).unwrap();
+    let parallel = run_serve(&spec, &SweepRunner::new(4)).unwrap();
+    assert_eq!(sequential, parallel, "outcomes must not depend on --jobs");
+
+    // The rendered report and the miv-serve-v1 document — the two
+    // externally visible artifacts — byte for byte.
+    assert_eq!(
+        render_serve(&spec, &sequential),
+        render_serve(&spec, &parallel)
+    );
+    assert_eq!(
+        serve_document(&spec, &sequential).render_pretty(),
+        serve_document(&spec, &parallel).render_pretty()
+    );
+}
+
+#[test]
+fn every_tenant_probe_is_detected() {
+    let spec = spec();
+    let outcomes = run_serve(&spec, &SweepRunner::new(2)).unwrap();
+    assert_eq!(outcomes.len(), spec.shards as usize);
+    let summary = ServiceSummary::from_outcomes(&outcomes);
+    assert_eq!(summary.probes, spec.shards as u64);
+    assert!(
+        summary.clean(),
+        "a missed per-tenant detection: {outcomes:#?}"
+    );
+    // Every tenant served its full stream and the report names each.
+    let report = render_serve(&spec, &outcomes);
+    for outcome in &outcomes {
+        assert_eq!(outcome.ops(), spec.requests);
+        assert!(report.contains(&format!("tenant-{}", outcome.tenant)));
+    }
+}
+
+#[test]
+fn tampering_one_tenant_perturbs_no_other_tenant() {
+    // The isolation experiment: probing (and corrupting) tenant 1's
+    // memory must leave every other tenant's outcome — counters,
+    // cycles, telemetry, the lot — byte-identical to a probe-free run.
+    let victim = 1;
+    let mut tampered = spec();
+    tampered.tamper = TamperPolicy::Tenant(victim);
+    let mut clean = spec();
+    clean.tamper = TamperPolicy::Off;
+
+    let tampered_outcomes = run_serve(&tampered, &SweepRunner::new(2)).unwrap();
+    let clean_outcomes = run_serve(&clean, &SweepRunner::new(2)).unwrap();
+
+    let probe = tampered_outcomes[victim as usize]
+        .probe
+        .expect("the victim tenant is probed");
+    assert!(probe.detected, "the victim's corruption must be caught");
+
+    for (t, c) in tampered_outcomes.iter().zip(&clean_outcomes) {
+        if t.tenant == victim {
+            continue;
+        }
+        assert_eq!(
+            t, c,
+            "tenant-{} was perturbed by another tenant's probe",
+            t.tenant
+        );
+    }
+}
+
+#[test]
+fn bad_geometry_is_a_config_error_not_a_panic() {
+    let mut bad = spec();
+    bad.data_bytes = 0;
+    assert_eq!(
+        run_serve(&bad, &SweepRunner::new(2)).unwrap_err(),
+        ConfigError::EmptySegment
+    );
+
+    let mut bad = spec();
+    bad.l2_bytes = 256;
+    assert!(matches!(
+        run_serve(&bad, &SweepRunner::new(2)).unwrap_err(),
+        ConfigError::CacheTooSmall { .. }
+    ));
+}
