@@ -23,6 +23,10 @@
 //!   grid and its fold into a detection-coverage matrix plus per-scheme
 //!   latency percentiles, exported as the `miv-attack-v1` JSON schema
 //!   and as `attack.*` metrics through the `miv-obs` registry.
+//! * [`offline`] — the powered-off complement: bench mutations of the
+//!   persistent block store's untrusted image (data/tree page flips,
+//!   superblock flips, stale-image splices) that must be caught when
+//!   the store is reopened against its trusted root.
 //!
 //! Cells are plain-data configs and independent of each other, so an
 //! executor may run them in any order or on any number of threads; the
@@ -38,9 +42,14 @@
 pub mod attack;
 pub mod campaign;
 pub mod cell;
+pub mod offline;
 
 pub use attack::{AttackClass, Trigger};
 pub use campaign::{cell_seed, percentile, CampaignReport, CampaignSpec, LatencyStats, MatrixCell};
 pub use cell::{
     run_cell, run_cell_traced, CellConfig, CellOutcome, Detection, Detector, Injection,
+};
+pub use offline::{
+    run_offline_cell, DetectPhase, OfflineAttack, OfflineCell, OfflineMatrixCell, OfflineOutcome,
+    OfflineReport, OfflineSpec,
 };

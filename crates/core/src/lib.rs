@@ -65,6 +65,7 @@ pub use engine::{EngineStats, MemoryBuilder, Protection, VerifiedMemory};
 pub use error::{ConfigError, IntegrityError};
 pub use layout::{ParentRef, TreeLayout};
 pub use observe::HashUnitObserver;
+pub use persist::{restore, FormatError, SavedImage, SavedRoot};
 pub use storage::UntrustedMemory;
 pub use timing::{
     CheckerConfig, CheckerEvent, CheckerStats, L2Controller, Scheme, TamperDetection,

@@ -16,13 +16,99 @@
 //!   untrusted image still matches the root — a stale or tampered image
 //!   is rejected exactly like a replayed RAM chunk.
 
+use std::fmt;
+
 use miv_hash::digest::{ChunkHasher, DIGEST_BYTES};
 
 use crate::engine::{MemoryBuilder, Protection, VerifiedMemory};
-use crate::error::IntegrityError;
+use crate::error::{ConfigError, IntegrityError};
+use crate::layout::TreeLayout;
 
 /// Magic prefix of the serialized untrusted image.
 const MAGIC: [u8; 8] = *b"MIVMEM01";
+
+/// Size of the serialized image header: magic plus three little-endian
+/// u64 geometry words (data, chunk and block bytes).
+const HEADER_BYTES: usize = 32;
+
+/// A serialized trust-boundary artifact failed structural validation.
+///
+/// Raised by [`SavedImage::from_bytes`] and by the `miv-store` on-disk
+/// format parsers (superblock, trusted-root blob, journal entries) —
+/// one typed vocabulary for "these bytes are not a well-formed X".
+/// Structural damage is *not* an integrity violation: it indicates
+/// corruption or truncation that any storage stack would notice, and is
+/// reported before (and independently of) the root verification that
+/// catches deliberate tampering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The magic prefix did not match.
+    BadMagic {
+        /// Which artifact was being parsed.
+        what: &'static str,
+    },
+    /// Fewer bytes than the fixed header/frame requires.
+    Truncated {
+        /// Which artifact was being parsed.
+        what: &'static str,
+        /// Bytes the frame requires.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A header field holds a value outside its representable range.
+    FieldRange {
+        /// Which field was malformed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A declared length does not match the bytes that follow.
+    LengthMismatch {
+        /// Which artifact was being parsed.
+        what: &'static str,
+        /// Length the header declares.
+        expected: u64,
+        /// Length actually present.
+        got: u64,
+    },
+    /// An embedded checksum over the frame did not match.
+    ChecksumMismatch {
+        /// Which artifact was being parsed.
+        what: &'static str,
+    },
+    /// The header's geometry cannot produce a working layout.
+    Geometry(ConfigError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic { what } => write!(f, "{what}: bad magic"),
+            FormatError::Truncated { what, needed, got } => {
+                write!(f, "{what}: truncated ({got} bytes, need {needed})")
+            }
+            FormatError::FieldRange { what, value } => {
+                write!(f, "{what}: value {value} out of range")
+            }
+            FormatError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: length {got} does not match declared {expected}"),
+            FormatError::ChecksumMismatch { what } => write!(f, "{what}: checksum mismatch"),
+            FormatError::Geometry(e) => write!(f, "malformed geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<ConfigError> for FormatError {
+    fn from(e: ConfigError) -> Self {
+        FormatError::Geometry(e)
+    }
+}
 
 /// The serialized untrusted state (safe to store anywhere).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,9 +122,60 @@ impl SavedImage {
         &self.bytes
     }
 
-    /// Wraps raw serialized bytes read back from storage.
-    pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        SavedImage { bytes }
+    /// Wraps raw serialized bytes read back from storage, validating the
+    /// `MIVMEM01` magic, the geometry words and the body length up
+    /// front.
+    ///
+    /// Structural validation here is what lets [`restore`] treat a
+    /// malformed header as unreachable: every `SavedImage` was either
+    /// produced by [`VerifiedMemory::export_state`] or passed this
+    /// check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] describing the first structural problem
+    /// found: truncation, a bad magic, geometry words that overflow
+    /// `u32` or cannot form a [`TreeLayout`], or a body whose length
+    /// does not match the declared geometry.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, FormatError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(FormatError::Truncated {
+                what: "image header",
+                needed: HEADER_BYTES as u64,
+                got: bytes.len() as u64,
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(FormatError::BadMagic {
+                what: "image header",
+            });
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(
+                bytes[8 + 8 * i..16 + 8 * i]
+                    .try_into()
+                    .expect("documented invariant"),
+            )
+        };
+        let data_bytes = word(0);
+        let chunk_bytes: u32 = word(1).try_into().map_err(|_| FormatError::FieldRange {
+            what: "image chunk_bytes",
+            value: word(1),
+        })?;
+        let block_bytes: u32 = word(2).try_into().map_err(|_| FormatError::FieldRange {
+            what: "image block_bytes",
+            value: word(2),
+        })?;
+        let layout = TreeLayout::try_new(data_bytes, chunk_bytes, block_bytes)?;
+        let body = (bytes.len() - HEADER_BYTES) as u64;
+        if body != layout.physical_bytes() {
+            return Err(FormatError::LengthMismatch {
+                what: "image body",
+                expected: layout.physical_bytes(),
+                got: body,
+            });
+        }
+        Ok(SavedImage { bytes })
     }
 }
 
@@ -88,12 +225,11 @@ impl VerifiedMemory {
 ///
 /// Returns [`IntegrityError`] if the image does not verify against the
 /// root — tampered or stale storage is rejected just like tampered RAM.
-/// Malformed images panic (they indicate corruption *outside* the threat
-/// model, e.g. truncation by the caller).
-///
-/// # Panics
-///
-/// Panics if the image header is malformed.
+/// Structurally malformed images cannot reach this function: every
+/// [`SavedImage`] was either produced by
+/// [`VerifiedMemory::export_state`] or validated by
+/// [`SavedImage::from_bytes`], so the header assertions below are
+/// defensive invariants, not an error path.
 pub fn restore(
     image: &SavedImage,
     root: &SavedRoot,
@@ -232,14 +368,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "malformed image header")]
-    fn garbage_image_panics() {
-        let root = build().export_root(Protection::HashTree, KEY);
-        let _ = restore(
-            &SavedImage::from_bytes(vec![0; 8]),
-            &root,
-            64,
-            Box::new(Md5Hasher),
+    fn garbage_image_is_rejected_with_typed_errors() {
+        // Truncated: shorter than the fixed header.
+        assert_eq!(
+            SavedImage::from_bytes(vec![0; 8]),
+            Err(FormatError::Truncated {
+                what: "image header",
+                needed: 32,
+                got: 8,
+            })
         );
+        // Right length, wrong magic.
+        assert_eq!(
+            SavedImage::from_bytes(vec![0; 64]),
+            Err(FormatError::BadMagic {
+                what: "image header",
+            })
+        );
+        // Valid magic, geometry word overflowing u32.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MIVMEM01");
+        bytes.extend_from_slice(&4096u64.to_le_bytes());
+        bytes.extend_from_slice(&(u64::MAX).to_le_bytes());
+        bytes.extend_from_slice(&64u64.to_le_bytes());
+        assert_eq!(
+            SavedImage::from_bytes(bytes.clone()),
+            Err(FormatError::FieldRange {
+                what: "image chunk_bytes",
+                value: u64::MAX,
+            })
+        );
+        // Valid header words that cannot form a layout.
+        bytes[16..24].copy_from_slice(&16u64.to_le_bytes());
+        assert_eq!(
+            SavedImage::from_bytes(bytes.clone()),
+            Err(FormatError::Geometry(ConfigError::ChunkNotBlockMultiple {
+                chunk_bytes: 16,
+                block_bytes: 64,
+            }))
+        );
+        // Valid geometry, body length mismatch.
+        bytes[16..24].copy_from_slice(&64u64.to_le_bytes());
+        bytes.extend_from_slice(&[0; 10]);
+        match SavedImage::from_bytes(bytes) {
+            Err(FormatError::LengthMismatch {
+                what: "image body",
+                got: 10,
+                ..
+            }) => {}
+            other => panic!("expected body length mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_bytes_accepts_a_real_image_roundtrip() {
+        // The regression the typed validation must not introduce: a
+        // genuine exported image still round-trips through from_bytes.
+        let mut mem = build();
+        mem.write(0x40, b"validated payload").unwrap();
+        let image = mem.export_state().unwrap();
+        let root = mem.export_root(Protection::HashTree, KEY);
+        let reloaded = SavedImage::from_bytes(image.as_bytes().to_vec()).unwrap();
+        assert_eq!(reloaded, image);
+        let mut revived = restore(&reloaded, &root, 64, Box::new(Md5Hasher)).unwrap();
+        assert_eq!(revived.read_vec(0x40, 17).unwrap(), b"validated payload");
+        // Errors render a readable description.
+        let err = SavedImage::from_bytes(vec![1; 40]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(!boxed.to_string().is_empty());
     }
 }

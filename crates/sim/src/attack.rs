@@ -9,7 +9,10 @@
 //! position rather than completion order, which makes `mivsim attack`
 //! byte-identical at any `--jobs` count.
 
-use miv_adversary::{run_cell, AttackClass, CampaignReport, CampaignSpec, CellOutcome, MatrixCell};
+use miv_adversary::{
+    run_cell, run_offline_cell, AttackClass, CampaignReport, CampaignSpec, CellOutcome, MatrixCell,
+    OfflineReport, OfflineSpec,
+};
 use miv_obs::{EventTrace, JsonValue};
 
 use crate::report::{f2, Table};
@@ -28,13 +31,28 @@ pub fn run_campaign(
     (outcomes, report)
 }
 
-/// The complete `miv-attack-v1` JSON document: the campaign report plus
-/// the registry-backed metrics export (`attack.*` counters and
-/// per-scheme latency histograms with quantiles).
-pub fn attack_document(spec: &CampaignSpec, report: &CampaignReport) -> JsonValue {
+/// Runs the offline-tamper campaign (powered-off mutations of the
+/// persistent block store) on `runner`'s worker pool.
+pub fn run_offline_campaign(spec: &OfflineSpec, runner: &SweepRunner) -> OfflineReport {
+    let cells = spec.cells();
+    let outcomes = runner.run_tasks(&cells, run_offline_cell);
+    OfflineReport::from_outcomes(spec, &outcomes)
+}
+
+/// The complete `miv-attack-v1` JSON document: the online campaign
+/// report, the offline-tamper section, and the registry-backed metrics
+/// export (`attack.*` counters and per-scheme latency histograms).
+pub fn attack_document(
+    spec: &CampaignSpec,
+    report: &CampaignReport,
+    offline_spec: &OfflineSpec,
+    offline: &OfflineReport,
+) -> JsonValue {
     let telemetry = Telemetry::new();
     report.record_into(telemetry.registry());
+    offline.record_into(telemetry.registry());
     let mut doc = report.to_json(spec);
+    doc.push("offline", offline.to_json(offline_spec));
     doc.push("metrics", telemetry.aggregate_document());
     doc
 }
@@ -166,6 +184,47 @@ pub fn render_report(spec: &CampaignSpec, report: &CampaignReport) -> String {
     out
 }
 
+/// Renders the offline-tamper campaign as a text report: one row per
+/// attack with its detection count and phase breakdown, plus a verdict.
+pub fn render_offline_report(spec: &OfflineSpec, report: &OfflineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "offline-tamper campaign: seed {}, {} trials/attack, {} B store, {} B pages\n\n",
+        spec.seed, spec.trials, spec.data_bytes, spec.page_bytes
+    ));
+    let mut table = Table::new(vec![
+        "attack".into(),
+        "trials".into(),
+        "detected".into(),
+        "at-open".into(),
+        "at-verify".into(),
+        "verdict".into(),
+    ]);
+    for cell in &report.matrix {
+        table.row(vec![
+            cell.attack.label().into(),
+            cell.trials.to_string(),
+            cell.detected.to_string(),
+            cell.by_open.to_string(),
+            cell.by_verify.to_string(),
+            cell.verdict().into(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\noffline summary: {} tampered images rejected, {} missed, {} false alarms — {}\n",
+        report.detected,
+        report.missed_expected,
+        report.false_alarms,
+        if report.clean() {
+            "CLEAN"
+        } else {
+            "STORE HOLE"
+        }
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,17 +241,44 @@ mod tests {
         spec
     }
 
+    fn small_offline_spec() -> OfflineSpec {
+        OfflineSpec {
+            trials: 1,
+            ops: 80,
+            ..OfflineSpec::quick(7)
+        }
+    }
+
     #[test]
     fn report_identical_at_any_worker_count() {
         let spec = small_spec();
+        let off_spec = small_offline_spec();
         let (_, base_report) = run_campaign(&spec, &SweepRunner::new(1));
+        let base_offline = run_offline_campaign(&off_spec, &SweepRunner::new(1));
         let base_text = render_report(&spec, &base_report);
-        let base_json = attack_document(&spec, &base_report).render_pretty();
+        let base_off_text = render_offline_report(&off_spec, &base_offline);
+        let base_json =
+            attack_document(&spec, &base_report, &off_spec, &base_offline).render_pretty();
         for jobs in [2, 4] {
             let (_, report) = run_campaign(&spec, &SweepRunner::new(jobs));
+            let offline = run_offline_campaign(&off_spec, &SweepRunner::new(jobs));
             assert_eq!(render_report(&spec, &report), base_text);
-            assert_eq!(attack_document(&spec, &report).render_pretty(), base_json);
+            assert_eq!(render_offline_report(&off_spec, &offline), base_off_text);
+            assert_eq!(
+                attack_document(&spec, &report, &off_spec, &offline).render_pretty(),
+                base_json
+            );
         }
+    }
+
+    #[test]
+    fn offline_campaign_is_clean_and_fully_detected() {
+        let spec = small_offline_spec();
+        let report = run_offline_campaign(&spec, &SweepRunner::new(2));
+        assert!(report.clean(), "{report:?}");
+        let text = render_offline_report(&spec, &report);
+        assert!(text.contains("stale-splice"));
+        assert!(text.contains("CLEAN"));
     }
 
     #[test]
@@ -228,14 +314,19 @@ mod tests {
     }
 
     #[test]
-    fn json_document_embeds_registry_metrics() {
+    fn json_document_embeds_registry_metrics_and_offline_section() {
         let spec = small_spec();
+        let off_spec = small_offline_spec();
         let (_, report) = run_campaign(&spec, &SweepRunner::new(2));
-        let doc = attack_document(&spec, &report);
+        let offline = run_offline_campaign(&off_spec, &SweepRunner::new(2));
+        let doc = attack_document(&spec, &report, &off_spec, &offline);
         let text = doc.render_pretty();
         assert!(text.contains("\"schema\": \"miv-attack-v1\""));
         assert!(text.contains("attack.latency.chash"));
+        assert!(text.contains("attack.offline.detected"));
         let metrics = doc.get("metrics").expect("embedded metrics");
         assert!(metrics.get("counters").is_some());
+        let offline_doc = doc.get("offline").expect("offline section");
+        assert!(offline_doc.get("matrix").is_some());
     }
 }

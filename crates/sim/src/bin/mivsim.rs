@@ -25,11 +25,14 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use miv_adversary::CampaignSpec;
+use miv_adversary::{CampaignSpec, OfflineSpec};
 use miv_core::timing::Scheme;
 use miv_hash::Throughput;
 use miv_obs::JsonValue;
-use miv_sim::attack::{attack_document, attack_events_jsonl, render_report, run_campaign};
+use miv_sim::attack::{
+    attack_document, attack_events_jsonl, render_offline_report, render_report, run_campaign,
+    run_offline_campaign,
+};
 use miv_sim::cli::{
     parse_bench, parse_custom_profile, parse_policy, parse_scheme, parse_size, CommonOpts,
 };
@@ -40,6 +43,10 @@ use miv_sim::report::{f2, f3, pct, Table};
 use miv_sim::serve::{
     fold_telemetry, render_serve, run_serve, serve_document, ServeSpec, ServiceSummary,
     TamperPolicy,
+};
+use miv_sim::store::{
+    default_store_dir, render_fsck, render_soak, render_store_bench, run_fsck, run_soak,
+    run_store_bench, store_bench_document, store_fsck_document, store_soak_document, StoreSpec,
 };
 use miv_sim::telemetry::Sample;
 use miv_sim::{RunRequest, RunResult, SweepRunner, System, SystemConfig, Telemetry, Workload};
@@ -56,6 +63,10 @@ commands (default: run):
            span trees for every scheme (plus campaign detect spans)
   serve    sharded multi-tenant integrity service: one engine shard per
            tenant on a worker pool, ops/sec + per-class latency report
+  store    persistent verified block store: `store bench` (page × cache
+           grid, modeled latency histograms), `store soak` (open/write/
+           commit/reopen/verify treadmill), `store fsck` (crash-point
+           matrix: recover a committed root at every device step)
   record   write a synthetic benchmark trace to a file
 
 options:
@@ -80,18 +91,24 @@ options:
   --requests N            (serve) requests per tenant stream
   --tamper all|off|N      (serve) end-of-stream tamper probes: every
                           tenant, none, or tenant N only (default all)
+  --dir PATH              (store) scratch directory for the bench/soak
+                          store files (default: under the OS temp dir,
+                          removed afterwards; never part of the report)
+  --ops N                 (store) operations per bench cell / soak round
   --quick                 (attack) CI-sized campaign: 2 trials/cell,
-                          2500 accesses (default: 5 trials, 20000)
+                          2500 accesses (default: 5 trials, 20000),
+                          plus a CI-sized offline-tamper campaign
                           (profile) short stream + quick campaign
                           (serve) CI-sized service: 4 tenants, short
                           streams
+                          (store) CI-sized grid, streams and soak
   --folded FILE           (profile) write flamegraph folded stacks
   --drift-check           (profile) rerun the campaign over derived
                           seeds; exit nonzero if any detection metric
                           drifts outside the stated tolerance
   --json                  emit results as JSON instead of a table
                           (attack: miv-attack-v1; profile: miv-profile-v1;
-                          serve: miv-serve-v1)
+                          serve: miv-serve-v1; store: miv-store-v1)
   --metrics-out PATH      write a miv-metrics-v1 JSON summary (registry
                           counters, histograms with quantiles, samples)
   --trace-events PATH     write the simulation event stream as JSONL
@@ -124,6 +141,11 @@ struct Options {
     shards: Option<u32>,
     requests: Option<u64>,
     tamper: TamperPolicy,
+    // `store` subcommand: positional mode (bench|soak|fsck), scratch
+    // directory and stream-length override.
+    store_mode: Option<String>,
+    dir: Option<String>,
+    ops: Option<u64>,
     // Whether --l2 / --line were given explicitly: serve has its own
     // spec-sized defaults, so only an explicit flag overrides them.
     l2_set: bool,
@@ -168,6 +190,9 @@ impl Options {
             shards: None,
             requests: None,
             tamper: TamperPolicy::EveryTenant,
+            store_mode: None,
+            dir: None,
+            ops: None,
             l2_set: false,
             line_set: false,
             common: CommonOpts::new(),
@@ -253,9 +278,14 @@ impl Options {
                         ),
                     }
                 }
+                "--dir" => o.dir = Some(value("--dir")?),
+                "--ops" => o.ops = Some(value("--ops")?.parse().map_err(|_| "bad --ops")?),
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => {
-                    if !o.common.accept(other, &mut value)? {
+                    // `store` takes one positional mode: `mivsim store fsck`.
+                    if o.command == "store" && o.store_mode.is_none() && !other.starts_with('-') {
+                        o.store_mode = Some(other.to_string());
+                    } else if !o.common.accept(other, &mut value)? {
                         return Err(format!("unknown option {other}\n{USAGE}"));
                     }
                 }
@@ -520,15 +550,26 @@ fn main() -> ExitCode {
                 CampaignSpec::full(opts.common.seed)
             };
             spec.capture_events = opts.common.trace_events.is_some();
+            let off_spec = if opts.common.quick {
+                OfflineSpec::quick(opts.common.seed)
+            } else {
+                OfflineSpec::full(opts.common.seed)
+            };
             let runner = SweepRunner::new(opts.common.jobs);
             let (outcomes, report) = run_campaign(&spec, &runner);
+            let offline = run_offline_campaign(&off_spec, &runner);
             if opts.common.json {
-                println!("{}", attack_document(&spec, &report).render_pretty());
+                println!(
+                    "{}",
+                    attack_document(&spec, &report, &off_spec, &offline).render_pretty()
+                );
             } else {
                 print!("{}", render_report(&spec, &report));
+                println!();
+                print!("{}", render_offline_report(&off_spec, &offline));
             }
             if let Some(path) = &opts.common.metrics_out {
-                let doc = attack_document(&spec, &report);
+                let doc = attack_document(&spec, &report, &off_spec, &offline);
                 std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
@@ -537,14 +578,89 @@ fn main() -> ExitCode {
                     .map_err(|e| format!("{path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
-            if report.clean() {
+            if report.clean() && offline.clean() {
                 Ok(())
             } else {
                 Err(format!(
-                    "campaign failed: {} expected detections missed, {} false alarms",
-                    report.missed_expected, report.false_alarms
+                    "campaign failed: online {} missed / {} false alarms, \
+                     offline {} missed / {} false alarms",
+                    report.missed_expected,
+                    report.false_alarms,
+                    offline.missed_expected,
+                    offline.false_alarms
                 ))
             }
+        })(),
+        "store" => (|| {
+            let mut spec = if opts.common.quick {
+                StoreSpec::quick(opts.common.seed)
+            } else {
+                StoreSpec::full(opts.common.seed)
+            };
+            if let Some(ops) = opts.ops {
+                spec.ops = ops;
+            }
+            let dir = opts
+                .dir
+                .clone()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(default_store_dir);
+            let mode = opts.store_mode.as_deref().unwrap_or("bench");
+            let runner = SweepRunner::new(opts.common.jobs);
+            let (text, doc, verdict) = match mode {
+                "bench" => {
+                    let outcomes = run_store_bench(&spec, &runner, &dir)?;
+                    (
+                        render_store_bench(&spec, &outcomes),
+                        store_bench_document(&spec, &outcomes),
+                        Ok(()),
+                    )
+                }
+                "soak" => {
+                    let report = run_soak(&spec, &dir)?;
+                    let verdict = if report.clean() {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "soak failed: {} reads disagreed with the model",
+                            report.mismatches
+                        ))
+                    };
+                    (
+                        render_soak(&spec, &report),
+                        store_soak_document(&spec, &report),
+                        verdict,
+                    )
+                }
+                "fsck" => {
+                    let report = run_fsck(&spec, &runner)?;
+                    let verdict = if report.clean() {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "fsck failed: {} torn crash points (of {})",
+                            report.torn.len(),
+                            report.points
+                        ))
+                    };
+                    (
+                        render_fsck(&spec, &report),
+                        store_fsck_document(&spec, &report),
+                        verdict,
+                    )
+                }
+                other => return Err(format!("unknown store mode {other}\n{USAGE}")),
+            };
+            if opts.common.json {
+                println!("{}", doc.render_pretty());
+            } else {
+                print!("{text}");
+            }
+            if let Some(path) = &opts.common.metrics_out {
+                std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            verdict
         })(),
         "profile" => (|| {
             let spec = if opts.common.quick {

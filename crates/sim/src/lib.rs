@@ -31,6 +31,7 @@ pub mod hierarchy;
 pub mod profile;
 pub mod report;
 pub mod serve;
+pub mod store;
 pub mod sweep;
 pub mod system;
 pub mod telemetry;

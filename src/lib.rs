@@ -14,6 +14,11 @@
 //! * [`core`] — the paper's contribution: the hash-tree layout, the
 //!   `naive`/`chash`/`mhash`/`ihash` schemes, the functional verification
 //!   engine and the adversary model.
+//! * [`store`] — the persistent verified block store: hash-tree pages
+//!   on an untrusted block device behind a trusted page cache, with a
+//!   redo journal, shadow superblocks and an atomic root commit.
+//! * [`adversary`] — scripted attack campaigns: the online taxonomy
+//!   (bit flips, splices, replays) and the offline store-tamper battery.
 //! * [`sim`] — the full-system simulator and the experiment harness that
 //!   regenerates every table and figure.
 //! * [`obs`] — the dependency-free telemetry layer: metrics registry,
@@ -41,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use miv_adversary as adversary;
 pub use miv_cache as cache;
 pub use miv_core as core;
 pub use miv_cpu as cpu;
@@ -48,4 +54,5 @@ pub use miv_hash as hash;
 pub use miv_mem as mem;
 pub use miv_obs as obs;
 pub use miv_sim as sim;
+pub use miv_store as store;
 pub use miv_trace as trace;
