@@ -9,7 +9,8 @@
 //! were scheduled — the property the CLI's `--jobs` determinism check
 //! rests on.
 
-use miv_core::Scheme;
+use miv_core::{ConfigError, Scheme};
+use miv_hash::HashAlgo;
 use miv_obs::{JsonValue, Registry};
 
 use crate::attack::{AttackClass, Trigger};
@@ -38,6 +39,9 @@ pub struct CampaignSpec {
     pub write_ratio_pct: u32,
     /// Capture event traces inside each cell.
     pub capture_events: bool,
+    /// Hash unit for the functional engines (the timing model is
+    /// unchanged, keeping latency tables comparable across units).
+    pub hash: HashAlgo,
 }
 
 impl CampaignSpec {
@@ -55,6 +59,7 @@ impl CampaignSpec {
             accesses: 2_500,
             write_ratio_pct: 30,
             capture_events: false,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -72,7 +77,29 @@ impl CampaignSpec {
             accesses: 20_000,
             write_ratio_pct: 30,
             capture_events: false,
+            hash: HashAlgo::Md5,
         }
+    }
+
+    /// Pre-flights every distinct per-scheme geometry through the
+    /// fallible constructors (timing controller and functional
+    /// builder) without running anything, so a bad spec surfaces as a
+    /// readable CLI error instead of a worker panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] any scheme's geometry
+    /// produces.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for cell in self.cells() {
+            // Geometry only varies by scheme; one representative
+            // per scheme covers the grid.
+            if seen.insert(cell.scheme.label()) {
+                cell.validate()?;
+            }
+        }
+        Ok(())
     }
 
     /// Expands the spec into every cell, scheme-major. Trials rotate
@@ -107,6 +134,7 @@ impl CampaignSpec {
                         accesses: self.accesses,
                         write_ratio_pct: self.write_ratio_pct,
                         capture_events: self.capture_events,
+                        hash: self.hash,
                     });
                 }
             }
@@ -340,6 +368,7 @@ impl CampaignReport {
         config.push("working_set", spec.working_set);
         config.push("accesses", spec.accesses);
         config.push("write_ratio_pct", spec.write_ratio_pct);
+        config.push("hash", spec.hash.label());
         root.push("config", config);
 
         let mut matrix = Vec::new();

@@ -23,7 +23,8 @@ use miv_cache::CacheConfig;
 use miv_core::adversary::{parent_slot_addr, timestamp_byte_addr};
 use miv_core::engine::{MemoryBuilder, Protection, VerifiedMemory};
 use miv_core::timing::{CheckerConfig, L2Controller};
-use miv_core::{Scheme, TamperKind};
+use miv_core::{ConfigError, Scheme, TamperKind};
+use miv_hash::HashAlgo;
 use miv_mem::MemoryBusConfig;
 use miv_obs::{EventTrace, EventTraceSnapshot, Registry, Rng, SpanTracer};
 
@@ -58,6 +59,8 @@ pub struct CellConfig {
     /// Capture an event-trace snapshot (`integrity_violation` rows show
     /// up in `--trace-events`).
     pub capture_events: bool,
+    /// Hash unit for the functional engine (timing is unaffected).
+    pub hash: HashAlgo,
 }
 
 impl CellConfig {
@@ -68,6 +71,45 @@ impl CellConfig {
             Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
             _ => self.line_bytes,
         }
+    }
+
+    /// Pre-flights the cell's geometry through both fallible
+    /// constructors — the cycle-level controller and the functional
+    /// builder — without building either simulation. This is the check
+    /// [`run_cell`] relies on having passed: a cell dispatched to a
+    /// worker after `validate` succeeds cannot panic on geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] either constructor would raise.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut checker = CheckerConfig::hpca03(self.scheme);
+        checker.protected_bytes = self.data_bytes;
+        checker.chunk_bytes = self.chunk_bytes();
+        L2Controller::try_new(
+            checker,
+            CacheConfig::l2(self.l2_bytes, self.line_bytes),
+            MemoryBusConfig::default(),
+        )?;
+        if self.scheme.verifies() {
+            self.memory_builder().validate()?;
+        }
+        Ok(())
+    }
+
+    /// The functional-engine builder for this cell (initial contents
+    /// are filled in by the runner).
+    fn memory_builder(&self) -> MemoryBuilder {
+        MemoryBuilder::new()
+            .data_bytes(self.data_bytes)
+            .chunk_bytes(self.chunk_bytes())
+            .block_bytes(self.line_bytes)
+            .protection(match self.scheme {
+                Scheme::IHash => Protection::IncrementalMac,
+                _ => Protection::HashTree,
+            })
+            .hasher(self.hash.hasher())
+            .cache_blocks((self.l2_bytes / self.line_bytes as u64) as usize)
     }
 }
 
@@ -188,11 +230,12 @@ pub fn run_cell_traced(cfg: &CellConfig, spans: &SpanTracer) -> CellOutcome {
     let mut checker = CheckerConfig::hpca03(cfg.scheme);
     checker.protected_bytes = cfg.data_bytes;
     checker.chunk_bytes = cfg.chunk_bytes();
-    let mut ctl = L2Controller::new(
+    let mut ctl = L2Controller::try_new(
         checker,
         CacheConfig::l2(cfg.l2_bytes, cfg.line_bytes),
         MemoryBusConfig::default(),
-    );
+    )
+    .expect("campaign spec validated before dispatch");
     ctl.attach_spans(spans);
 
     // Functional ground truth (absent under `base`, which stores no tree
@@ -202,17 +245,10 @@ pub fn run_cell_traced(cfg: &CellConfig, spans: &SpanTracer) -> CellOutcome {
     let mut vm = cfg.scheme.verifies().then(|| {
         let mut init = vec![0u8; cfg.data_bytes as usize];
         init_rng.fill_bytes(&mut init);
-        MemoryBuilder::new()
-            .data_bytes(cfg.data_bytes)
-            .chunk_bytes(cfg.chunk_bytes())
-            .block_bytes(cfg.line_bytes)
-            .protection(match cfg.scheme {
-                Scheme::IHash => Protection::IncrementalMac,
-                _ => Protection::HashTree,
-            })
-            .cache_blocks((cfg.l2_bytes / line) as usize)
+        cfg.memory_builder()
             .initial_data(init)
-            .build()
+            .try_build()
+            .expect("campaign spec validated before dispatch")
     });
 
     let registry = Registry::new();
@@ -521,6 +557,7 @@ mod tests {
             accesses: 800,
             write_ratio_pct: 30,
             capture_events: false,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -537,6 +574,42 @@ mod tests {
             assert_eq!(det.latency, det.cycle - inj.cycle);
             assert!(!out.false_alarm);
         }
+    }
+
+    #[test]
+    fn every_hash_unit_detects_a_bit_flip() {
+        for hash in HashAlgo::ALL {
+            let cfg = CellConfig {
+                hash,
+                ..quick_cfg(Scheme::CHash, AttackClass::DataBitFlip)
+            };
+            let out = run_cell(&cfg);
+            assert!(
+                out.detection.is_some(),
+                "chash/{} missed a bit flip",
+                hash.label()
+            );
+            assert!(!out.false_alarm);
+        }
+    }
+
+    #[test]
+    fn cell_validate_rejects_single_block_mhash_geometry() {
+        // Force the bad geometry directly (the spec-level derivation
+        // can't produce it): mhash with chunk == line must be a
+        // ConfigError, never a panic.
+        let cfg = quick_cfg(Scheme::MHash, AttackClass::DataBitFlip);
+        assert!(cfg.validate().is_ok(), "derived geometry is valid");
+        let mut checker = CheckerConfig::hpca03(Scheme::MHash);
+        checker.protected_bytes = cfg.data_bytes;
+        checker.chunk_bytes = cfg.line_bytes; // single-block chunk
+        let err = L2Controller::try_new(
+            checker,
+            CacheConfig::l2(cfg.l2_bytes, cfg.line_bytes),
+            MemoryBusConfig::default(),
+        )
+        .expect_err("single-block mhash chunk must be rejected");
+        assert!(matches!(err, ConfigError::SingleBlockChunk { .. }), "{err}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! set — the strongest variant, where nothing but the hash tree stands
 //! between the flip and silent corruption.
 
-use miv_hash::Md5Hasher;
+use miv_hash::HashAlgo;
 use miv_obs::{JsonValue, Registry, Rng};
 use miv_store::{BlockStore, JournalEntry, MemMedium, MemRootStore, StoreConfig};
 
@@ -98,6 +98,8 @@ pub struct OfflineSpec {
     pub cache_pages: usize,
     /// Verified write operations per build phase.
     pub ops: u64,
+    /// Hash unit protecting the store's tree pages.
+    pub hash: HashAlgo,
 }
 
 impl OfflineSpec {
@@ -110,6 +112,7 @@ impl OfflineSpec {
             page_bytes: 128,
             cache_pages: 16,
             ops: 300,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -122,6 +125,7 @@ impl OfflineSpec {
             page_bytes: 256,
             cache_pages: 24,
             ops: 2_000,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -138,6 +142,7 @@ impl OfflineSpec {
                     page_bytes: self.page_bytes,
                     cache_pages: self.cache_pages,
                     ops: self.ops,
+                    hash: self.hash,
                 });
             }
         }
@@ -163,6 +168,8 @@ pub struct OfflineCell {
     pub cache_pages: usize,
     /// Verified write operations per build phase.
     pub ops: u64,
+    /// Hash unit protecting the store's tree pages.
+    pub hash: HashAlgo,
 }
 
 /// What one offline cell observed.
@@ -189,7 +196,7 @@ pub fn run_offline_cell(cell: &OfflineCell) -> OfflineOutcome {
         cache_pages: cell.cache_pages,
         journal_slots: 0,
     };
-    let mut store = BlockStore::create(medium.clone(), roots.clone(), config, Box::new(Md5Hasher))
+    let mut store = BlockStore::create(medium.clone(), roots.clone(), config, cell.hash.hasher())
         .expect("documented invariant: offline spec geometries are valid");
 
     // Phase 1: populate and commit, then snapshot the committed image —
@@ -206,7 +213,7 @@ pub fn run_offline_cell(cell: &OfflineCell) -> OfflineOutcome {
     drop(store);
 
     // The bench mutation.
-    let hasher = Md5Hasher;
+    let hasher = cell.hash.hasher();
     match cell.attack {
         OfflineAttack::Control => {}
         OfflineAttack::DataPage | OfflineAttack::TreePage => {
@@ -220,7 +227,7 @@ pub fn run_offline_cell(cell: &OfflineCell) -> OfflineOutcome {
             for idx in 0..geom.journal_slots() {
                 let at = usize::try_from(geom.journal_offset(idx)).expect("offset fits");
                 if let Ok(e) =
-                    JournalEntry::decode(&image[at..at + frame_len], geom.page_bytes(), &hasher)
+                    JournalEntry::decode(&image[at..at + frame_len], geom.page_bytes(), &*hasher)
                 {
                     if e.generation == generation {
                         shadowed.insert(e.page);
@@ -258,7 +265,7 @@ pub fn run_offline_cell(cell: &OfflineCell) -> OfflineOutcome {
 
     // Power on: open + full verify, exactly what `mivsim store fsck`
     // does.
-    let detected = match BlockStore::open(medium, roots, Box::new(Md5Hasher), cell.cache_pages) {
+    let detected = match BlockStore::open(medium, roots, cell.hash.hasher(), cell.cache_pages) {
         Err(_) => Some(DetectPhase::Open),
         Ok((mut store, _report)) => match store.verify_all() {
             Err(_) => Some(DetectPhase::Verify),
@@ -411,6 +418,7 @@ impl OfflineReport {
         config.push("page_bytes", spec.page_bytes);
         config.push("cache_pages", spec.cache_pages as u64);
         config.push("ops", spec.ops);
+        config.push("hash", spec.hash.label());
         root.push("config", config);
 
         let mut matrix = Vec::new();

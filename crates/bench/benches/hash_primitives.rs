@@ -9,7 +9,7 @@
 use std::hint::black_box;
 
 use miv_bench::Harness;
-use miv_hash::digest::{ChunkHasher, Md5Hasher, Sha1Hasher};
+use miv_hash::digest::{ChunkHasher, Md5Hasher, Sha1Hasher, Sha256Hasher};
 use miv_hash::narrow::XorMac120;
 use miv_hash::xtea::{Prp128, Xtea};
 use miv_hash::XorMac;
@@ -24,9 +24,15 @@ fn main() {
     h.bench_bytes("digest_64B_chunk/sha1_128", 64, || {
         Sha1Hasher.digest(black_box(&chunk))
     });
+    h.bench_bytes("digest_64B_chunk/sha256_128", 64, || {
+        Sha256Hasher.digest(black_box(&chunk))
+    });
     let big = [0x3cu8; 512];
     h.bench_bytes("digest_512B_chunk/md5", 512, || {
         Md5Hasher.digest(black_box(&big))
+    });
+    h.bench_bytes("digest_512B_chunk/sha256_128", 512, || {
+        Sha256Hasher.digest(black_box(&big))
     });
 
     let xtea = Xtea::new([7u8; 16]);

@@ -136,12 +136,13 @@ pub struct MemoryBuilder {
     chunk_bytes: u32,
     block_bytes: u32,
     protection: Protection,
-    hasher: Box<dyn ChunkHasher + Send>,
+    hasher: Box<dyn ChunkHasher + Send + Sync>,
     key: [u8; 16],
     cache_blocks: usize,
     initial_data: Option<Vec<u8>>,
     memoize: bool,
     flush_batch_lanes: usize,
+    build_jobs: usize,
 }
 
 impl Default for MemoryBuilder {
@@ -165,7 +166,17 @@ impl MemoryBuilder {
             initial_data: None,
             memoize: true,
             flush_batch_lanes: miv_hash::BATCH_LANES,
+            build_jobs: 1,
         }
+    }
+
+    /// Worker threads for the bulk tree build in [`build`](Self::build)
+    /// (default 1). The built tree — secure roots and every interior
+    /// slot — is byte-identical at any value; this only changes how the
+    /// per-level hashing is fanned out.
+    pub fn build_jobs(mut self, jobs: usize) -> Self {
+        self.build_jobs = jobs;
+        self
     }
 
     /// Enables or disables verified-path memoization (default on); see
@@ -208,7 +219,7 @@ impl MemoryBuilder {
     }
 
     /// Hash function for [`Protection::HashTree`] (default MD5).
-    pub fn hasher(mut self, hasher: Box<dyn ChunkHasher + Send>) -> Self {
+    pub fn hasher(mut self, hasher: Box<dyn ChunkHasher + Send + Sync>) -> Self {
         self.hasher = hasher;
         self
     }
@@ -308,7 +319,7 @@ impl MemoryBuilder {
             verified_at: vec![0; layout_chunks],
             masked: std::collections::BTreeSet::new(),
         };
-        engine.rebuild_tree();
+        engine.rebuild_tree(self.build_jobs.max(1));
         Ok(engine)
     }
 
@@ -324,7 +335,7 @@ impl MemoryBuilder {
 
 /// The integrity mechanism implementation.
 enum ProtImpl {
-    Hash(Box<dyn ChunkHasher + Send>),
+    Hash(Box<dyn ChunkHasher + Send + Sync>),
     Mac(XorMac120),
 }
 
@@ -1441,8 +1452,67 @@ impl VerifiedMemory {
     }
 
     /// Rebuilds the entire tree bottom-up from the current memory contents
-    /// (builder initialization).
-    fn rebuild_tree(&mut self) {
+    /// (builder initialization) as a level-by-level bulk build: each
+    /// level's chunk images are hashed through
+    /// [`ChunkHasher::digest_batch`] and, with `jobs > 1`, fanned over
+    /// scoped worker threads on contiguous subranges merged back in
+    /// chunk order.
+    ///
+    /// Determinism: the serial reference
+    /// ([`rebuild_tree_serial`](Self::rebuild_tree_serial)) visits
+    /// chunks in reverse index order, so every chunk is hashed after all
+    /// of its children (children have strictly higher indices). Levels
+    /// partition the index space into contiguous ranges
+    /// ([`TreeLayout::level_ranges`]) and a chunk's children live
+    /// exactly one level deeper, so processing levels deepest-first
+    /// hashes every chunk image in the same state the serial walk saw
+    /// it; within a level each write targets a distinct parent slot one
+    /// level up, so the resulting tree state — secure roots and every
+    /// interior slot — is byte-identical at any `jobs`.
+    fn rebuild_tree(&mut self, jobs: usize) {
+        let chunk_len = self.layout.chunk_bytes() as usize;
+        let block_len = self.layout.block_bytes() as usize;
+        for range in self.layout.level_ranges().iter().rev() {
+            // A level is one contiguous physical region (chunk_addr is
+            // linear in the index), so chunk images are zero-copy
+            // slices of it; slot writes land one level up, outside the
+            // borrowed region.
+            let count = (range.end - range.start) as usize;
+            let level = self
+                .mem
+                .region(self.layout.chunk_addr(range.start), count * chunk_len);
+            let slots: Vec<[u8; DIGEST_BYTES]> = match &self.protection {
+                ProtImpl::Hash(hasher) => hash_level(&**hasher, level, chunk_len, jobs),
+                ProtImpl::Mac(mac) => level
+                    .chunks_exact(chunk_len)
+                    .map(|image| {
+                        let tag = mac.mac_blocks(image.chunks_exact(block_len).map(|b| (b, false)));
+                        build_mac_slot(tag, 0)
+                    })
+                    .collect(),
+            };
+            for (slot, chunk) in slots.into_iter().zip(range.clone()) {
+                match self.layout.parent(chunk) {
+                    ParentRef::Secure { index } => self.secure[index as usize] = slot,
+                    ParentRef::Chunk {
+                        chunk: parent,
+                        index,
+                    } => {
+                        let addr =
+                            self.layout.chunk_addr(parent) + self.layout.slot_offset(index) as u64;
+                        self.mem.write(addr, &slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-bulk reference build: one scalar `digest` per chunk in
+    /// reverse index order. Kept as the ground truth the bulk build is
+    /// pinned against (byte-identical output) and as the bench baseline
+    /// for the `bulk_build_ratio` gate.
+    #[doc(hidden)]
+    pub fn rebuild_tree_serial(&mut self) {
         let block_len = self.layout.block_bytes() as usize;
         for chunk in (0..self.layout.total_chunks()).rev() {
             let image = self.mem.read_vec(
@@ -1469,6 +1539,54 @@ impl VerifiedMemory {
             }
         }
     }
+
+    /// Re-runs the bulk tree build over the current memory contents;
+    /// test/bench aid (the build is idempotent on an intact tree).
+    #[doc(hidden)]
+    pub fn rebuild_tree_bulk(&mut self, jobs: usize) {
+        self.rebuild_tree(jobs.max(1));
+    }
+}
+
+/// Hashes one level's chunk images into slot values: contiguous
+/// subranges go to scoped worker threads (plain image slices in,
+/// digests out — nothing but `Send + Sync` borrows cross the boundary)
+/// and the per-worker results are concatenated in spawn order, which is
+/// chunk order.
+fn hash_level(
+    hasher: &(dyn ChunkHasher + Send + Sync),
+    level: &[u8],
+    chunk_len: usize,
+    jobs: usize,
+) -> Vec<[u8; DIGEST_BYTES]> {
+    let count = level.len() / chunk_len;
+    let workers = jobs.max(1).min(count);
+    if workers <= 1 {
+        let refs: Vec<&[u8]> = level.chunks_exact(chunk_len).collect();
+        return hasher
+            .digest_batch(&refs)
+            .into_iter()
+            .map(Digest::into_bytes)
+            .collect();
+    }
+    let span = count.div_ceil(workers);
+    let mut out = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = level
+            .chunks(span * chunk_len)
+            .map(|part| {
+                scope.spawn(move || {
+                    let refs: Vec<&[u8]> = part.chunks_exact(chunk_len).collect();
+                    hasher.digest_batch(&refs)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let digests = handle.join().expect("bulk-build worker panicked");
+            out.extend(digests.into_iter().map(Digest::into_bytes));
+        }
+    });
+    out
 }
 
 /// Splits a 16-byte slot into `(120-bit MAC, timestamp bits)`.

@@ -255,6 +255,41 @@ impl TreeLayout {
         self.depth(self.total_chunks - 1)
     }
 
+    /// The tree's levels as contiguous chunk-index ranges, top (depth 0,
+    /// starting at chunk 0) to bottom.
+    ///
+    /// The implicit heap numbering makes each level contiguous: level 0
+    /// is `[0, m)` and the children of a range `[s, e)` are
+    /// `[m·(s+1), m·(e+1))`, clipped to the segment. Every chunk appears
+    /// in exactly one range, so walking the ranges bottom-up visits all
+    /// children strictly before their parents — the schedule the bulk
+    /// tree build parallelizes over.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use miv_core::TreeLayout;
+    ///
+    /// let layout = TreeLayout::new(16 << 10, 64, 64);
+    /// let levels = layout.level_ranges();
+    /// assert_eq!(levels[0].start, 0);
+    /// assert_eq!(levels.last().unwrap().end, layout.total_chunks());
+    /// let covered: u64 = levels.iter().map(|r| r.end - r.start).sum();
+    /// assert_eq!(covered, layout.total_chunks());
+    /// ```
+    pub fn level_ranges(&self) -> Vec<std::ops::Range<u64>> {
+        let m = self.arity as u64;
+        let mut levels = Vec::new();
+        let mut start = 0u64;
+        let mut end = m.min(self.total_chunks);
+        while start < end {
+            levels.push(start..end);
+            start = (m * (start + 1)).min(self.total_chunks);
+            end = (m * (end + 1)).min(self.total_chunks);
+        }
+        levels
+    }
+
     /// Physical address of a chunk.
     pub fn chunk_addr(&self, chunk: u64) -> u64 {
         chunk * self.chunk_bytes as u64

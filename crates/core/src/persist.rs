@@ -234,7 +234,7 @@ pub fn restore(
     image: &SavedImage,
     root: &SavedRoot,
     cache_blocks: usize,
-    hasher: Box<dyn ChunkHasher + Send>,
+    hasher: Box<dyn ChunkHasher + Send + Sync>,
 ) -> Result<VerifiedMemory, IntegrityError> {
     let b = &image.bytes;
     assert!(b.len() >= 32 && b[..8] == MAGIC, "malformed image header");

@@ -82,6 +82,19 @@ impl UntrustedMemory {
         buf
     }
 
+    /// Borrows `len` bytes starting at `addr` as one read transaction.
+    /// The bulk tree build hashes whole levels through this without
+    /// copying each chunk image out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn region(&mut self, addr: u64, len: usize) -> &[u8] {
+        self.reads += 1;
+        let a = addr as usize;
+        &self.bytes[a..a + len]
+    }
+
     /// Writes `data` starting at `addr`.
     ///
     /// # Panics

@@ -5,10 +5,12 @@
 //! cache line holds four digests, giving a 4-ary tree; a 128-byte line
 //! holds eight, giving an 8-ary tree.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::md5::{md5, md5_multi};
 use crate::sha1::{sha1, sha1_multi};
+use crate::sha256::{sha256, sha256_multi};
 
 /// Size of a [`Digest`] in bytes (128 bits, per Table 1).
 pub const DIGEST_BYTES: usize = 16;
@@ -152,49 +154,84 @@ pub trait ChunkHasher: fmt::Debug {
     /// Hashes a batch of independent messages, one digest per message,
     /// in input order.
     ///
-    /// The default implementation hashes serially; the MD5 and SHA-1
-    /// hashers override it to run groups of [`BATCH_LANES`] equal-length
-    /// messages through an interleaved multi-lane compression (ragged
-    /// groups fall back to the scalar path). Results are identical to
-    /// calling [`digest`](Self::digest) per message either way.
+    /// The default implementation hashes serially; the MD5, SHA-1 and
+    /// SHA-256 hashers override it to bucket messages by length and run
+    /// groups of [`batch_lanes`](Self::batch_lanes) equal-length
+    /// messages through an interleaved multi-lane compression, so every
+    /// pairable message is paired regardless of batch order; only the
+    /// leftover of each length bucket falls back to the scalar path.
+    /// Results are identical to calling [`digest`](Self::digest) per
+    /// message either way.
     fn digest_batch(&self, msgs: &[&[u8]]) -> Vec<Digest> {
         msgs.iter().map(|m| self.digest(m)).collect()
+    }
+
+    /// Lane width of this algorithm's interleaved multi-lane
+    /// compression: how many equal-length messages
+    /// [`digest_batch`](Self::digest_batch) hashes together. `1` for
+    /// the serial default implementation.
+    ///
+    /// The width is per-algorithm because register pressure differs:
+    /// each SHA-256 lane keeps 8 state words live where MD5 keeps 4, so
+    /// their profitable interleave widths are measured independently
+    /// (the `digest_batch/*lane` cases in `verify_hot_path` track
+    /// this).
+    fn batch_lanes(&self) -> usize {
+        1
     }
 
     /// Short human-readable algorithm name (e.g. `"md5"`).
     fn name(&self) -> &'static str;
 }
 
-/// Lane width of the interleaved multi-lane compression used by
-/// [`ChunkHasher::digest_batch`].
+/// Default lane width for batched hashing knobs (e.g. the engine's
+/// flush batching): [`Md5Hasher`]'s measured sweet spot.
 ///
-/// Two lanes is the measured sweet spot on current x86-64: each MD5 lane
-/// needs its 4 state words plus round inputs live, so wider interleaving
-/// spills to the stack and gives back the ILP it bought (the
+/// Two lanes is the measured sweet spot for MD5 on current x86-64: each
+/// lane needs its 4 state words plus round inputs live, so wider
+/// interleaving spills to the stack and gives back the ILP it bought.
+/// The width is **per-algorithm** — see
+/// [`ChunkHasher::batch_lanes`]: SHA-1 (5 words) also peaks at two
+/// lanes, while SHA-256's 8-word state leaves it at two only because
+/// its longer dependency chain still hides a second lane (the
 /// `digest_batch/*lane` cases in the `verify_hot_path` bench track
-/// this). `md5_multi`/`sha1_multi` still accept any width.
+/// both). `md5_multi`/`sha1_multi`/`sha256_multi` still accept any
+/// width.
 pub const BATCH_LANES: usize = 2;
 
-/// Drives `digest_batch` grouping: runs of `BATCH_LANES` equal-length
-/// messages go through `multi`, everything else through `scalar`.
-fn batch_by_lanes(
+/// Measured interleave width for SHA-256's `digest_batch` (see
+/// [`BATCH_LANES`] for the per-algorithm rationale).
+const SHA256_LANES: usize = 2;
+
+/// Drives `digest_batch` grouping: messages are bucketed by length
+/// (iterated in ascending length order for determinism), each bucket is
+/// hashed `LANES` at a time through `multi`, and the per-bucket
+/// remainder goes through `scalar`. Index tracking preserves input
+/// order in the output, so pairable messages are paired no matter how
+/// lengths are interleaved in the batch.
+fn batch_by_lanes<const LANES: usize>(
     msgs: &[&[u8]],
-    multi: impl Fn(&[&[u8]; BATCH_LANES]) -> [Digest; BATCH_LANES],
+    multi: impl Fn(&[&[u8]; LANES]) -> [Digest; LANES],
     scalar: impl Fn(&[u8]) -> Digest,
 ) -> Vec<Digest> {
-    let mut out = Vec::with_capacity(msgs.len());
-    let mut rest = msgs;
-    while rest.len() >= BATCH_LANES {
-        let group: &[&[u8]; BATCH_LANES] = rest[..BATCH_LANES].try_into().expect("lane group");
-        if group.iter().all(|m| m.len() == group[0].len()) {
-            out.extend(multi(group));
-            rest = &rest[BATCH_LANES..];
-        } else {
-            out.push(scalar(rest[0]));
-            rest = &rest[1..];
+    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, m) in msgs.iter().enumerate() {
+        buckets.entry(m.len()).or_default().push(i);
+    }
+    let mut out = vec![Digest::ZERO; msgs.len()];
+    for indices in buckets.values() {
+        let mut groups = indices.chunks_exact(LANES);
+        for group in groups.by_ref() {
+            let lanes: [&[u8]; LANES] = std::array::from_fn(|l| msgs[group[l]]);
+            let digests = multi(&lanes);
+            for (lane, &i) in group.iter().enumerate() {
+                out[i] = digests[lane];
+            }
+        }
+        for &i in groups.remainder() {
+            out[i] = scalar(msgs[i]);
         }
     }
-    out.extend(rest.iter().map(|m| scalar(m)));
     out
 }
 
@@ -217,7 +254,11 @@ impl ChunkHasher for Md5Hasher {
     }
 
     fn digest_batch(&self, msgs: &[&[u8]]) -> Vec<Digest> {
-        batch_by_lanes(msgs, md5_multi, md5)
+        batch_by_lanes::<BATCH_LANES>(msgs, md5_multi, md5)
+    }
+
+    fn batch_lanes(&self) -> usize {
+        BATCH_LANES
     }
 
     fn name(&self) -> &'static str {
@@ -238,7 +279,7 @@ impl ChunkHasher for Sha1Hasher {
     }
 
     fn digest_batch(&self, msgs: &[&[u8]]) -> Vec<Digest> {
-        batch_by_lanes(
+        batch_by_lanes::<BATCH_LANES>(
             msgs,
             |group| {
                 let full = sha1_multi(group);
@@ -248,16 +289,138 @@ impl ChunkHasher for Sha1Hasher {
         )
     }
 
+    fn batch_lanes(&self) -> usize {
+        BATCH_LANES
+    }
+
     fn name(&self) -> &'static str {
         "sha1-128"
     }
 }
 
-/// Truncates a 160-bit SHA-1 digest to the tree's 128-bit width.
-fn truncate(full: [u8; 20]) -> Digest {
+/// SHA-256-based [`ChunkHasher`], truncated to 128 bits.
+///
+/// The modern default hash in contemporary integrity systems; like
+/// SHA-1 the 256-bit output is truncated to the tree's 128-bit slots
+/// (Table 1 fixes the stored hash length).
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::{ChunkHasher, Sha256Hasher};
+///
+/// let h = Sha256Hasher;
+/// assert_eq!(h.digest(b"abc").to_hex(), "ba7816bf8f01cfea414140de5dae2223");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sha256Hasher;
+
+impl ChunkHasher for Sha256Hasher {
+    fn digest(&self, data: &[u8]) -> Digest {
+        truncate(sha256(data))
+    }
+
+    fn digest_batch(&self, msgs: &[&[u8]]) -> Vec<Digest> {
+        batch_by_lanes::<SHA256_LANES>(
+            msgs,
+            |group| {
+                let full = sha256_multi(group);
+                std::array::from_fn(|l| truncate(full[l]))
+            },
+            |m| truncate(sha256(m)),
+        )
+    }
+
+    fn batch_lanes(&self) -> usize {
+        SHA256_LANES
+    }
+
+    fn name(&self) -> &'static str {
+        "sha256-128"
+    }
+}
+
+/// Truncates a wider digest (SHA-1's 160 bits, SHA-256's 256) to the
+/// tree's 128-bit width.
+fn truncate<const N: usize>(full: [u8; N]) -> Digest {
     let mut out = [0u8; DIGEST_BYTES];
     out.copy_from_slice(&full[..DIGEST_BYTES]);
     Digest(out)
+}
+
+/// A selectable hash-unit algorithm: the value behind every `--hash`
+/// CLI flag (campaigns, serving, the store bench) and the figures
+/// hash-unit sweep.
+///
+/// # Examples
+///
+/// ```
+/// use miv_hash::HashAlgo;
+///
+/// let algo = HashAlgo::parse("sha256").unwrap();
+/// assert_eq!(algo.hasher().name(), "sha256-128");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum HashAlgo {
+    /// MD5 — the paper's primary hash unit and the simulator default.
+    #[default]
+    Md5,
+    /// SHA-1, truncated to 128 bits (the paper's alternative unit).
+    Sha1,
+    /// SHA-256, truncated to 128 bits (the modern default).
+    Sha256,
+}
+
+impl HashAlgo {
+    /// Every algorithm, in sweep order.
+    pub const ALL: [HashAlgo; 3] = [HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Sha256];
+
+    /// Parses a `--hash` flag value (`md5`, `sha1`, `sha256`).
+    pub fn parse(s: &str) -> Option<HashAlgo> {
+        match s {
+            "md5" => Some(HashAlgo::Md5),
+            "sha1" => Some(HashAlgo::Sha1),
+            "sha256" => Some(HashAlgo::Sha256),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling accepted by [`parse`](Self::parse), also used
+    /// as the report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HashAlgo::Md5 => "md5",
+            HashAlgo::Sha1 => "sha1",
+            HashAlgo::Sha256 => "sha256",
+        }
+    }
+
+    /// Constructs the algorithm's [`ChunkHasher`].
+    pub fn hasher(self) -> Box<dyn ChunkHasher + Send + Sync> {
+        match self {
+            HashAlgo::Md5 => Box::new(Md5Hasher),
+            HashAlgo::Sha1 => Box::new(Sha1Hasher),
+            HashAlgo::Sha256 => Box::new(Sha256Hasher),
+        }
+    }
+
+    /// Modeled hash-unit throughput for the timing-side sweeps, in
+    /// GB/s, following the paper's §6.2 relative costs: SHA-1 runs at
+    /// roughly half MD5's rate and SHA-256 at roughly half SHA-1's (64
+    /// heavier rounds over the same 512-bit block).
+    pub fn modeled_throughput_gbps(self) -> f64 {
+        match self {
+            HashAlgo::Md5 => 3.2,
+            HashAlgo::Sha1 => 1.6,
+            HashAlgo::Sha256 => 0.8,
+        }
+    }
+}
+
+impl fmt::Display for HashAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 #[cfg(test)]
@@ -302,25 +465,94 @@ mod tests {
     }
 
     #[test]
-    fn hashers_differ() {
-        assert_ne!(Md5Hasher.digest(b"x"), Sha1Hasher.digest(b"x"));
-        assert_eq!(Md5Hasher.name(), "md5");
-        assert_eq!(Sha1Hasher.name(), "sha1-128");
+    fn sha256_hasher_truncates() {
+        let h = Sha256Hasher;
+        let d = h.digest(b"abc");
+        assert_eq!(d.to_hex(), "ba7816bf8f01cfea414140de5dae2223");
     }
 
     #[test]
-    fn digest_batch_matches_serial_for_both_hashers() {
+    fn hashers_differ() {
+        assert_ne!(Md5Hasher.digest(b"x"), Sha1Hasher.digest(b"x"));
+        assert_ne!(Sha1Hasher.digest(b"x"), Sha256Hasher.digest(b"x"));
+        assert_ne!(Md5Hasher.digest(b"x"), Sha256Hasher.digest(b"x"));
+        assert_eq!(Md5Hasher.name(), "md5");
+        assert_eq!(Sha1Hasher.name(), "sha1-128");
+        assert_eq!(Sha256Hasher.name(), "sha256-128");
+    }
+
+    #[test]
+    fn digest_batch_matches_serial_for_all_hashers() {
         let msgs: Vec<Vec<u8>> = (0..9usize)
             .map(|i| (0..(i * 31 % 130)).map(|b| (b as u8) ^ (i as u8)).collect())
             .collect();
         let refs: Vec<&[u8]> = msgs.iter().map(|m| &m[..]).collect();
-        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher] {
+        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher, &Sha256Hasher] {
             let batch = hasher.digest_batch(&refs);
             assert_eq!(batch.len(), refs.len());
             for (i, m) in refs.iter().enumerate() {
                 assert_eq!(batch[i], hasher.digest(m), "{} msg {i}", hasher.name());
             }
         }
+    }
+
+    /// Regression: the pre-bucketing `batch_by_lanes` only paired
+    /// *adjacent* equal-length messages, so in an interleaved batch
+    /// like `[16B, 8B, 16B, 16B]` the leading 16-byte message dropped
+    /// to the scalar path despite two pairable partners further on.
+    /// Length bucketing must both keep digests equal to the serial path
+    /// and preserve input order in the output.
+    #[test]
+    fn digest_batch_pairs_nonadjacent_equal_lengths() {
+        let msgs: [&[u8]; 4] = [&[0xaa; 16], &[0xbb; 8], &[0xcc; 16], &[0xdd; 16]];
+        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher, &Sha256Hasher] {
+            let batch = hasher.digest_batch(&msgs);
+            for (i, m) in msgs.iter().enumerate() {
+                assert_eq!(batch[i], hasher.digest(m), "{} msg {i}", hasher.name());
+            }
+        }
+        // Same-length messages with distinct contents must not be
+        // permuted by the bucketing.
+        let distinct: [&[u8]; 3] = [b"aaaa", b"bbbb", b"cccc"];
+        let batch = Md5Hasher.digest_batch(&distinct);
+        assert_eq!(batch[0], Md5Hasher.digest(b"aaaa"));
+        assert_eq!(batch[1], Md5Hasher.digest(b"bbbb"));
+        assert_eq!(batch[2], Md5Hasher.digest(b"cccc"));
+    }
+
+    #[test]
+    fn batch_lanes_are_per_algorithm() {
+        assert_eq!(Md5Hasher.batch_lanes(), BATCH_LANES);
+        assert_eq!(Sha1Hasher.batch_lanes(), BATCH_LANES);
+        assert!(Sha256Hasher.batch_lanes() >= 1);
+        #[derive(Debug)]
+        struct SerialOnly;
+        impl ChunkHasher for SerialOnly {
+            fn digest(&self, data: &[u8]) -> Digest {
+                md5(data)
+            }
+            fn name(&self) -> &'static str {
+                "serial"
+            }
+        }
+        assert_eq!(SerialOnly.batch_lanes(), 1);
+    }
+
+    #[test]
+    fn hash_algo_parses_and_builds_hashers() {
+        assert_eq!(HashAlgo::parse("md5"), Some(HashAlgo::Md5));
+        assert_eq!(HashAlgo::parse("sha1"), Some(HashAlgo::Sha1));
+        assert_eq!(HashAlgo::parse("sha256"), Some(HashAlgo::Sha256));
+        assert_eq!(HashAlgo::parse("sha-256"), None);
+        for algo in HashAlgo::ALL {
+            assert_eq!(HashAlgo::parse(algo.label()), Some(algo));
+            assert_eq!(format!("{algo}"), algo.label());
+            let hasher = algo.hasher();
+            assert_eq!(hasher.digest(b"x"), hasher.digest(b"x"));
+            assert!(algo.modeled_throughput_gbps() > 0.0);
+        }
+        assert_eq!(HashAlgo::default(), HashAlgo::Md5);
+        assert_eq!(HashAlgo::Sha256.hasher().name(), "sha256-128");
     }
 
     #[test]

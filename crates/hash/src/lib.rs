@@ -10,6 +10,9 @@
 //!   [`BATCH_LANES`] independent messages per pass for ILP.
 //! * [`sha1`] — SHA-1 (RFC 3174), the paper's alternative hash, with the
 //!   same one-shot and multi-lane ([`sha1::sha1_multi`]) paths.
+//! * [`sha256`] — SHA-256 (FIPS 180-4), the modern default hash, again
+//!   with one-shot and multi-lane ([`sha256::sha256_multi`]) paths;
+//!   [`HashAlgo`] selects between the three units at the CLI.
 //! * [`xtea`] — the XTEA block cipher, used to build a 128-bit
 //!   pseudo-random permutation for the incremental MAC.
 //! * [`aes`] — AES-128 (FIPS-197), the standards-grade alternative
@@ -50,9 +53,10 @@ pub mod md5;
 pub mod narrow;
 pub mod prp;
 pub mod sha1;
+pub mod sha256;
 pub mod xormac;
 pub mod xtea;
 
-pub use digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher, BATCH_LANES};
+pub use digest::{ChunkHasher, Digest, HashAlgo, Md5Hasher, Sha1Hasher, Sha256Hasher, BATCH_LANES};
 pub use engine::{HashEngineConfig, Throughput};
 pub use xormac::XorMac;

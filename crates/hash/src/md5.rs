@@ -249,7 +249,8 @@ pub fn md5(data: &[u8]) -> Digest {
 /// the padding blocks), which is exactly the shape the integrity tree's
 /// batched flush produces: same-geometry chunk images. For mixed-length
 /// batches use [`ChunkHasher::digest_batch`](crate::ChunkHasher), which
-/// falls back to scalar hashing for ragged groups.
+/// buckets messages by length so equal-length messages share a lane
+/// group wherever they sit in the batch.
 ///
 /// # Panics
 ///

@@ -1,9 +1,10 @@
 //! Randomized property tests for the cryptographic primitives, driven
 //! by the workspace's deterministic PRNG (`miv_obs::rng`).
 
-use miv_hash::digest::{ChunkHasher, Digest, Md5Hasher, Sha1Hasher};
+use miv_hash::digest::{ChunkHasher, Digest, HashAlgo, Md5Hasher, Sha1Hasher, Sha256Hasher};
 use miv_hash::md5::Md5;
 use miv_hash::narrow::{Prp120, XorMac120};
+use miv_hash::sha256::sha256;
 use miv_hash::xtea::{Prp128, Xtea};
 use miv_hash::XorMac;
 use miv_obs::rng::Rng;
@@ -58,11 +59,74 @@ fn hashers_deterministic_and_sensitive() {
         let mut b = a.clone();
         let idx = rng.gen_range_usize(0, b.len());
         b[idx] ^= 0x01;
-        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher] {
+        for hasher in [&Md5Hasher as &dyn ChunkHasher, &Sha1Hasher, &Sha256Hasher] {
             assert_eq!(hasher.digest(&a), hasher.digest(&a));
             assert_ne!(hasher.digest(&a), hasher.digest(&b));
         }
     }
+}
+
+/// `digest_batch` equals per-message `digest` for randomized ragged
+/// batches — arbitrary lengths in arbitrary order, so lane grouping,
+/// length bucketing and the scalar remainder all get exercised — for
+/// every hash unit.
+#[test]
+fn digest_batch_equals_serial_on_ragged_batches() {
+    let mut rng = Rng::seed_from_u64(0xba7c);
+    for algo in HashAlgo::ALL {
+        let hasher = algo.hasher();
+        for _case in 0..32 {
+            let n = rng.gen_range_usize(0, 12);
+            let msgs: Vec<Vec<u8>> = (0..n)
+                .map(|_| {
+                    // Lengths biased toward collisions so same-length
+                    // messages land apart in the batch.
+                    let len = match rng.gen_range_usize(0, 3) {
+                        0 => 64,
+                        1 => rng.gen_range_usize(0, 8) * 16,
+                        _ => rng.gen_range_usize(0, 200),
+                    };
+                    random_bytes(&mut rng, len)
+                })
+                .collect();
+            let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+            let want: Vec<Digest> = refs.iter().map(|m| hasher.digest(m)).collect();
+            assert_eq!(hasher.digest_batch(&refs), want, "{}", algo.label());
+        }
+    }
+}
+
+/// SHA-256 against the FIPS 180-4 / NIST CAVS vectors: empty, "abc",
+/// the two-block message, and one million 'a's.
+#[test]
+fn sha256_nist_vectors() {
+    let cases: [(&[u8], &str); 3] = [
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ];
+    for (msg, want) in cases {
+        let hex: String = sha256(msg).iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(hex, want);
+    }
+    let million = vec![b'a'; 1_000_000];
+    let hex: String = sha256(&million)
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    assert_eq!(
+        hex,
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
 }
 
 /// XTEA and both PRPs are bijective (decrypt ∘ encrypt = id).

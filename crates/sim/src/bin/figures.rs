@@ -17,7 +17,7 @@ use miv_sim::{SweepRunner, Telemetry};
 
 const USAGE: &str = "usage: figures [--quick] [--jobs N] [--warmup N] [--measure N] [--seed N] \
 [--json PATH] [--metrics-out PATH] [--trace-events PATH] [--only ID] <artifact>...\n  \
-artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 claims all export\n  \
+artifacts: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 hashes claims all export\n  \
 export writes the raw measured rows of every figure as JSON (--json PATH, default stdout)\n  \
 --jobs runs sweeps on N worker threads (0 or omitted: one per core); the\n  \
 rendered output is byte-identical at any thread count\n  \

@@ -27,7 +27,7 @@ use std::process::ExitCode;
 
 use miv_adversary::{CampaignSpec, OfflineSpec};
 use miv_core::timing::Scheme;
-use miv_hash::Throughput;
+use miv_hash::{HashAlgo, Throughput};
 use miv_obs::JsonValue;
 use miv_sim::attack::{
     attack_document, attack_events_jsonl, render_offline_report, render_report, run_campaign,
@@ -79,6 +79,10 @@ options:
   --line 64|128           L2 line size (default 64)
   --warmup N / --measure N / --seed N
   --hash-gbps F           hash unit throughput (default 3.2)
+  --hash md5|sha1|sha256  (attack/serve/store) hash unit for the
+                          functional engines (default md5; the timing
+                          model is unchanged, so latency tables stay
+                          comparable across units)
   --buffers N             read/write buffer entries (default 16)
   --policy lru|fifo|random             L2 replacement policy
   --jobs N                sweep worker threads (0 or omitted: one per core;
@@ -128,6 +132,7 @@ struct Options {
     warmup: u64,
     measure: u64,
     hash_gbps: f64,
+    hash: HashAlgo,
     buffers: u32,
     policy: miv_cache::ReplacementPolicy,
     protected: u64,
@@ -177,6 +182,7 @@ impl Options {
             warmup: 50_000,
             measure: 500_000,
             hash_gbps: 3.2,
+            hash: HashAlgo::Md5,
             buffers: 16,
             policy: miv_cache::ReplacementPolicy::Lru,
             protected: 256 << 20,
@@ -240,6 +246,10 @@ impl Options {
                     o.hash_gbps = value("--hash-gbps")?
                         .parse()
                         .map_err(|_| "bad --hash-gbps")?
+                }
+                "--hash" => {
+                    let v = value("--hash")?;
+                    o.hash = HashAlgo::parse(&v).ok_or_else(|| format!("unknown hash {v}"))?;
                 }
                 "--buffers" => {
                     o.buffers = value("--buffers")?.parse().map_err(|_| "bad --buffers")?
@@ -550,11 +560,17 @@ fn main() -> ExitCode {
                 CampaignSpec::full(opts.common.seed)
             };
             spec.capture_events = opts.common.trace_events.is_some();
-            let off_spec = if opts.common.quick {
+            spec.hash = opts.hash;
+            let mut off_spec = if opts.common.quick {
                 OfflineSpec::quick(opts.common.seed)
             } else {
                 OfflineSpec::full(opts.common.seed)
             };
+            off_spec.hash = opts.hash;
+            // Pre-flight through the fallible constructors: a bad
+            // geometry is a CLI error, not a worker panic.
+            spec.validate()
+                .map_err(|e| format!("invalid attack configuration: {e}"))?;
             let runner = SweepRunner::new(opts.common.jobs);
             let (outcomes, report) = run_campaign(&spec, &runner);
             let offline = run_offline_campaign(&off_spec, &runner);
@@ -600,6 +616,11 @@ fn main() -> ExitCode {
             if let Some(ops) = opts.ops {
                 spec.ops = ops;
             }
+            spec.hash = opts.hash;
+            // Pre-flight through the fallible geometry checks: a bad
+            // grid is a CLI error, not a mid-campaign failure.
+            spec.validate()
+                .map_err(|e| format!("invalid store configuration: {e}"))?;
             let dir = opts
                 .dir
                 .clone()
@@ -713,6 +734,7 @@ fn main() -> ExitCode {
                 spec.line_bytes = opts.line;
             }
             spec.tamper = opts.tamper;
+            spec.hash = opts.hash;
             // Pre-flight through the fallible constructors: a bad
             // geometry is a CLI error, not a worker panic.
             spec.validate()

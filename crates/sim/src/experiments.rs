@@ -20,7 +20,7 @@ use std::cell::RefCell;
 
 use miv_core::layout::{render_tree, TreeLayout};
 use miv_core::timing::Scheme;
-use miv_hash::Throughput;
+use miv_hash::{HashAlgo, Throughput};
 use miv_obs::JsonValue;
 use miv_trace::Benchmark;
 
@@ -284,6 +284,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         title: "IPC of the schemes with reduced hash memory overhead (1 MB L2)",
         data: Some(|ctx| fig8_json(&fig8_data(ctx))),
         body: fig8_body,
+    },
+    Experiment {
+        id: "hashes",
+        title: "IPC per hash unit (chash, 1 MB / 64 B): the unit matters only through its throughput",
+        data: Some(|ctx| hashes_json(&hashes_data(ctx))),
+        body: hashes_body,
     },
     Experiment {
         id: "claims",
@@ -842,6 +848,85 @@ fn fig7_json(rows: &[Fig7Row]) -> JsonValue {
 }
 
 // ---------------------------------------------------------------------
+// Hash-unit sweep (beyond the paper): md5 / sha1 / sha256
+// ---------------------------------------------------------------------
+
+/// One hash-unit sweep series point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashesRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// IPC for each hash unit, in [`HashAlgo::ALL`] order.
+    pub ipc: Vec<f64>,
+}
+
+/// Runs the hash-unit sweep: chash at 1 MB / 64 B with each unit's
+/// modeled pipeline throughput (a Figure 6 section reading — the unit
+/// only matters through its GB/s, so slower primitives land on the
+/// same curve).
+pub fn hashes_data(ctx: &RunCtx) -> Vec<HashesRow> {
+    let mut requests = Vec::new();
+    for bench in Benchmark::ALL {
+        for algo in HashAlgo::ALL {
+            let cfg = SystemConfig::hpca03(Scheme::CHash, 1 << 20, 64)
+                .with_hash_throughput(Throughput::gbps(algo.modeled_throughput_gbps()));
+            requests.push(ctx.request(cfg, bench));
+        }
+    }
+    let results = ctx.sweep(&requests);
+    results
+        .chunks_exact(HashAlgo::ALL.len())
+        .zip(Benchmark::ALL)
+        .map(|(series, bench)| HashesRow {
+            bench: bench.name().into(),
+            ipc: series.iter().map(|r| r.ipc).collect(),
+        })
+        .collect()
+}
+
+fn hashes_body(ctx: &RunCtx) -> String {
+    let rows = hashes_data(ctx);
+    let mut t = Table::new(
+        std::iter::once("bench".to_string())
+            .chain(
+                HashAlgo::ALL
+                    .iter()
+                    .map(|a| format!("{} ({} GB/s)", a.label(), a.modeled_throughput_gbps())),
+            )
+            .collect(),
+    );
+    for r in &rows {
+        t.row(
+            std::iter::once(r.bench.clone())
+                .chain(r.ipc.iter().map(|&x| f3(x)))
+                .collect(),
+        );
+    }
+    t.render()
+}
+
+fn hashes_json(rows: &[HashesRow]) -> JsonValue {
+    let mut doc = JsonValue::obj();
+    doc.push(
+        "units",
+        HashAlgo::ALL
+            .iter()
+            .map(|a| JsonValue::from(a.label()))
+            .collect::<Vec<_>>(),
+    );
+    doc.push(
+        "series",
+        series_json(
+            &rows
+                .iter()
+                .map(|r| (r.bench.clone(), r.ipc.clone()))
+                .collect::<Vec<_>>(),
+        ),
+    );
+    doc
+}
+
+// ---------------------------------------------------------------------
 // Figure 8: memory-overhead-reducing schemes
 // ---------------------------------------------------------------------
 
@@ -1039,7 +1124,10 @@ mod tests {
         let ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
-            ["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "claims"]
+            [
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "hashes",
+                "claims"
+            ]
         );
         assert!(find_experiment("fig5").is_some());
         assert!(find_experiment("fig99").is_none());

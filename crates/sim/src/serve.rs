@@ -54,6 +54,7 @@ use miv_cache::CacheConfig;
 use miv_core::engine::{MemoryBuilder, Protection, VerifiedMemory};
 use miv_core::timing::{CheckerConfig, L2Controller};
 use miv_core::{ConfigError, Scheme, TamperKind};
+use miv_hash::HashAlgo;
 use miv_mem::MemoryBusConfig;
 use miv_obs::{HistogramSnapshot, JsonValue, Rng};
 
@@ -123,6 +124,8 @@ pub struct ServeSpec {
     pub flush_pct: u32,
     /// Which tenants get an end-of-stream tamper probe.
     pub tamper: TamperPolicy,
+    /// Hash unit for every tenant's functional engine.
+    pub hash: HashAlgo,
 }
 
 impl ServeSpec {
@@ -139,6 +142,7 @@ impl ServeSpec {
             write_pct: 30,
             flush_pct: 1,
             tamper: TamperPolicy::EveryTenant,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -156,6 +160,7 @@ impl ServeSpec {
             write_pct: 30,
             flush_pct: 1,
             tamper: TamperPolicy::EveryTenant,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -179,6 +184,7 @@ impl ServeSpec {
                 write_pct: self.write_pct,
                 flush_pct: self.flush_pct,
                 tamper: self.tamper.probes(tenant),
+                hash: self.hash,
             })
             .collect()
     }
@@ -239,6 +245,8 @@ pub struct ShardSpec {
     pub flush_pct: u32,
     /// Whether the stream ends with a tamper probe.
     pub tamper: bool,
+    /// Hash unit for the functional engine.
+    pub hash: HashAlgo,
 }
 
 impl ShardSpec {
@@ -273,6 +281,7 @@ impl ShardSpec {
                 Scheme::IHash => Protection::IncrementalMac,
                 _ => Protection::HashTree,
             })
+            .hasher(self.hash.hasher())
             .cache_blocks((self.l2_bytes / self.line_bytes as u64) as usize)
     }
 
@@ -662,6 +671,7 @@ pub fn serve_document(spec: &ServeSpec, outcomes: &[ShardOutcome]) -> JsonValue 
     doc.push("requests_per_shard", spec.requests);
     doc.push("data_bytes", spec.data_bytes);
     doc.push("l2_bytes", spec.l2_bytes);
+    doc.push("hash", spec.hash.label());
     doc.push("core_clock_hz", CORE_CLOCK_HZ);
 
     let shards: Vec<JsonValue> = outcomes

@@ -36,7 +36,7 @@
 use std::path::{Path, PathBuf};
 
 use miv_adversary::cell_seed;
-use miv_hash::Md5Hasher;
+use miv_hash::HashAlgo;
 use miv_obs::{HistogramSnapshot, JsonValue, Registry, Rng};
 use miv_store::{
     BlockStore, CrashMedium, FileMedium, FileRootStore, MemMedium, MemRootStore, StoreConfig,
@@ -82,6 +82,8 @@ pub struct StoreSpec {
     pub commit_every: u64,
     /// Soak rounds (each ends in close + reopen + verify).
     pub soak_rounds: u32,
+    /// Hash unit for every store's tree pages.
+    pub hash: HashAlgo,
 }
 
 impl StoreSpec {
@@ -96,6 +98,7 @@ impl StoreSpec {
             write_pct: 60,
             commit_every: 64,
             soak_rounds: 3,
+            hash: HashAlgo::Md5,
         }
     }
 
@@ -110,7 +113,37 @@ impl StoreSpec {
             write_pct: 60,
             commit_every: 512,
             soak_rounds: 8,
+            hash: HashAlgo::Md5,
         }
+    }
+
+    /// Pre-flights every geometry the campaigns will build — each bench
+    /// cell plus the soak and fsck configs — through the store's own
+    /// fallible validation, so `mivsim store` rejects a bad spec before
+    /// fanning work out to the pool.
+    pub fn validate(&self) -> Result<(), String> {
+        for cell in self.bench_cells() {
+            let config = StoreConfig {
+                data_bytes: cell.data_bytes,
+                page_bytes: cell.page_bytes,
+                cache_pages: cell.cache_pages,
+                journal_slots: 0,
+            };
+            config
+                .validate()
+                .map_err(|e| format!("bench p{} c{}: {e}", cell.page_bytes, cell.cache_pages))?;
+        }
+        StoreConfig {
+            data_bytes: self.data_bytes,
+            page_bytes: self.page_sizes[0],
+            cache_pages: self.cache_sizes[0],
+            journal_slots: 0,
+        }
+        .validate()
+        .map_err(|e| format!("soak: {e}"))?;
+        fsck_config(self)
+            .validate()
+            .map_err(|e| format!("fsck: {e}"))
     }
 
     /// The bench grid in report order (page size outer, cache inner).
@@ -126,6 +159,7 @@ impl StoreSpec {
                     ops: self.ops,
                     write_pct: self.write_pct,
                     commit_every: self.commit_every,
+                    hash: self.hash,
                 });
             }
         }
@@ -150,6 +184,8 @@ pub struct BenchCell {
     pub write_pct: u32,
     /// Explicit commit cadence.
     pub commit_every: u64,
+    /// Hash unit for the store's tree pages.
+    pub hash: HashAlgo,
 }
 
 /// What one bench cell produced.
@@ -255,13 +291,9 @@ pub fn run_bench_cell(cell: &BenchCell, dir: &Path) -> Result<BenchOutcome, Stri
         cache_pages: cell.cache_pages,
         journal_slots: 0,
     };
-    let mut store = BlockStore::create(
-        medium,
-        FileRootStore::new(root),
-        config,
-        Box::new(Md5Hasher),
-    )
-    .map_err(fail)?;
+    let mut store =
+        BlockStore::create(medium, FileRootStore::new(root), config, cell.hash.hasher())
+            .map_err(fail)?;
     let registry = Registry::new();
     let latency = registry.histogram("store.op_ticks");
     let mut rng = Rng::seed_from_u64(cell.seed);
@@ -362,7 +394,7 @@ pub fn run_soak(spec: &StoreSpec, dir: &Path) -> Result<SoakReport, String> {
         medium,
         FileRootStore::new(root.clone()),
         config,
-        Box::new(Md5Hasher),
+        spec.hash.hasher(),
     )
     .map_err(fail("create"))?;
     for round in 0..spec.soak_rounds {
@@ -381,7 +413,7 @@ pub fn run_soak(spec: &StoreSpec, dir: &Path) -> Result<SoakReport, String> {
         let (reopened, recovery) = BlockStore::open(
             medium,
             FileRootStore::new(root.clone()),
-            Box::new(Md5Hasher),
+            spec.hash.hasher(),
             config.cache_pages,
         )
         .map_err(fail("reopen"))?;
@@ -483,8 +515,9 @@ fn fsck_script(
     medium: CrashMedium<MemMedium>,
     roots: MemRootStore,
     config: &StoreConfig,
+    hash: HashAlgo,
 ) -> Result<(u64, u64), StoreError> {
-    let mut store = BlockStore::create(medium, roots, *config, Box::new(Md5Hasher))?;
+    let mut store = BlockStore::create(medium, roots, *config, hash.hasher())?;
     for (addr, data) in fsck_phase_writes(config, 1) {
         store.write(addr, &data)?;
     }
@@ -509,13 +542,14 @@ fn fsck_model(config: &StoreConfig, generation: u64) -> Vec<u8> {
     data
 }
 
-fn run_crash_point(fail_at: u64, config: &StoreConfig) -> CrashVerdict {
+fn run_crash_point(fail_at: u64, config: &StoreConfig, hash: HashAlgo) -> CrashVerdict {
     let mem = MemMedium::new();
     let roots = MemRootStore::new();
     let outcome = fsck_script(
         CrashMedium::new(mem.clone()).arm(fail_at),
         roots.clone(),
         config,
+        hash,
     );
     if !matches!(outcome, Err(StoreError::Crashed)) {
         return CrashVerdict::Torn(format!(
@@ -523,7 +557,7 @@ fn run_crash_point(fail_at: u64, config: &StoreConfig) -> CrashVerdict {
         ));
     }
     let (mut store, recovery) =
-        match BlockStore::open(mem, roots, Box::new(Md5Hasher), config.cache_pages) {
+        match BlockStore::open(mem, roots, hash.hasher(), config.cache_pages) {
             Ok(opened) => opened,
             Err(e) => return CrashVerdict::Torn(format!("step {fail_at}: reopen failed: {e}")),
         };
@@ -556,6 +590,7 @@ pub fn run_fsck(spec: &StoreSpec, runner: &SweepRunner) -> Result<FsckMatrixRepo
         CrashMedium::new(MemMedium::new()),
         MemRootStore::new(),
         &config,
+        spec.hash,
     )
     .map_err(|e| format!("fsck probe: {e}"))?;
     if steps_old < 3 || steps_new <= steps_old {
@@ -567,7 +602,9 @@ pub fn run_fsck(spec: &StoreSpec, runner: &SweepRunner) -> Result<FsckMatrixRepo
     // committed root, so the matrix starts after create published
     // generation 1.
     let points: Vec<u64> = (3..=steps_new).collect();
-    let verdicts = runner.run_tasks(&points, |&fail_at| run_crash_point(fail_at, &config));
+    let verdicts = runner.run_tasks(&points, |&fail_at| {
+        run_crash_point(fail_at, &config, spec.hash)
+    });
     let mut report = FsckMatrixReport {
         points: points.len() as u64,
         recovered_old: 0,
@@ -621,6 +658,7 @@ fn spec_json(spec: &StoreSpec) -> JsonValue {
     config.push("write_pct", spec.write_pct);
     config.push("commit_every", spec.commit_every);
     config.push("soak_rounds", spec.soak_rounds);
+    config.push("hash", spec.hash.label());
     config
 }
 
@@ -885,6 +923,28 @@ mod tests {
         assert!(store_soak_document(&spec, &report)
             .render_pretty()
             .contains("\"mode\": \"soak\""));
+    }
+
+    #[test]
+    fn validate_accepts_quick_and_rejects_degenerate_cache() {
+        assert!(StoreSpec::quick(7).validate().is_ok());
+        let mut spec = StoreSpec::quick(7);
+        spec.cache_sizes = vec![1];
+        let err = spec.validate().unwrap_err();
+        assert!(err.starts_with("bench"), "{err}");
+    }
+
+    #[test]
+    fn sha256_store_round_trips() {
+        let (mut spec, dir) = test_spec("sha256");
+        spec.hash = HashAlgo::Sha256;
+        spec.page_sizes = vec![128];
+        spec.cache_sizes = vec![8];
+        let outcomes = run_store_bench(&spec, &SweepRunner::new(2), &dir).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].verified_pages > 0);
+        let json = store_bench_document(&spec, &outcomes).render_pretty();
+        assert!(json.contains("\"hash\": \"sha256\""));
     }
 
     #[test]

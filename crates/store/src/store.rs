@@ -71,6 +71,13 @@ impl StoreConfig {
             journal_slots: 0,
         }
     }
+
+    /// Pre-flights the geometry without touching a medium: the same
+    /// checks [`BlockStore::create`] runs, so campaign drivers can
+    /// reject a bad spec before fanning work out to a pool.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        validate(self).map(|_| ())
+    }
 }
 
 /// Trusted non-volatile storage for the [`TrustedRoot`].
