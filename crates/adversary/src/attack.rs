@@ -11,6 +11,7 @@ use miv_obs::Rng;
 
 /// One class of physical attack against untrusted memory (§3, §4.4,
 /// §5.4 of the paper), plus a no-injection control.
+// miv-analyze: exhaustive
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackClass {
     /// No injection at all: any "detection" in a control cell is a

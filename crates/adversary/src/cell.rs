@@ -69,7 +69,7 @@ impl CellConfig {
     pub fn chunk_bytes(&self) -> u32 {
         match self.scheme {
             Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
-            _ => self.line_bytes,
+            Scheme::Base | Scheme::Naive | Scheme::CHash => self.line_bytes,
         }
     }
 
@@ -106,7 +106,9 @@ impl CellConfig {
             .block_bytes(self.line_bytes)
             .protection(match self.scheme {
                 Scheme::IHash => Protection::IncrementalMac,
-                _ => Protection::HashTree,
+                Scheme::Base | Scheme::Naive | Scheme::CHash | Scheme::MHash => {
+                    Protection::HashTree
+                }
             })
             .hasher(self.hash.hasher())
             .cache_blocks((self.l2_bytes / self.line_bytes as u64) as usize)

@@ -2,32 +2,42 @@
 //! workspace.
 //!
 //! ```text
-//! cargo run -p miv-analyze --release -- --workspace [--json out.json]
+//! cargo run -p miv-analyze --release -- --workspace [--json out.json] [--sarif out.sarif]
 //! ```
 //!
 //! Exits 0 when the tree is clean, 1 on any unsuppressed finding, 2 on
 //! usage or I/O errors. Findings print as clickable `file:line:col`
 //! diagnostics; `--json` additionally writes the deterministic
-//! `miv-findings-v1` report.
+//! `miv-findings-v2` report, `--sarif` a SARIF 2.1.0 log, and
+//! `--suppressions` the line-number-free baseline CI gates on.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use miv_analyze::{analyze_workspace, discover_workspace_root, findings_json, CATALOGUE};
+use miv_analyze::{
+    analyze_workspace, discover_workspace_root, find_rule, findings_json, sarif_json, CATALOGUE,
+};
 
 const USAGE: &str = "\
-usage: analyze [--workspace | --root PATH] [--json PATH] [--list-rules]
+usage: analyze [--workspace | --root PATH] [--json PATH] [--sarif PATH]
+               [--suppressions PATH] [--list-rules] [--explain RULE]
 
-  --workspace    analyze the enclosing cargo workspace (default)
-  --root PATH    analyze the tree rooted at PATH instead
-  --json PATH    also write the miv-findings-v1 report to PATH
-  --list-rules   print the rule catalogue and exit
+  --workspace          analyze the enclosing cargo workspace (default)
+  --root PATH          analyze the tree rooted at PATH instead
+  --json PATH          also write the miv-findings-v2 report to PATH
+  --sarif PATH         also write a SARIF 2.1.0 log to PATH
+  --suppressions PATH  also write the suppression baseline to PATH
+  --list-rules         print the rule catalogue (sorted by id) and exit
+  --explain RULE       print a rule's doc, fixture and invariant row
 ";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut suppressions_out: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut explain: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,7 +51,19 @@ fn main() -> ExitCode {
                 Some(p) => json_out = Some(PathBuf::from(p)),
                 None => return usage_error("--json needs a path"),
             },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--suppressions" => match args.next() {
+                Some(p) => suppressions_out = Some(PathBuf::from(p)),
+                None => return usage_error("--suppressions needs a path"),
+            },
             "--list-rules" => list_rules = true,
+            "--explain" => match args.next() {
+                Some(r) => explain = Some(r),
+                None => return usage_error("--explain needs a rule id"),
+            },
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -50,9 +72,34 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(id) = explain {
+        let Some(rule) = find_rule(&id) else {
+            eprintln!("analyze: unknown rule `{id}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!("rule:      {}", rule.id);
+        println!("family:    {}", rule.family.label());
+        println!("invariant: {}", rule.invariant);
+        println!();
+        println!("{}", rule.doc);
+        println!();
+        println!("fires on:");
+        for line in rule.fixture.lines() {
+            println!("    {line}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if list_rules {
-        for rule in CATALOGUE {
-            println!("{:<26} {}", rule.id, rule.summary);
+        let mut sorted: Vec<&miv_analyze::Rule> = CATALOGUE.iter().collect();
+        sorted.sort_by_key(|r| r.id);
+        for rule in sorted {
+            println!(
+                "{:<28} {:<11} {}",
+                rule.id,
+                rule.family.label(),
+                rule.summary
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -102,12 +149,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = sarif_out {
+        let rendered = sarif_json(&report).render_pretty() + "\n";
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = suppressions_out {
+        if let Err(e) = std::fs::write(&path, report.suppressions_baseline()) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     println!(
-        "miv-analyze: {} finding(s), {} suppressed, {} files scanned",
+        "miv-analyze: {} finding(s), {} suppressed, {} files scanned, {} items modeled",
         report.findings.len(),
         report.suppressed.len(),
-        report.files_scanned
+        report.files_scanned,
+        report.counts.items
     );
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -1,19 +1,35 @@
-//! The analysis driver: runs the catalogue over files, applies
-//! suppression directives, and renders the `miv-findings-v1` report.
+//! The analysis driver: builds per-file models and the workspace
+//! index, runs the catalogue, applies suppression directives, audits
+//! the suppressions themselves, and renders the `miv-findings-v2`
+//! report.
+//!
+//! Analysis is two-pass: pass 1 lexes every file, builds its
+//! [`FileModel`] and folds it into the [`WorkspaceIndex`]; pass 2 runs
+//! every rule over every file with the complete index in view. That is
+//! what lets `plumbed-enum` ask "does `campaign.rs` reference
+//! `Scheme::ALL`?" while checking `timing.rs`.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use miv_obs::json::JsonValue;
 
-use crate::rules::{find_rule, RawFinding, CATALOGUE, FILE_SCOPE_RULES};
+use crate::model::{FileModel, ItemCounts, WorkspaceIndex};
+use crate::rules::{find_rule, RawFinding, RuleCtx, CATALOGUE, FILE_SCOPE_RULES};
 use crate::scan::{FileContext, SourceFile};
 
-/// Pseudo-rule id for directive hygiene: malformed `allow(...)` forms
-/// and unknown rule ids are findings themselves (and cannot be
-/// suppressed — fix the directive).
+/// Pseudo-rule id for directive and model hygiene: malformed
+/// `allow(...)` forms, unknown rule ids, unattached `exhaustive` tags
+/// and brace-balance failures are findings themselves (and cannot be
+/// suppressed — fix the file).
 pub const DIRECTIVE_RULE: &str = "directive";
+
+/// Rule id the engine emits for allows that shield nothing. Lives in
+/// the catalogue for listing/explaining, but the enforcement is here —
+/// it needs the waiver bookkeeping.
+pub const UNUSED_SUPPRESSION_RULE: &str = "unused-suppression";
 
 /// One reportable violation.
 #[derive(Debug, Clone)]
@@ -45,6 +61,21 @@ pub struct Suppressed {
     pub reason: String,
 }
 
+/// One `allow(...)` directive site — the suppression *inventory* entry
+/// (one per directive, however many findings it shields). The committed
+/// `suppressions.txt` baseline is rendered from these.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The directive's justification.
+    pub reason: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+}
+
 /// Result of checking one file.
 #[derive(Debug, Default)]
 pub struct FileReport {
@@ -52,11 +83,30 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Suppressed findings, same order.
     pub suppressed: Vec<Suppressed>,
+    /// Every valid allow directive in the file.
+    pub allow_sites: Vec<AllowSite>,
 }
 
-/// Runs the whole catalogue over one in-memory source file.
+/// Runs the whole catalogue over one in-memory source file, with a
+/// single-file index (cross-file rules see only this file; the
+/// workspace driver uses [`analyze_sources`] for the full view).
 pub fn check_source(ctx: &FileContext, src: &str) -> FileReport {
     let file = SourceFile::new(src);
+    let model = FileModel::build(&file);
+    let mut index = WorkspaceIndex::default();
+    index.absorb_file(&ctx.rel_path, &file, &model);
+    check_file(ctx, &file, &model, &index)
+}
+
+/// Runs the catalogue over one prepared file against a (possibly
+/// workspace-wide) index.
+fn check_file(
+    ctx: &FileContext,
+    file: &SourceFile,
+    model: &FileModel,
+    index: &WorkspaceIndex,
+) -> FileReport {
+    let src = file.src;
     let mut report = FileReport::default();
 
     for bad in &file.bad_directives {
@@ -81,25 +131,62 @@ pub fn check_source(ctx: &FileContext, src: &str) -> FileReport {
             });
         }
     }
+    // Brace-balance failures are unsuppressible model-hygiene findings:
+    // past the first one, item spans and #[cfg(test)] skip regions are
+    // unreliable (the PR 5 fragility made them silently extend to EOF).
+    for &pos in &model.brace_errors {
+        let (line, col) = file.line_col(pos);
+        report.findings.push(Finding {
+            rule: DIRECTIVE_RULE.to_string(),
+            path: ctx.rel_path.clone(),
+            line,
+            col,
+            message: "brace matching failed here: structural checks and #[cfg(test)] span \
+                      detection are unreliable for this file until it parses"
+                .to_string(),
+            snippet: line_snippet(src, line),
+        });
+    }
+    for &pos in &model.unattached_tags {
+        let (line, col) = file.line_col(pos);
+        report.findings.push(Finding {
+            rule: DIRECTIVE_RULE.to_string(),
+            path: ctx.rel_path.clone(),
+            line,
+            col,
+            message: "`miv-analyze: exhaustive` tag attaches to no enum".to_string(),
+            snippet: line_snippet(src, line),
+        });
+    }
 
+    let mut allow_used = vec![false; file.allows.len()];
     for rule in CATALOGUE {
         let mut raw: Vec<RawFinding> = Vec::new();
-        (rule.check)(ctx, &file, &mut raw);
+        let rctx = RuleCtx {
+            file: ctx,
+            src: file,
+            model,
+            index,
+        };
+        (rule.check)(&rctx, &mut raw);
         let file_scope = FILE_SCOPE_RULES.contains(&rule.id);
         for r in raw {
             let (line, col) = file.line_col(r.pos);
-            let waiver = file.allows.iter().find(|a| {
+            let waiver = file.allows.iter().position(|a| {
                 a.rule == rule.id
                     && find_rule(&a.rule).is_some()
                     && (file_scope || a.line == line || a.line + 1 == line)
             });
             match waiver {
-                Some(a) => report.suppressed.push(Suppressed {
-                    rule: rule.id.to_string(),
-                    path: ctx.rel_path.clone(),
-                    line,
-                    reason: a.reason.clone(),
-                }),
+                Some(ai) => {
+                    allow_used[ai] = true;
+                    report.suppressed.push(Suppressed {
+                        rule: rule.id.to_string(),
+                        path: ctx.rel_path.clone(),
+                        line,
+                        reason: file.allows[ai].reason.clone(),
+                    });
+                }
                 None => report.findings.push(Finding {
                     rule: rule.id.to_string(),
                     path: ctx.rel_path.clone(),
@@ -109,6 +196,34 @@ pub fn check_source(ctx: &FileContext, src: &str) -> FileReport {
                     snippet: line_snippet(src, line),
                 }),
             }
+        }
+    }
+
+    // The suppression audit: a valid allow that shielded nothing is a
+    // finding at its own line, unsuppressible by construction (no
+    // waiver search runs for it — delete the directive instead).
+    for (ai, allow) in file.allows.iter().enumerate() {
+        if find_rule(&allow.rule).is_none() {
+            continue; // already a directive finding above
+        }
+        report.allow_sites.push(AllowSite {
+            path: ctx.rel_path.clone(),
+            rule: allow.rule.clone(),
+            reason: allow.reason.clone(),
+            line: allow.line,
+        });
+        if !allow_used[ai] {
+            report.findings.push(Finding {
+                rule: UNUSED_SUPPRESSION_RULE.to_string(),
+                path: ctx.rel_path.clone(),
+                line: allow.line,
+                col: 1,
+                message: format!(
+                    "allow({}) shields no finding of that rule; delete the stale directive",
+                    allow.rule
+                ),
+                snippet: line_snippet(src, allow.line),
+            });
         }
     }
 
@@ -138,6 +253,11 @@ pub struct WorkspaceReport {
     pub findings: Vec<Finding>,
     /// All suppressed findings, same order.
     pub suppressed: Vec<Suppressed>,
+    /// Every valid allow directive, sorted by (path, rule, reason,
+    /// line) — the suppression inventory.
+    pub allow_sites: Vec<AllowSite>,
+    /// Aggregated item-model counts across the workspace.
+    pub counts: ItemCounts,
 }
 
 impl WorkspaceReport {
@@ -145,12 +265,30 @@ impl WorkspaceReport {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// Renders the committed `suppressions.txt` baseline: one line per
+    /// allow directive, `path<TAB>rule<TAB>reason`, sorted and
+    /// line-number-free so unrelated edits never churn it.
+    pub fn suppressions_baseline(&self) -> String {
+        let lines: BTreeSet<String> = self
+            .allow_sites
+            .iter()
+            .map(|a| format!("{}\t{}\t{}", a.path, a.rule, a.reason))
+            .collect();
+        let mut out = String::new();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Walks `root` and returns every `.rs` file as a sorted list of
 /// workspace-relative paths (`/` separators), skipping `target/`,
-/// VCS metadata and hidden directories — so the report order is
-/// deterministic by construction.
+/// VCS metadata, hidden directories and `fixtures/` trees (test
+/// corpora deliberately contain forbidden patterns) — so the report
+/// order is deterministic by construction.
 pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
     let mut out = Vec::new();
     walk(root, root, &mut out)?;
@@ -171,7 +309,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out)?;
@@ -189,28 +327,54 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     Ok(())
 }
 
-/// Analyzes every `.rs` file under `root` with the full catalogue.
-pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
-    let mut report = WorkspaceReport::default();
-    for rel in collect_rs_files(root)? {
-        let src = fs::read_to_string(root.join(&rel))?;
-        let ctx = FileContext::from_rel_path(&rel);
-        let file_report = check_source(&ctx, &src);
+/// Analyzes a set of in-memory sources as one workspace: builds every
+/// model and the shared index (pass 1), then checks every file against
+/// it (pass 2). `sources` is `(rel_path, text)` pairs; order does not
+/// affect the result beyond the already-sorted report.
+pub fn analyze_sources(sources: &[(String, String)]) -> WorkspaceReport {
+    // Pass 1: lex, model, index.
+    let mut prepared: Vec<(FileContext, SourceFile, FileModel)> = Vec::new();
+    let mut index = WorkspaceIndex::default();
+    for (rel, text) in sources {
+        let ctx = FileContext::from_rel_path(rel);
+        let file = SourceFile::new(text);
+        let model = FileModel::build(&file);
+        index.absorb_file(rel, &file, &model);
+        prepared.push((ctx, file, model));
+    }
+
+    // Pass 2: rules with the full index in view.
+    let mut report = WorkspaceReport {
+        counts: index.counts,
+        ..WorkspaceReport::default()
+    };
+    for (ctx, file, model) in &prepared {
+        let file_report = check_file(ctx, file, model, &index);
         report.findings.extend(file_report.findings);
         report.suppressed.extend(file_report.suppressed);
+        report.allow_sites.extend(file_report.allow_sites);
         report.files_scanned += 1;
     }
-    // Files are visited in sorted order and per-file results are
-    // already sorted, so the aggregate is deterministic without a
-    // second sort — but sort anyway so the invariant does not rest on
-    // the walk order.
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
     report
         .suppressed
         .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
-    Ok(report)
+    report.allow_sites.sort_by(|a, b| {
+        (&a.path, &a.rule, &a.reason, a.line).cmp(&(&b.path, &b.rule, &b.reason, b.line))
+    });
+    report
+}
+
+/// Analyzes every `.rs` file under `root` with the full catalogue.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut sources = Vec::new();
+    for rel in collect_rs_files(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, text));
+    }
+    Ok(analyze_sources(&sources))
 }
 
 /// Ascends from `start` to the nearest directory whose `Cargo.toml`
@@ -229,19 +393,23 @@ pub fn discover_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Renders the `miv-findings-v1` JSON report. Field order and array
-/// order are fixed, and no timestamps or absolute paths are included,
-/// so two runs over the same tree are byte-identical.
+/// Renders the `miv-findings-v2` JSON report. Field order and array
+/// order are fixed, rules are sorted by id, and no timestamps or
+/// absolute paths are included, so two runs over the same tree are
+/// byte-identical.
 pub fn findings_json(report: &WorkspaceReport) -> JsonValue {
     let mut root = JsonValue::obj();
-    root.push("schema", "miv-findings-v1");
+    root.push("schema", "miv-findings-v2");
     root.push("files_scanned", report.files_scanned as u64);
     root.push("clean", report.is_clean());
 
+    let mut sorted: Vec<&crate::rules::Rule> = CATALOGUE.iter().collect();
+    sorted.sort_by_key(|r| r.id);
     let mut rules = Vec::new();
-    for rule in CATALOGUE {
+    for rule in sorted {
         let mut r = JsonValue::obj();
         r.push("id", rule.id);
+        r.push("family", rule.family.label());
         r.push("summary", rule.summary);
         rules.push(r);
     }
@@ -270,6 +438,28 @@ pub fn findings_json(report: &WorkspaceReport) -> JsonValue {
         suppressed.push(j);
     }
     root.push("suppressed", JsonValue::Array(suppressed));
+
+    let mut inventory = Vec::new();
+    for a in &report.allow_sites {
+        let mut j = JsonValue::obj();
+        j.push("path", a.path.as_str());
+        j.push("rule", a.rule.as_str());
+        j.push("reason", a.reason.as_str());
+        j.push("line", a.line as u64);
+        inventory.push(j);
+    }
+    root.push("suppression_inventory", JsonValue::Array(inventory));
+
+    let mut items = JsonValue::obj();
+    items.push("files", report.counts.files as u64);
+    items.push("items", report.counts.items as u64);
+    items.push("mods", report.counts.mods as u64);
+    items.push("fns", report.counts.fns as u64);
+    items.push("impls", report.counts.impls as u64);
+    items.push("enums", report.counts.enums as u64);
+    items.push("enum_variants", report.counts.enum_variants as u64);
+    items.push("matches", report.counts.matches as u64);
+    root.push("items", items);
     root
 }
 
@@ -295,6 +485,7 @@ mod tests {
         assert!(r.findings.is_empty());
         assert_eq!(r.suppressed.len(), 1);
         assert_eq!(r.suppressed[0].reason, "demo");
+        assert_eq!(r.allow_sites.len(), 1);
     }
 
     #[test]
@@ -303,6 +494,28 @@ mod tests {
         let r = check_source(&lib_ctx(), src);
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, DIRECTIVE_RULE);
+    }
+
+    #[test]
+    fn stale_allow_is_a_finding() {
+        let src = "// miv-analyze: allow(no-wall-clock, reason=\"nothing here\")\nfn f() {}\n";
+        let r = check_source(&lib_ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, UNUSED_SUPPRESSION_RULE);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn unbalanced_brace_is_a_directive_finding() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { if x { }\n";
+        let r = check_source(&lib_ctx(), src);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == DIRECTIVE_RULE && f.message.contains("brace matching")),
+            "expected a brace-matching directive finding, got {:?}",
+            r.findings
+        );
     }
 
     #[test]
@@ -322,6 +535,6 @@ mod tests {
         let a = findings_json(&report).render_pretty();
         let b = findings_json(&report).render_pretty();
         assert_eq!(a, b);
-        assert!(a.contains("miv-findings-v1"));
+        assert!(a.contains("miv-findings-v2"));
     }
 }

@@ -16,12 +16,20 @@
 //! * a [`scan`] layer that classifies files (lib / bin / test),
 //!   detects `#[cfg(test)]` item spans, and parses suppression
 //!   directives,
+//! * a [`model`] layer that builds a brace-balanced item tree per file
+//!   (modules, fns, impls, enums with variant lists, `match`
+//!   expressions with arm heads) and a workspace-wide index — the
+//!   substrate for cross-file structural rules,
 //! * a [`rules`] catalogue of project-specific invariants that
-//!   `clippy -D warnings` cannot express (no wall clocks in the sim,
-//!   no hash-ordered iteration near output, reset methods must not
-//!   clear interval schedules, …),
-//! * an [`engine`] that applies suppressions and renders the
-//!   deterministic `miv-findings-v1` JSON report.
+//!   `clippy -D warnings` cannot express: token rules (no wall clocks
+//!   in the sim, no hash-ordered iteration near output, reset methods
+//!   must not clear interval schedules, …) and structural rules
+//!   (exhaustive dispatch over tagged enums, fallible-constructor
+//!   pairing, enum plumbing into dispatch tables, suppression audit),
+//! * an [`engine`] that runs two passes (model + index, then rules),
+//!   applies and audits suppressions, and renders the deterministic
+//!   `miv-findings-v2` JSON report,
+//! * a [`sarif`] emitter so CI can annotate pull requests.
 //!
 //! # Running
 //!
@@ -43,20 +51,36 @@
 //!
 //! The directive waives the named rule on its own line and the line
 //! below it. File-scoped rules (like `forbid-unsafe-header`) accept a
-//! directive anywhere in the file.
+//! directive anywhere in the file. A directive that shields nothing is
+//! itself a finding (`unused-suppression`).
+//!
+//! # Tagging an enum as exhaustive
+//!
+//! ```text
+//! // miv-analyze: exhaustive
+//! pub enum TamperKind { ... }
+//! ```
+//!
+//! Every `match` whose arms dispatch on a tagged enum must then name
+//! all of its variants — wildcard `_` arms fire — so adding a variant
+//! breaks every dispatch site loudly at analysis time and compile time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 
 pub use engine::{
-    analyze_workspace, check_source, collect_rs_files, discover_workspace_root, findings_json,
-    FileReport, Finding, Suppressed, WorkspaceReport,
+    analyze_sources, analyze_workspace, check_source, collect_rs_files, discover_workspace_root,
+    findings_json, AllowSite, FileReport, Finding, Suppressed, WorkspaceReport,
 };
 pub use lexer::{lex, Token, TokenKind};
-pub use rules::{find_rule, Rule, CATALOGUE};
+pub use model::{FileModel, Item, ItemCounts, ItemKind, WorkspaceIndex};
+pub use rules::{find_rule, Rule, RuleCtx, RuleFamily, CATALOGUE, PLUMB_MANIFEST};
+pub use sarif::sarif_json;
 pub use scan::{FileContext, FileKind, SourceFile};

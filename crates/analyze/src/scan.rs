@@ -99,6 +99,17 @@ pub struct BadDirective {
     pub message: String,
 }
 
+/// A parsed `// miv-analyze: exhaustive` tag. The item model attaches
+/// each tag to the next `enum` definition; `exhaustive-variant-match`
+/// then requires every `match` over that enum to name every variant.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveTag {
+    /// Byte offset of the tag comment.
+    pub pos: usize,
+    /// 1-based line the tag sits on.
+    pub line: usize,
+}
+
 /// A lexed file plus the derived views rules scope themselves with.
 pub struct SourceFile<'a> {
     /// The raw source text.
@@ -114,6 +125,8 @@ pub struct SourceFile<'a> {
     pub allows: Vec<Allow>,
     /// Malformed directives.
     pub bad_directives: Vec<BadDirective>,
+    /// Parsed `exhaustive` enum tags, in byte order.
+    pub exhaustive_tags: Vec<ExhaustiveTag>,
 }
 
 impl<'a> SourceFile<'a> {
@@ -138,6 +151,7 @@ impl<'a> SourceFile<'a> {
             test_spans: Vec::new(),
             allows: Vec::new(),
             bad_directives: Vec::new(),
+            exhaustive_tags: Vec::new(),
         };
         file.test_spans = file.find_test_spans();
         file.parse_directives();
@@ -161,6 +175,15 @@ impl<'a> SourceFile<'a> {
     pub fn sig_start(&self, k: usize) -> usize {
         match self.sig.get(k) {
             Some(&i) => self.tokens[i].start,
+            None => self.src.len(),
+        }
+    }
+
+    /// Byte offset one past the `k`-th significant token (or source
+    /// length past the end) — item spans end here.
+    pub fn token_end(&self, k: usize) -> usize {
+        match self.sig.get(k) {
+            Some(&i) => self.tokens[i].end,
             None => self.src.len(),
         }
     }
@@ -324,6 +347,12 @@ impl<'a> SourceFile<'a> {
             };
             let (line, _) = line_col(self.src, t.start);
             let rest = text[at + MARKER.len()..].trim_start();
+            let rest_trimmed = rest.trim_end().trim_end_matches("*/").trim_end();
+            if rest_trimmed == "exhaustive" {
+                self.exhaustive_tags
+                    .push(ExhaustiveTag { pos: t.start, line });
+                continue;
+            }
             match parse_allow(rest) {
                 Ok((rule, reason)) => self.allows.push(Allow { rule, reason, line }),
                 Err(message) => self.bad_directives.push(BadDirective { line, message }),

@@ -1,0 +1,21 @@
+//! Negative fixture: a panicking constructor with no `try_new` sibling.
+//!
+//! `fallible-constructor-pairing` must fire on `Unit::new`.
+
+/// A trivially small storage unit.
+pub struct Unit {
+    cells: usize,
+}
+
+impl Unit {
+    /// Builds a unit with a positive cell count.
+    pub fn new(cells: usize) -> Self {
+        assert!(cells > 0, "cells must be positive");
+        Unit { cells }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+}

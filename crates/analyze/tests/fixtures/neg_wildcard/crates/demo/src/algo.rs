@@ -1,0 +1,23 @@
+//! Negative fixture: a tagged enum matched with a wildcard arm.
+//!
+//! `exhaustive-variant-match` must fire on `label` — the wildcard hides
+//! any variant added to `FixtureAlgo` later.
+
+// miv-analyze: exhaustive
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixtureAlgo {
+    /// First algorithm.
+    Alpha,
+    /// Second algorithm.
+    Beta,
+    /// Third algorithm.
+    Gamma,
+}
+
+/// Names the algorithm — but hides future variants behind `_`.
+pub fn label(a: FixtureAlgo) -> &'static str {
+    match a {
+        FixtureAlgo::Alpha => "alpha",
+        _ => "other",
+    }
+}

@@ -1,0 +1,200 @@
+//! Property checks for the item model: the structural pass must hold
+//! its span invariants on *every* source file in the workspace (the
+//! richest corpus we have), extract enum variants faithfully on a
+//! hand-built corpus, and build byte-identically across runs.
+
+use std::path::Path;
+
+use miv_analyze::{collect_rs_files, FileModel, Item, SourceFile};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Every (path, source, model) triple in the workspace.
+fn workspace_models() -> Vec<(String, String, FileModel)> {
+    let root = workspace_root();
+    let mut out = Vec::new();
+    for rel in collect_rs_files(&root).expect("walk workspace") {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let model = FileModel::build(&SourceFile::new(&src));
+        out.push((rel, src, model));
+    }
+    assert!(out.len() > 80, "corpus looks truncated: {}", out.len());
+    out
+}
+
+/// Asserts the span invariants for a sibling list: sorted, disjoint,
+/// inside `(lo, hi)`, head within the item, children recursively valid.
+fn check_spans(path: &str, items: &[Item], lo: usize, hi: usize) {
+    let mut cursor = lo;
+    for it in items {
+        assert!(
+            it.start >= cursor,
+            "{path}: item `{}` at {} overlaps its predecessor (cursor {cursor})",
+            it.name,
+            it.start
+        );
+        assert!(
+            it.start < it.end && it.end <= hi,
+            "{path}: item `{}` has degenerate span {}..{} (bound {hi})",
+            it.name,
+            it.start,
+            it.end
+        );
+        assert!(
+            (it.start..it.end).contains(&it.head),
+            "{path}: item `{}` head {} outside {}..{}",
+            it.name,
+            it.head,
+            it.start,
+            it.end
+        );
+        check_spans(path, &it.children, it.start, it.end);
+        cursor = it.end;
+    }
+}
+
+#[test]
+fn item_spans_are_sorted_disjoint_and_nested() {
+    for (path, src, model) in workspace_models() {
+        assert!(
+            model.brace_errors.is_empty(),
+            "{path}: workspace sources must be brace-balanced"
+        );
+        check_spans(&path, &model.items, 0, src.len());
+    }
+}
+
+#[test]
+fn census_matches_item_tree() {
+    for (path, _, model) in workspace_models() {
+        fn walk(items: &[Item], f: &mut impl FnMut(&Item)) {
+            for it in items {
+                f(it);
+                walk(&it.children, f);
+            }
+        }
+        let mut total = 0usize;
+        let mut enums = 0usize;
+        let mut variants = 0usize;
+        walk(&model.items, &mut |it| {
+            total += 1;
+            if it.kind == miv_analyze::ItemKind::Enum {
+                enums += 1;
+                variants += it.variants.len();
+            }
+        });
+        assert_eq!(model.counts.items, total, "{path}: item census drifted");
+        assert_eq!(model.counts.enums, enums, "{path}: enum census drifted");
+        assert_eq!(
+            model.counts.enum_variants, variants,
+            "{path}: variant census drifted"
+        );
+        assert_eq!(
+            model.counts.matches,
+            model.matches.len(),
+            "{path}: match census drifted"
+        );
+    }
+}
+
+#[test]
+fn model_build_is_deterministic() {
+    for (path, src, model) in workspace_models() {
+        let again = FileModel::build(&SourceFile::new(&src));
+        assert_eq!(
+            format!("{model:?}"),
+            format!("{again:?}"),
+            "{path}: model must build identically"
+        );
+    }
+}
+
+/// Hand-built corpus: tricky enum shapes the variant extractor must
+/// read correctly (payloads, discriminants, generics, attributes).
+#[test]
+fn enum_variant_extraction_corpus() {
+    let cases: &[(&str, &str, &[&str])] = &[
+        ("unit variants", "enum E { A, B, C }", &["A", "B", "C"]),
+        (
+            "payload variants",
+            "enum E { A(u32), B { x: u8, y: u8 }, C }",
+            &["A", "B", "C"],
+        ),
+        (
+            "discriminants",
+            "enum E { A = 1, B = 2 + 3, C }",
+            &["A", "B", "C"],
+        ),
+        (
+            "generics and where clause",
+            "enum E<T: Clone> where T: Copy { Only(T) }",
+            &["Only"],
+        ),
+        (
+            "attributed variants",
+            "enum E { #[doc = \"a\"] A, #[non_exhaustive] B(Vec<u8>) }",
+            &["A", "B"],
+        ),
+        (
+            "nested angle brackets in payloads",
+            "enum E { A(Result<Vec<u8>, Box<dyn std::error::Error>>), B }",
+            &["A", "B"],
+        ),
+        ("trailing comma", "enum E { A, B, }", &["A", "B"]),
+        ("empty enum", "enum Never {}", &[]),
+    ];
+    for (label, src, expected) in cases {
+        let model = FileModel::build(&SourceFile::new(src));
+        let enums = model.enums();
+        assert_eq!(enums.len(), 1, "{label}: expected one enum");
+        assert_eq!(
+            enums[0].variants, *expected,
+            "{label}: variant extraction mismatch"
+        );
+    }
+}
+
+/// The arm reader must treat payload patterns as opaque (no head path)
+/// and classify binding idents as wildcards.
+#[test]
+fn match_arm_corpus() {
+    let src = r#"
+fn f(x: Option<E>, e: E) -> u32 {
+    let a = match e {
+        E::A | E::B => 1,
+        E::C if cond() => 2,
+        other => 3,
+    };
+    let b = match x {
+        Some(E::A) => 4,
+        None => 5,
+        _ => 6,
+    };
+    a + b
+}
+"#;
+    let model = FileModel::build(&SourceFile::new(src));
+    assert_eq!(model.matches.len(), 2);
+    let first = &model.matches[0];
+    assert_eq!(first.arms.len(), 3);
+    assert_eq!(
+        first.arms[0].head_paths(),
+        vec![
+            ("E".to_string(), "A".to_string()),
+            ("E".to_string(), "B".to_string())
+        ]
+    );
+    assert!(first.arms[1].has_guard);
+    assert!(first.arms[2].is_wildcard(), "binding ident is a wildcard");
+    let second = &model.matches[1];
+    // `Some(E::A)` is a payload pattern: no head path, so the match is
+    // opaque to exhaustive-variant-match (by design — no false positives).
+    assert!(second.arms[0].head_paths().is_empty());
+    assert!(second.arms[2].is_wildcard());
+    assert!(
+        !second.arms[1].is_wildcard(),
+        "None is a path, not a binding"
+    );
+}

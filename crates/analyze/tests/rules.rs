@@ -3,7 +3,7 @@
 //! `allow(rule, reason="...")` suppresses it — plus scope negatives
 //! (test code, out-of-scope crates) and directive hygiene.
 
-use miv_analyze::{check_source, FileContext, FileReport, CATALOGUE};
+use miv_analyze::{analyze_sources, check_source, FileContext, FileReport, CATALOGUE};
 
 const LIB: &str = "crates/sim/src/fixture.rs";
 const CORE_LIB: &str = "crates/core/src/fixture.rs";
@@ -386,6 +386,250 @@ fn directive_hygiene() {
     let rules = fired(&r);
     assert!(rules.contains(&"directive".to_string()));
     assert!(rules.contains(&"no-wall-clock".to_string()));
+}
+
+const TAGGED_ENUM: &str = "\
+// miv-analyze: exhaustive
+enum Algo { A, B, C }
+";
+
+#[test]
+fn exhaustive_variant_match_fires_and_suppresses() {
+    // Wildcard arm over a tagged enum.
+    assert_fires_and_suppresses(
+        LIB,
+        "exhaustive-variant-match",
+        &format!("{TAGGED_ENUM}fn f(a: Algo) -> u8 {{ match a {{ Algo::A => 1, _ => 0 }} }}"),
+    );
+    // Binding ident is a wildcard too.
+    assert_fires_and_suppresses(
+        LIB,
+        "exhaustive-variant-match",
+        &format!("{TAGGED_ENUM}fn f(a: Algo) -> u8 {{ match a {{ Algo::A => 1, other => 0 }} }}"),
+    );
+    // Missing variant without a wildcard (non-compiling in rustc, but
+    // the analyzer must still name what's absent).
+    let r = check(
+        LIB,
+        &format!("{TAGGED_ENUM}fn f(a: Algo) -> u8 {{ match a {{ Algo::A => 1, Algo::B => 2 }} }}"),
+    );
+    assert!(fired(&r).contains(&"exhaustive-variant-match".to_string()));
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.message.contains("Algo::C") || f.message.contains('C')),
+        "finding names the missing variant: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn exhaustive_variant_match_scope_negatives() {
+    // Untagged enums keep their wildcards.
+    let r = check(
+        LIB,
+        "enum Algo { A, B }\nfn f(a: Algo) -> u8 { match a { Algo::A => 1, _ => 0 } }",
+    );
+    assert!(fired(&r).is_empty());
+    // All variants named: clean, including or-patterns.
+    let r = check(
+        LIB,
+        &format!(
+            "{TAGGED_ENUM}fn f(a: Algo) -> u8 {{ match a {{ Algo::A | Algo::B => 1, Algo::C => 2 }} }}"
+        ),
+    );
+    assert!(fired(&r).is_empty());
+    // Payload patterns are opaque: `Some(Algo::A)` has no head path, so
+    // the rule must not claim the match is about `Algo`.
+    let r = check(
+        LIB,
+        &format!(
+            "{TAGGED_ENUM}fn f(a: Option<Algo>) -> u8 {{ match a {{ Some(Algo::A) => 1, _ => 0 }} }}"
+        ),
+    );
+    assert!(fired(&r).is_empty());
+    // Test spans keep their wildcards.
+    let r = check(
+        LIB,
+        &format!(
+            "{TAGGED_ENUM}#[cfg(test)]\nmod tests {{\n  fn t(a: Algo) -> u8 {{ match a {{ Algo::A => 1, _ => 0 }} }}\n}}"
+        ),
+    );
+    assert!(fired(&r).is_empty());
+    // `Self::Variant` resolves through the enclosing impl.
+    let r = check(
+        LIB,
+        &format!(
+            "{TAGGED_ENUM}impl Algo {{ fn f(self) -> u8 {{ match self {{ Self::A => 1, _ => 0 }} }} }}"
+        ),
+    );
+    assert!(fired(&r).contains(&"exhaustive-variant-match".to_string()));
+}
+
+const STORE_LIB: &str = "crates/store/src/fixture.rs";
+
+#[test]
+fn fallible_constructor_pairing_fires_and_suppresses() {
+    // Panicking new without a try_new sibling.
+    assert_fires_and_suppresses(
+        STORE_LIB,
+        "fallible-constructor-pairing",
+        "impl Unit { pub fn new(n: usize) -> Self { assert!(n > 0); Unit { n } } }",
+    );
+    // try_new exists but new is not a thin wrapper over it.
+    assert_fires_and_suppresses(
+        STORE_LIB,
+        "fallible-constructor-pairing",
+        "impl Unit {\n  pub fn new(n: usize) -> Self { assert!(n > 0); Unit { n } }\n  pub fn try_new(n: usize) -> Result<Self, E> { Ok(Unit { n }) }\n}",
+    );
+}
+
+#[test]
+fn fallible_constructor_pairing_scope_negatives() {
+    // The sanctioned thin-wrapper shape.
+    let r = check(
+        STORE_LIB,
+        "impl Unit {\n  pub fn new(n: usize) -> Self { Self::try_new(n).expect(\"documented invariant\") }\n  pub fn try_new(n: usize) -> Result<Self, E> { Ok(Unit { n }) }\n}",
+    );
+    assert!(fired(&r).is_empty());
+    // Infallible constructors need no sibling.
+    let r = check(
+        STORE_LIB,
+        "impl Unit { pub fn new(n: usize) -> Self { Unit { n } } }",
+    );
+    assert!(fired(&r).is_empty());
+    // debug_assert is stripped in release: exempt.
+    let r = check(
+        STORE_LIB,
+        "impl Unit { pub fn new(n: usize) -> Self { debug_assert!(n > 0); Unit { n } } }",
+    );
+    assert!(fired(&r).is_empty());
+    // Private constructors and out-of-scope crates are exempt.
+    let r = check(
+        STORE_LIB,
+        "impl Unit { fn new(n: usize) -> Self { assert!(n > 0); Unit { n } } }",
+    );
+    assert!(fired(&r).is_empty());
+    let r = check(
+        LIB,
+        "impl Unit { pub fn new(n: usize) -> Self { assert!(n > 0); Unit { n } } }",
+    );
+    assert!(fired(&r).is_empty());
+    // Test-gated impls are exempt.
+    let r = check(
+        STORE_LIB,
+        "#[cfg(test)]\nmod tests {\n  impl Unit { pub fn new(n: usize) -> Self { assert!(n > 0); Unit { n } } }\n}",
+    );
+    assert!(fired(&r).is_empty());
+}
+
+/// A minimal plumbed workspace: the manifest's `HashAlgo` entry wants a
+/// carrier `ALL` in the defining file and `HashAlgo::ALL` references in
+/// both dispatch files.
+fn plumb_sources(carrier: &str, experiments: &str, cell: &str) -> Vec<(String, String)> {
+    vec![
+        (
+            "crates/hash/src/digest.rs".to_string(),
+            format!("enum HashAlgo {{ Md5, Sha1 }}\nimpl HashAlgo {{ {carrier} }}\n"),
+        ),
+        (
+            "crates/sim/src/experiments.rs".to_string(),
+            experiments.to_string(),
+        ),
+        ("crates/adversary/src/cell.rs".to_string(), cell.to_string()),
+    ]
+}
+
+#[test]
+fn plumbed_enum_cross_file_checks() {
+    let full_carrier = "pub const ALL: [HashAlgo; 2] = [HashAlgo::Md5, HashAlgo::Sha1];";
+    let dispatch = "fn sweep() { for a in HashAlgo::ALL { run(a); } }";
+    // Fully plumbed: clean.
+    let r = analyze_sources(&plumb_sources(full_carrier, dispatch, dispatch));
+    assert!(r.findings.is_empty(), "clean plumb fired: {:?}", r.findings);
+    // Carrier misses a variant: fires on the defining file.
+    let r = analyze_sources(&plumb_sources(
+        "pub const ALL: [HashAlgo; 1] = [HashAlgo::Md5];",
+        dispatch,
+        dispatch,
+    ));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "plumbed-enum" && f.message.contains("Sha1")));
+    // No carrier at all.
+    let r = analyze_sources(&plumb_sources("", dispatch, dispatch));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "plumbed-enum" && f.message.contains("no carrier const")));
+    // A dispatch file that stops referencing the carrier.
+    let r = analyze_sources(&plumb_sources(full_carrier, "fn sweep() {}", dispatch));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "plumbed-enum" && f.message.contains("experiments.rs")));
+}
+
+#[test]
+fn unused_suppression_fires_and_is_unsuppressible() {
+    // An allow shielding nothing is itself a finding...
+    let r = check(
+        LIB,
+        "// miv-analyze: allow(no-wall-clock, reason=\"stale\")\nfn f() {}\n",
+    );
+    assert_eq!(fired(&r), ["unused-suppression"]);
+    assert!(r.suppressed.is_empty());
+    // ...and allowing unused-suppression does not silence the audit.
+    let r = check(
+        LIB,
+        "// miv-analyze: allow(unused-suppression, reason=\"nope\")\n\
+         // miv-analyze: allow(no-wall-clock, reason=\"stale\")\nfn f() {}\n",
+    );
+    assert!(fired(&r).contains(&"unused-suppression".to_string()));
+    // A live allow is not unused.
+    let r = check(
+        LIB,
+        "// miv-analyze: allow(no-wall-clock, reason=\"fixture\")\nfn f() { let t = Instant::now(); }\n",
+    );
+    assert!(!fired(&r).contains(&"unused-suppression".to_string()));
+}
+
+#[test]
+fn unbalanced_braces_are_a_directive_finding() {
+    // Regression for the in_test_span fragility: a file whose braces do
+    // not balance must say so loudly instead of silently mis-scoping
+    // every span-sensitive rule.
+    let r = check(LIB, "fn f() { if x { g(); }\n");
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "directive" && f.message.contains("brace")),
+        "expected a brace-balance finding, got {:?}",
+        r.findings
+    );
+    // And it is unsuppressible.
+    let r = check(
+        LIB,
+        "// miv-analyze: allow(directive, reason=\"nope\")\nfn f() { if x { g(); }\n",
+    );
+    assert!(r.findings.iter().any(|f| f.rule == "directive"));
+}
+
+#[test]
+fn unattached_exhaustive_tag_is_a_directive_finding() {
+    // A tag with no enum after it is dead weight: flag it.
+    let r = check(LIB, "// miv-analyze: exhaustive\nfn not_an_enum() {}\n");
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "directive" && f.message.contains("exhaustive")),
+        "expected an unattached-tag finding, got {:?}",
+        r.findings
+    );
+    // A tag followed (eventually) by its enum attaches fine.
+    let r = check(LIB, TAGGED_ENUM);
+    assert!(fired(&r).is_empty());
 }
 
 #[test]

@@ -62,6 +62,7 @@ impl Snapshot {
 }
 
 /// A single tampering action.
+// miv-analyze: exhaustive
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TamperKind {
     /// Flip one bit of the byte at the target address.

@@ -77,6 +77,19 @@ pub enum ConfigError {
         /// Requested blocks per chunk.
         blocks_per_chunk: u32,
     },
+    /// A size parameter that must be positive was zero.
+    ZeroSize {
+        /// Which size was zero (`"block"`, `"capacity"`, …).
+        what: &'static str,
+    },
+    /// A protected data segment is not a whole multiple of its block
+    /// size (the XOM per-block MAC layout needs whole blocks).
+    DataNotBlockMultiple {
+        /// Data segment size in bytes.
+        data_bytes: u64,
+        /// Block size in bytes.
+        block_bytes: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -125,6 +138,17 @@ impl fmt::Display for ConfigError {
                 f,
                 "incremental MAC supports at most 8 blocks per chunk (8 timestamp bits \
                  per slot), got {blocks_per_chunk}"
+            ),
+            ConfigError::ZeroSize { what } => {
+                write!(f, "{what} size must be positive, got 0")
+            }
+            ConfigError::DataNotBlockMultiple {
+                data_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "data segment must be a whole number of blocks ({data_bytes} B data, \
+                 {block_bytes} B block)"
             ),
         }
     }

@@ -40,6 +40,7 @@ use crate::layout::{ParentRef, TreeLayout};
 pub type Cycle = u64;
 
 /// The verification scheme the controller runs.
+// miv-analyze: exhaustive
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// No memory verification (baseline).
@@ -815,7 +816,7 @@ impl L2Controller {
                     self.clear_taint(ev.addr);
                 }
                 Scheme::Naive => self.writeback_naive(t, ev.addr),
-                _ => self.writeback_cached_tree(t, ev),
+                Scheme::CHash | Scheme::MHash | Scheme::IHash => self.writeback_cached_tree(t, ev),
             }
         }
     }

@@ -16,6 +16,8 @@
 // miv-analyze: allow(deterministic-iteration, reason="hot-path lookup table; the only iteration sites are dirty_blocks (sorted before use) and iter_blocks, whose consumers fold into order-insensitive sets")
 use std::collections::{BTreeMap, HashMap};
 
+use crate::error::ConfigError;
+
 /// A block-granular trusted cache holding real data.
 ///
 /// Keys are block-aligned physical addresses.
@@ -57,11 +59,31 @@ impl TrustedCache {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` or `block_bytes` is zero.
+    /// Panics if `capacity` or `block_bytes` is zero;
+    /// [`try_new`](Self::try_new) is the fallible form.
     pub fn new(capacity: usize, block_bytes: usize) -> Self {
-        assert!(capacity >= 1, "capacity must be at least one block");
-        assert!(block_bytes >= 1, "block size must be positive");
-        TrustedCache {
+        Self::try_new(capacity, block_bytes)
+            .expect("documented invariant: positive capacity and block size")
+    }
+
+    /// Fallible form of [`new`](Self::new), for callers building from a
+    /// user-supplied spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CacheTooSmall`] when `capacity` is zero
+    /// and [`ConfigError::ZeroSize`] when `block_bytes` is zero.
+    pub fn try_new(capacity: usize, block_bytes: usize) -> Result<Self, ConfigError> {
+        if capacity < 1 {
+            return Err(ConfigError::CacheTooSmall {
+                blocks: capacity,
+                min_blocks: 1,
+            });
+        }
+        if block_bytes < 1 {
+            return Err(ConfigError::ZeroSize { what: "block" });
+        }
+        Ok(TrustedCache {
             capacity,
             block_bytes,
             // miv-analyze: allow(deterministic-iteration, reason="see field declaration: lookup-only hot path")
@@ -70,7 +92,7 @@ impl TrustedCache {
             clock: 0,
             hits: 0,
             misses: 0,
-        }
+        })
     }
 
     /// Capacity in blocks.
@@ -279,6 +301,22 @@ mod tests {
 
     fn filled(n: u64) -> Vec<u8> {
         vec![n as u8; 64]
+    }
+
+    #[test]
+    fn try_new_rejects_zero_geometry() {
+        assert!(matches!(
+            TrustedCache::try_new(0, 64),
+            Err(ConfigError::CacheTooSmall {
+                blocks: 0,
+                min_blocks: 1
+            })
+        ));
+        assert!(matches!(
+            TrustedCache::try_new(4, 0),
+            Err(ConfigError::ZeroSize { what: "block" })
+        ));
+        assert!(TrustedCache::try_new(4, 64).is_ok());
     }
 
     #[test]

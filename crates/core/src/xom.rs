@@ -14,7 +14,7 @@
 use miv_hash::digest::{Digest, DIGEST_BYTES};
 use miv_hash::md5::Md5;
 
-use crate::error::IntegrityError;
+use crate::error::{ConfigError, IntegrityError};
 use crate::storage::{Adversary, UntrustedMemory};
 
 /// A per-block MAC'd memory without freshness (XOM-style).
@@ -53,13 +53,39 @@ impl XomMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `block_bytes` is zero or does not divide `data_bytes`.
+    /// Panics if `block_bytes` is zero or does not divide `data_bytes`;
+    /// [`try_new`](Self::try_new) is the fallible form.
     pub fn new(data_bytes: u64, block_bytes: usize, key: [u8; 16]) -> Self {
-        assert!(block_bytes > 0, "block size must be positive");
-        assert!(
-            data_bytes.is_multiple_of(block_bytes as u64) && data_bytes > 0,
-            "data size must be a positive multiple of the block size"
-        );
+        Self::try_new(data_bytes, block_bytes, key)
+            .expect("documented invariant: positive block-aligned geometry")
+    }
+
+    /// Fallible form of [`new`](Self::new), for callers building from a
+    /// user-supplied spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroSize`] when `block_bytes` is zero,
+    /// [`ConfigError::EmptySegment`] when `data_bytes` is zero, and
+    /// [`ConfigError::DataNotBlockMultiple`] when `data_bytes` is not a
+    /// whole number of blocks.
+    pub fn try_new(
+        data_bytes: u64,
+        block_bytes: usize,
+        key: [u8; 16],
+    ) -> Result<Self, ConfigError> {
+        if block_bytes == 0 {
+            return Err(ConfigError::ZeroSize { what: "block" });
+        }
+        if data_bytes == 0 {
+            return Err(ConfigError::EmptySegment);
+        }
+        if !data_bytes.is_multiple_of(block_bytes as u64) {
+            return Err(ConfigError::DataNotBlockMultiple {
+                data_bytes,
+                block_bytes: block_bytes as u64,
+            });
+        }
         let blocks = data_bytes / block_bytes as u64;
         let mut xom = XomMemory {
             key,
@@ -71,7 +97,7 @@ impl XomMemory {
         for b in 0..blocks {
             xom.write_block(b * block_bytes as u64, &vec![0u8; block_bytes]);
         }
-        xom
+        Ok(xom)
     }
 
     /// Number of data blocks.
@@ -223,5 +249,26 @@ mod tests {
     fn misaligned_rejected() {
         let mut m = mem();
         let _ = m.read_block(13);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        use crate::error::ConfigError;
+        assert!(matches!(
+            XomMemory::try_new(1024, 0, [0u8; 16]),
+            Err(ConfigError::ZeroSize { what: "block" })
+        ));
+        assert!(matches!(
+            XomMemory::try_new(0, 64, [0u8; 16]),
+            Err(ConfigError::EmptySegment)
+        ));
+        assert!(matches!(
+            XomMemory::try_new(100, 64, [0u8; 16]),
+            Err(ConfigError::DataNotBlockMultiple {
+                data_bytes: 100,
+                block_bytes: 64
+            })
+        ));
+        assert!(XomMemory::try_new(1024, 64, [0u8; 16]).is_ok());
     }
 }

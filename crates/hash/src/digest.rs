@@ -360,6 +360,7 @@ fn truncate<const N: usize>(full: [u8; N]) -> Digest {
 /// let algo = HashAlgo::parse("sha256").unwrap();
 /// assert_eq!(algo.hasher().name(), "sha256-128");
 /// ```
+// miv-analyze: exhaustive
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum HashAlgo {
     /// MD5 — the paper's primary hash unit and the simulator default.

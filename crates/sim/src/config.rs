@@ -43,7 +43,7 @@ impl SystemConfig {
         let mut checker = CheckerConfig::hpca03(scheme);
         checker.chunk_bytes = match scheme {
             Scheme::MHash | Scheme::IHash => l2_line * 2,
-            _ => l2_line,
+            Scheme::Base | Scheme::Naive | Scheme::CHash => l2_line,
         };
         SystemConfig {
             core: CoreConfig::default(),

@@ -139,7 +139,7 @@ impl ProfileSpec {
         checker.protected_bytes = self.protected_bytes;
         checker.chunk_bytes = match scheme {
             Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
-            _ => self.line_bytes,
+            Scheme::Base | Scheme::Naive | Scheme::CHash => self.line_bytes,
         };
         checker
     }

@@ -261,7 +261,7 @@ impl ShardSpec {
     pub fn chunk_bytes(&self) -> u32 {
         match self.scheme {
             Scheme::MHash | Scheme::IHash => self.line_bytes * 2,
-            _ => self.line_bytes,
+            Scheme::Base | Scheme::Naive | Scheme::CHash => self.line_bytes,
         }
     }
 
@@ -279,7 +279,9 @@ impl ShardSpec {
             .block_bytes(self.line_bytes)
             .protection(match self.scheme {
                 Scheme::IHash => Protection::IncrementalMac,
-                _ => Protection::HashTree,
+                Scheme::Base | Scheme::Naive | Scheme::CHash | Scheme::MHash => {
+                    Protection::HashTree
+                }
             })
             .hasher(self.hash.hasher())
             .cache_blocks((self.l2_bytes / self.line_bytes as u64) as usize)
